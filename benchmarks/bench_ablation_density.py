@@ -1,0 +1,66 @@
+"""Ablation: the witness-reward density decay (§2.3 design choice).
+
+"there also is decaying of rewards if hotspots are too dense" — the
+reward engine caps fully-paid witnesses per challenge. This ablation
+sweeps the cap and measures how witness earnings concentrate in a
+crowded deployment: with no decay (huge cap), dense clusters absorb the
+pool; with the production cap, earnings spread.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.chain.transactions import RewardType
+from repro.economics.rewards import EpochActivity, PocEvent, RewardEngine
+
+
+def _crowded_epoch(n_witnesses: int = 12) -> EpochActivity:
+    """One challenge witnessed by a dense cluster plus a remote pair."""
+    activity = EpochActivity(epoch_start_block=0, epoch_end_block=29)
+    cluster = tuple(
+        (f"hs_cluster_{i}", f"wal_cluster_{i}") for i in range(n_witnesses)
+    )
+    activity.poc_events = [
+        PocEvent(
+            challenger="hs_c", challenger_owner="wal_c",
+            challengee="hs_e", challengee_owner="wal_e",
+            witnesses=cluster,
+        ),
+        PocEvent(
+            challenger="hs_c2", challenger_owner="wal_c2",
+            challengee="hs_remote", challengee_owner="wal_remote",
+            witnesses=(("hs_lone", "wal_lone"),),
+        ),
+    ]
+    return activity
+
+
+def _witness_shares(cap: int) -> dict:
+    engine = RewardEngine(max_witnesses_rewarded=cap)
+    rewards = engine.compute(_crowded_epoch(), epoch_hnt=100.0,
+                             hnt_price_usd=10.0)
+    totals: dict = {}
+    for share in rewards.shares:
+        if share.reward_type is RewardType.POC_WITNESS:
+            totals[share.gateway] = (
+                totals.get(share.gateway, 0) + share.amount_bones
+            )
+    return totals
+
+
+def test_bench_ablation_density(benchmark):
+    capped = benchmark(_witness_shares, 4)
+    uncapped = _witness_shares(100)
+
+    lone_capped = capped["hs_lone"]
+    lone_uncapped = uncapped["hs_lone"]
+    cluster_capped = sum(v for k, v in capped.items() if "cluster" in k)
+    cluster_uncapped = sum(v for k, v in uncapped.items() if "cluster" in k)
+
+    # Without decay the dense cluster absorbs almost the whole pool; the
+    # production cap shifts share back to the lone rural witness.
+    assert cluster_uncapped / lone_uncapped > cluster_capped / lone_capped
+    assert lone_capped > lone_uncapped
+    # Beyond the cap, cluster members earn only the decayed unit.
+    cluster_values = sorted(v for k, v in capped.items() if "cluster" in k)
+    assert cluster_values[0] < cluster_values[-1]

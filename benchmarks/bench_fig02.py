@@ -1,0 +1,13 @@
+"""Bench Figure 2: location changes per hotspot."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig02(benchmark, result):
+    report = benchmark(run_experiment, "fig02", result)
+    rows = {r.label: r for r in report.rows}
+    # The dominant behaviour: most hotspots never move (paper: 71.9 %).
+    assert rows["never moved"].measured > 0.6
+    # The histogram is monotone-decreasing-ish: movers are a minority.
+    histogram = dict(report.series["moves_histogram"])
+    assert histogram[0] > histogram.get(1, 0) > histogram.get(4, 0)

@@ -1,0 +1,16 @@
+"""Bench Figure 3: move-distance CDF and long-distance flows."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig03(benchmark, result):
+    report = benchmark(run_experiment, "fig03", result)
+    rows = {r.label: r for r in report.rows}
+    # Bimodal: short hops dominate, a real >500 km flow exists.
+    assert rows["moves ≤50 km (short mode)"].measured > 0.6
+    assert rows["moves >500 km"].measured > 0
+    # (0,0) artifacts exist and are mostly first-time asserts (paper:
+    # 89 %; the small scenario has only a handful of samples).
+    assert rows["(0,0) first-time fraction"].measured > 0.5
+    # Nobody remains parked at null island.
+    assert rows["hotspots still at (0,0) after moving there"].measured == 0

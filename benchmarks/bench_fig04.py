@@ -1,0 +1,18 @@
+"""Bench Figure 4: block intervals between relocations."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig04(benchmark, result):
+    report = benchmark(run_experiment, "fig04", result)
+    rows = {r.label: r for r in report.rows}
+    day = rows["within a day"].measured
+    week = rows["within a week"].measured
+    month = rows["within a month"].measured
+    # Paper anchors: 17.9 % / 35.8 % / 63.2 % — check the CDF's shape:
+    # strictly increasing, a real same-day mode, most mass by a month.
+    # (The compressed small-scenario timeline censors the long tail
+    # harder than the paper's 22-month window did.)
+    assert 0.08 < day < week < month <= 1.0
+    assert day < 0.5
+    assert month > 0.45

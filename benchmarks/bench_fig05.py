@@ -1,0 +1,17 @@
+"""Bench Figure 5: network growth."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig05(benchmark, result):
+    report = benchmark(run_experiment, "fig05", result)
+    rows = {r.label: r for r in report.rows}
+    connected = rows["connected at end (descaled)"].measured
+    online = rows["online at end (descaled)"].measured
+    # Paper: 44k connected / 34k online — online is a ~3/4 subset.
+    assert 0.6 < online / connected < 0.95
+    # Growth is exponential: the second half adds most of the fleet.
+    cumulative = report.series["cumulative_connected"]
+    assert cumulative[len(cumulative) // 2] < cumulative[-1] / 2
+    # International expansion happened but the US still leads or ties.
+    assert rows["intl online at end (descaled)"].measured > 0

@@ -1,0 +1,11 @@
+"""Bench Figure 6: bulk-owner profiling."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig06(benchmark, result):
+    report = benchmark(run_experiment, "fig06", result)
+    rows = {r.label: r for r in report.rows}
+    # Both §4.3 owner classes must be discoverable from chain data.
+    assert rows["inferred application operators"].measured > 0
+    assert rows["inferred mining operations"].measured > 0

@@ -1,0 +1,15 @@
+"""Bench Figure 7: the resale market."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig07(benchmark, result):
+    report = benchmark(run_experiment, "fig07", result)
+    rows = {r.label: r for r in report.rows}
+    # Paper: 8.6 % of fleet transferred; 95.4 % ≤2 transfers; 95.8 % 0-DC.
+    assert 0.02 < rows["fleet fraction ever transferred"].measured < 0.2
+    assert rows["transferred hotspots with ≤2 transfers"].measured > 0.85
+    assert rows["transfers carrying 0 DC"].measured > 0.9
+    # Fig 7c: volume grows over time.
+    timeline = report.series["transfers_over_time"]
+    assert timeline[-1][1] >= timeline[0][1]

@@ -1,0 +1,15 @@
+"""Bench Figure 8: packet transfers, routers, and the HIP 10 spike."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig08(benchmark, result):
+    report = benchmark(run_experiment, "fig08", result)
+    rows = {r.label: r for r in report.rows}
+    # The Console monopolises routing (paper: 81.18 %).
+    assert rows["Console share of channel txns"].measured > 0.7
+    assert rows["registered OUIs"].measured == 10
+    # The arbitrage spike dwarfs contemporary organic traffic and decays
+    # after HIP 10 (the crossover the paper's Fig. 8 shows).
+    assert rows["spam spike multiplier over baseline"].measured > 4.0
+    assert rows["spike decayed by day"].measured >= result.config.hip10_day

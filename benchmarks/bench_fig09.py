@@ -1,0 +1,17 @@
+"""Bench Figure 9: ASN distribution and city diversity."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig09(benchmark, result):
+    report = benchmark(run_experiment, "fig09", result)
+    rows = {r.label: r for r in report.rows}
+    distribution = report.series["asn_distribution"]
+    # Heavy head: top-10 ASNs carry the majority (Fig. 9's shape).
+    assert rows["top-10 ASN share of hotspots"].measured > 0.4
+    # Long tail: single/double-hotspot ASNs exist.
+    assert rows["single-hotspot ASNs (long tail)"].measured > 0
+    # Regional single-ASN risk is widespread (§6.1).
+    assert rows["single-ASN city fraction"].measured > 0.25
+    counts = [c for _, c in distribution]
+    assert counts == sorted(counts, reverse=True)

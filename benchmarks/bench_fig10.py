@@ -1,0 +1,13 @@
+"""Bench Figure 10: relay prevalence and load."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig10(benchmark, result):
+    report = benchmark(run_experiment, "fig10", result)
+    rows = {r.label: r for r in report.rows}
+    # Paper: 55.48 % of listening peers are relayed.
+    assert 0.4 < rows["relayed fraction of listening peers"].measured < 0.7
+    # Fig 10 shape: most relays carry few peers, one carries many.
+    assert rows["relays carrying ≤2 peers"].measured > 0.5
+    assert rows["max peers on one relay"].measured >= 5

@@ -1,0 +1,14 @@
+"""Bench Figure 11: relay selection randomness."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig11(benchmark, result):
+    report = benchmark(run_experiment, "fig11", result)
+    rows = {r.label: r for r in report.rows}
+    # The paper's conclusion: the actual distance CDF is statistically
+    # indistinguishable from random reassignment (geography plays no
+    # role in relay choice).
+    assert rows["KS statistic actual-vs-random"].measured < 0.12
+    # Relay distances are continental scale (no geospatial affinity).
+    assert rows["actual median distance"].measured > 500.0

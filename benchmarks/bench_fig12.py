@@ -1,0 +1,18 @@
+"""Bench Figure 12: the coverage-model progression."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig12(benchmark, result):
+    report = benchmark(run_experiment, "fig12", result)
+    rows = {r.label: r for r in report.rows}
+    disk = rows["(b) 300 m disk coverage (descaled %)"].measured
+    hulls25 = rows["(d) hulls w/ 25 km cutoff (descaled %)"].measured
+    revised = rows["(e) revised model (descaled %)"].measured
+    # The paper's central coverage finding: every model says coverage is
+    # a tiny fraction of the US, and the model family is strictly
+    # ordered disk ≪ hulls(25 km) < revised (0.093 % / 0.57 % / 3.3 %).
+    assert disk < 1.0
+    assert disk < hulls25 < revised
+    # The disk→hull jump is the big one (paper: ~6×).
+    assert hulls25 / max(disk, 1e-9) > 2.0

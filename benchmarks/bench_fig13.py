@@ -1,0 +1,13 @@
+"""Bench Figure 13: valid-witness distance CDF."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig13(benchmark, result):
+    report = benchmark(run_experiment, "fig13", result)
+    rows = {r.label: r for r in report.rows}
+    # Most witness mass sits well below the 25 km cutoff ...
+    assert rows["median witness distance"].measured < 10.0
+    assert rows["fraction beyond 25 km"].measured < 0.1
+    # ... but a long tail (over-water / high-gain) exists to be cut.
+    assert rows["max witness distance"].measured > 25.0

@@ -1,0 +1,16 @@
+"""Bench Figure 14: witness RSSI CDF."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig14(benchmark, result):
+    report = benchmark(run_experiment, "fig14", result)
+    rows = {r.label: r for r in report.rows}
+    median = rows["median witness RSSI"].measured
+    # Paper: median −108 dBm; the distribution lives between the legal
+    # EIRP ceiling and the demodulation floor.
+    assert -135.0 < median < -85.0
+    growth = rows["radius growth at median RSSI"].measured
+    # The RSSI radius-growth term is metres, not kilometres (paper: 20 m
+    # at the median) — the "almost invisible red trim" of Fig. 12e.
+    assert 0.5 < growth < 300.0

@@ -1,0 +1,22 @@
+"""Bench Figure 15 + Tables 2/3: the walk tests."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig15(benchmark, result):
+    report = benchmark(run_experiment, "fig15", result)
+    rows = {r.label: r for r in report.rows}
+    urban = rows["urban walk PRR"].measured
+    suburban = rows["suburban walk PRR"].measured
+    # Paper: 72.9 % / 77.6 % — best-effort delivery on the move.
+    assert 0.5 < urban < 0.9
+    assert 0.5 < suburban < 0.95
+    # Tables 2/3's strongest invariant: zero incorrect ACKs, many
+    # incorrect NACKs (downlink is harder than uplink).
+    assert rows["urban incorrect ACK"].measured == 0
+    assert rows["suburban incorrect ACK"].measured == 0
+    assert rows["urban incorrect NACK"].measured > 0.02
+    # Being inside 300 m of a hotspot predicts reception better than
+    # being outside predicts it (the HIP-15 asymmetry).
+    assert (rows["HIP-15 in-radius accuracy"].measured
+            > 1.0 - rows["HIP-15 out-of-radius accuracy"].measured)

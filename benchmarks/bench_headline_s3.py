@@ -1,0 +1,11 @@
+"""Bench §3 headline: the chain is overwhelmingly PoC transactions."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_headline_s3(benchmark, result):
+    report = benchmark(run_experiment, "headline_s3", result)
+    rows = {r.label: r for r in report.rows}
+    share = rows["PoC share of transactions (descaled)"].measured
+    # Paper: 99.2 % — the chain must be PoC-dominated.
+    assert share > 0.97

@@ -1,0 +1,13 @@
+"""Bench §4.3: ownership distribution."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_s4_3(benchmark, result):
+    report = benchmark(run_experiment, "s4_3", result)
+    rows = {r.label: r for r in report.rows}
+    # Paper: 62.1 % single-hotspot owners, 83.7 % own ≤3 — ownership is
+    # decentralised, with a whale at the top.
+    assert 0.5 < rows["owners with exactly 1 hotspot"].measured < 0.8
+    assert rows["owners with ≤3"].measured > 0.75
+    assert rows["max fleet (scaled)"].measured >= 10

@@ -1,0 +1,13 @@
+"""Bench §7.1: silent movers."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_s7_1(benchmark, result):
+    report = benchmark(run_experiment, "s7_1", result)
+    rows = {r.label: r for r in report.rows}
+    # The detector finds impossible-geometry witnesses, and — the §7.1
+    # takeaway — they keep earning rewards anyway.
+    assert rows["flagged by chain-only detector"].measured > 0
+    assert rows["flagged AND still earning rewards"].measured > 0
+    assert rows["detector recall"].measured > 0.1

@@ -1,0 +1,14 @@
+"""Bench §7.2: lying witnesses."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_s7_2(benchmark, result):
+    report = benchmark(run_experiment, "s7_2", result)
+    rows = {r.label: r for r in report.rows}
+    # Absurd RSSIs exist on chain and are all rejected ("easily
+    # dismissed") ...
+    assert rows["impossible-RSSI reports (> +36 dBm EIRP)"].measured > 0
+    assert rows["impossible RSSIs passing validity"].measured == 0
+    # ... while informed forgeries always pass (the paper's takeaway).
+    assert rows["clique forged-report validity rate"].measured > 0.95

@@ -1,0 +1,13 @@
+"""Bench §9.1: the Spectrum terms-of-service exposure."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_s9_1(benchmark, result):
+    report = benchmark(run_experiment, "s9_1", result)
+    rows = {r.label: r for r in report.rows}
+    at_risk = rows["US hotspots on Spectrum (fraction)"].measured
+    # Paper: "at least 17 % of the US hotspots would fall offline".
+    assert at_risk > 0.10
+    # Every Spectrum hotspot is detectable via the unique port.
+    assert rows["detectable on port 44158"].measured > 0

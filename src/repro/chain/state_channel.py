@@ -1,0 +1,160 @@
+"""Runtime state-channel bookkeeping between open and close (§5.1).
+
+A :class:`StateChannelTracker` is the router-side object that lives while
+a channel is open: it records signed purchases per hotspot, enforces the
+stake ceiling, and emits the closing transaction. It also models the two
+failure paths the paper describes:
+
+* a router omitting a hotspot it promised to pay → the hotspot files a
+  *signed demand* within the 10-block grace period and the closing is
+  amended;
+* a hotspot lying about having sent data → the router adds it to a
+  blocklist and "not make[s] future offers to purchase its packets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.chain.crypto import Address
+from repro.chain.transactions import StateChannelClose, StateChannelSummary
+from repro.errors import StateChannelError
+
+__all__ = ["PurchaseRecord", "StateChannelTracker"]
+
+
+@dataclass
+class PurchaseRecord:
+    """Running totals for one hotspot within one channel."""
+
+    packets: int = 0
+    dcs: int = 0
+
+
+@dataclass
+class StateChannelTracker:
+    """Off-chain ledger of one open state channel.
+
+    Args:
+        channel_id: id used in the open transaction.
+        owner: router wallet that staked the DC.
+        oui: router organisation id.
+        amount_dc: staked ceiling; purchases beyond it are refused.
+        open_block: height of the open transaction.
+        expire_block: height after which the channel must close.
+    """
+
+    channel_id: str
+    owner: Address
+    oui: int
+    amount_dc: int
+    open_block: int
+    expire_block: int
+    purchases: Dict[Address, PurchaseRecord] = field(default_factory=dict)
+    blocklist: Set[Address] = field(default_factory=set)
+    _spent: int = 0
+
+    @property
+    def spent_dc(self) -> int:
+        """DC committed to purchases so far."""
+        return self._spent
+
+    @property
+    def remaining_dc(self) -> int:
+        """Stake left to spend."""
+        return self.amount_dc - self._spent
+
+    def can_purchase(self, hotspot: Address, dcs: int) -> bool:
+        """Whether a purchase from ``hotspot`` for ``dcs`` would be accepted."""
+        return hotspot not in self.blocklist and dcs <= self.remaining_dc
+
+    def record_purchase(self, hotspot: Address, packets: int = 1, dcs: int = 1) -> None:
+        """Record a signed offer-to-buy that the hotspot honoured.
+
+        Raises:
+            StateChannelError: for blocklisted hotspots or overspend.
+        """
+        if hotspot in self.blocklist:
+            raise StateChannelError(
+                f"{hotspot} is blocklisted on channel {self.channel_id}"
+            )
+        if dcs > self.remaining_dc:
+            raise StateChannelError(
+                f"channel {self.channel_id} stake exhausted: "
+                f"{dcs} > {self.remaining_dc} remaining"
+            )
+        record = self.purchases.setdefault(hotspot, PurchaseRecord())
+        record.packets += packets
+        record.dcs += dcs
+        self._spent += dcs
+
+    def block_hotspot(self, hotspot: Address) -> None:
+        """Stop buying from a hotspot caught lying about sent data (§5.1)."""
+        self.blocklist.add(hotspot)
+
+    def build_close(
+        self, omit: Set[Address] = frozenset()
+    ) -> StateChannelClose:
+        """The closing transaction, optionally omitting some hotspots.
+
+        ``omit`` models a router leaving out offers whose packets never
+        arrived; an omitted hotspot that *did* deliver can later amend
+        the closing via :meth:`amend_close`.
+        """
+        summaries = tuple(
+            StateChannelSummary(hotspot=hs, num_packets=rec.packets, num_dcs=rec.dcs)
+            for hs, rec in sorted(self.purchases.items())
+            if hs not in omit
+        )
+        return StateChannelClose(
+            channel_id=self.channel_id,
+            owner=self.owner,
+            oui=self.oui,
+            summaries=summaries,
+        )
+
+    def amend_close(
+        self,
+        close: StateChannelClose,
+        demands: Dict[Address, PurchaseRecord],
+        demand_block: int,
+        close_block: int,
+        grace_blocks: int = 10,
+    ) -> StateChannelClose:
+        """Apply hotspots' signed demands to an under-reporting closing.
+
+        "there is a 10-block grace period for the hotspot to submit a
+        signed demand that amends the closing" (§5.1). Demands after the
+        grace period are rejected.
+
+        Raises:
+            StateChannelError: if the demand arrives too late or the
+                amended total would exceed the stake.
+        """
+        if demand_block > close_block + grace_blocks:
+            raise StateChannelError(
+                f"demand at block {demand_block} outside grace window "
+                f"(close {close_block} + {grace_blocks})"
+            )
+        merged: Dict[Address, StateChannelSummary] = {
+            s.hotspot: s for s in close.summaries
+        }
+        for hotspot, record in demands.items():
+            existing = merged.get(hotspot)
+            packets = record.packets + (existing.num_packets if existing else 0)
+            dcs = record.dcs + (existing.num_dcs if existing else 0)
+            merged[hotspot] = StateChannelSummary(
+                hotspot=hotspot, num_packets=packets, num_dcs=dcs
+            )
+        total = sum(s.num_dcs for s in merged.values())
+        if total > self.amount_dc:
+            raise StateChannelError(
+                f"amended closing spends {total} DC > stake {self.amount_dc}"
+            )
+        return StateChannelClose(
+            channel_id=self.channel_id,
+            owner=self.owner,
+            oui=self.oui,
+            summaries=tuple(merged[h] for h in sorted(merged)),
+        )

@@ -1,0 +1,314 @@
+"""Native transaction types of the simulated Helium blockchain.
+
+The paper lists the transactions its analysis consumes (§3): add_gateway,
+assert_location, PoC_request/PoC_receipt, state_channel_open/close, plus
+transfer_hotspot (§4.3.3), token burns and payments (§5.2), OUI
+registration (§2.2) and reward minting (§2.4). Each is a frozen dataclass;
+the ledger (:mod:`repro.chain.ledger`) enforces validity when a block is
+applied.
+
+Design note: transactions carry plain addresses rather than object
+references so that a serialized chain is self-contained — analyses join
+against ledger snapshots exactly as the paper joins blockchain rows
+against the DeWi database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.chain.crypto import Address
+from repro.errors import TransactionError
+
+__all__ = [
+    "Transaction",
+    "AddGateway",
+    "AssertLocation",
+    "TransferHotspot",
+    "PocRequest",
+    "WitnessReport",
+    "PocReceipts",
+    "StateChannelOpen",
+    "StateChannelSummary",
+    "StateChannelClose",
+    "Payment",
+    "TokenBurn",
+    "OuiRegistration",
+    "RewardType",
+    "RewardShare",
+    "Rewards",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """Base class: every transaction identifies its kind for filtering."""
+
+    @property
+    def kind(self) -> str:
+        """Snake-case transaction name as it appears in chain dumps."""
+        return _KIND_BY_TYPE[type(self)]
+
+
+@dataclass(frozen=True, slots=True)
+class AddGateway(Transaction):
+    """Register a new hotspot: "includes the hotspot ID, owner ID,
+    location, and time when it was added" (§3).
+
+    Location on the real chain arrives via a follow-up assert_location;
+    we keep the schema faithful and leave location out of add_gateway.
+    """
+
+    gateway: Address
+    owner: Address
+    payer: Optional[Address] = None  # maker/vendor pays in practice
+    fee_dc: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.gateway or not self.owner:
+            raise TransactionError("add_gateway requires gateway and owner")
+
+
+@dataclass(frozen=True, slots=True)
+class AssertLocation(Transaction):
+    """Publish or change a hotspot's location (H3 cell token).
+
+    ``nonce`` counts asserts for this hotspot (1-based); the ledger uses
+    it to enforce ordering and to grant the two fee-free moves.
+    """
+
+    gateway: Address
+    owner: Address
+    location_token: str
+    nonce: int
+    fee_dc: int = 0
+    payer: Optional[Address] = None
+
+    def __post_init__(self) -> None:
+        if self.nonce < 1:
+            raise TransactionError(f"assert_location nonce must be >= 1, got {self.nonce}")
+        if not self.location_token:
+            raise TransactionError("assert_location requires a location token")
+
+
+@dataclass(frozen=True, slots=True)
+class TransferHotspot(Transaction):
+    """Sell an established hotspot to another wallet (§4.3.3).
+
+    ``amount_dc`` is the on-chain payment; "Over 95.8% of hotspot
+    transfer transactions transfer 0 DC", the sale happening off-chain.
+    """
+
+    gateway: Address
+    seller: Address
+    buyer: Address
+    amount_dc: int = 0
+    fee_dc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amount_dc < 0:
+            raise TransactionError("transfer amount cannot be negative")
+        if self.seller == self.buyer:
+            raise TransactionError("cannot transfer a hotspot to its current owner")
+
+
+@dataclass(frozen=True, slots=True)
+class PocRequest(Transaction):
+    """A hotspot constructs a challenge (§2.3)."""
+
+    challenger: Address
+    secret_hash: str
+    challengee: Address
+
+    def __post_init__(self) -> None:
+        if self.challenger == self.challengee:
+            raise TransactionError("a hotspot cannot challenge itself")
+
+
+@dataclass(frozen=True, slots=True)
+class WitnessReport:
+    """One witness's claim to have heard a challenge packet.
+
+    ``reported_location_token`` is where the witness *actually* was when
+    it heard the packet — the silent-mover analysis (§7.1) compares this
+    against the witness's asserted location on the ledger.
+    """
+
+    witness: Address
+    rssi_dbm: float
+    snr_db: float
+    frequency_mhz: float
+    reported_location_token: str
+    is_valid: bool = True
+    invalid_reason: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class PocReceipts(Transaction):
+    """Challenge outcome: the challengee's receipt plus witness reports."""
+
+    challenger: Address
+    challengee: Address
+    challengee_location_token: str
+    witnesses: Tuple[WitnessReport, ...] = field(default_factory=tuple)
+    frequency_mhz: float = 904.6
+
+    @property
+    def valid_witnesses(self) -> Tuple[WitnessReport, ...]:
+        """Witnesses that passed the chain's validity heuristics."""
+        return tuple(w for w in self.witnesses if w.is_valid)
+
+
+@dataclass(frozen=True, slots=True)
+class StateChannelOpen(Transaction):
+    """A router stakes DC to receive packets (§5.1)."""
+
+    channel_id: str
+    owner: Address
+    oui: int
+    amount_dc: int
+    expire_within_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.amount_dc < 0:
+            raise TransactionError("state channel stake cannot be negative")
+        if self.expire_within_blocks <= 0:
+            raise TransactionError("state channel expiry must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class StateChannelSummary:
+    """Per-hotspot packet totals inside a state-channel close."""
+
+    hotspot: Address
+    num_packets: int
+    num_dcs: int
+
+    def __post_init__(self) -> None:
+        if self.num_packets < 0 or self.num_dcs < 0:
+            raise TransactionError("state channel summary counts cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class StateChannelClose(Transaction):
+    """Settle a state channel: burn spent DC, refund the rest (§3)."""
+
+    channel_id: str
+    owner: Address
+    oui: int
+    summaries: Tuple[StateChannelSummary, ...] = field(default_factory=tuple)
+
+    @property
+    def total_packets(self) -> int:
+        """Packets paid for across all hotspots in this closing."""
+        return sum(s.num_packets for s in self.summaries)
+
+    @property
+    def total_dcs(self) -> int:
+        """DC burned by this closing."""
+        return sum(s.num_dcs for s in self.summaries)
+
+
+@dataclass(frozen=True, slots=True)
+class Payment(Transaction):
+    """HNT payment between wallets (bones)."""
+
+    payer: Address
+    payee: Address
+    amount_bones: int
+    fee_dc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amount_bones <= 0:
+            raise TransactionError("payment amount must be positive")
+        if self.payer == self.payee:
+            raise TransactionError("cannot pay yourself")
+
+
+@dataclass(frozen=True, slots=True)
+class TokenBurn(Transaction):
+    """Burn HNT to mint DC into a wallet (§2.4, §5.2).
+
+    ``payee`` lets a user fund the Console's wallet with their own burn —
+    "users can either burn their own HNT with the Console wallet as the
+    destination — a transaction which is visible per-user".
+    """
+
+    payer: Address
+    payee: Address
+    amount_bones: int
+    memo: str = ""
+
+    def __post_init__(self) -> None:
+        if self.amount_bones <= 0:
+            raise TransactionError("burn amount must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class OuiRegistration(Transaction):
+    """Purchase an Organizationally Unique Identifier for a router (§2.2)."""
+
+    oui: int
+    owner: Address
+    fee_dc: int = 0
+    filter_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.oui < 1:
+            raise TransactionError(f"OUI must be >= 1, got {self.oui}")
+
+
+class RewardType(Enum):
+    """Why an HNT reward was minted."""
+
+    POC_CHALLENGER = "poc_challenger"
+    POC_CHALLENGEE = "poc_challengee"
+    POC_WITNESS = "poc_witness"
+    DATA_TRANSFER = "data_transfer"
+    CONSENSUS = "consensus"
+    SECURITY = "security"
+
+
+@dataclass(frozen=True, slots=True)
+class RewardShare:
+    """One account/gateway's share of an epoch's minted HNT."""
+
+    account: Address
+    gateway: Optional[Address]
+    amount_bones: int
+    reward_type: RewardType
+
+    def __post_init__(self) -> None:
+        if self.amount_bones < 0:
+            raise TransactionError("reward cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class Rewards(Transaction):
+    """Epoch reward minting transaction."""
+
+    epoch_start_block: int
+    epoch_end_block: int
+    shares: Tuple[RewardShare, ...] = field(default_factory=tuple)
+
+    @property
+    def total_bones(self) -> int:
+        """Total HNT minted by this epoch, in bones."""
+        return sum(s.amount_bones for s in self.shares)
+
+
+_KIND_BY_TYPE = {
+    AddGateway: "add_gateway",
+    AssertLocation: "assert_location",
+    TransferHotspot: "transfer_hotspot",
+    PocRequest: "poc_request",
+    PocReceipts: "poc_receipts",
+    StateChannelOpen: "state_channel_open",
+    StateChannelClose: "state_channel_close",
+    Payment: "payment",
+    TokenBurn: "token_burn",
+    OuiRegistration: "oui",
+    Rewards: "rewards",
+}

@@ -1,0 +1,92 @@
+"""Chain variables: the tunable constants of the Helium blockchain.
+
+Helium governs protocol behaviour through on-chain "chain vars" that HIPs
+modify (§7). Collecting them in one dataclass lets scenarios flip a HIP on
+or off — the HIP 10 ablation bench literally toggles
+``hip10_data_reward_cap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+
+__all__ = ["ChainVars", "DEFAULT_VARS"]
+
+
+@dataclass(frozen=True)
+class ChainVars:
+    """Protocol constants, with defaults matching the period under study."""
+
+    #: DC fee for assert_location: "this transaction carries a
+    #: 1,000,000 DC fee ($10 USD)" (§3).
+    assert_location_fee_dc: int = 1_000_000
+
+    #: Additional staking fee for asserting location (raises the paper's
+    #: §7.1 figure of "$40 USD cost to re-assert" = fee + staking fee).
+    assert_location_staking_fee_dc: int = 3_000_000
+
+    #: "The Helium network permits hotspots to move up to two times for
+    #: 'free' (the Helium company pays the assert_location fee)" (§4.1).
+    free_location_asserts: int = 2
+
+    #: DC fee to add a gateway to the chain.
+    add_gateway_fee_dc: int = 4_000_000
+
+    #: DC fee to transfer a hotspot between owners.
+    transfer_hotspot_fee_dc: int = 55_000
+
+    #: DC staked to register an OUI (routers).
+    oui_fee_dc: int = 10_000_000
+
+    #: Minimum / maximum state-channel lifetime in blocks. The paper
+    #: documents 10 blocks (~10 min) to one week (§5.1 footnote).
+    state_channel_min_expire_blocks: int = 10
+    state_channel_max_expire_blocks: int = 7 * units.BLOCKS_PER_DAY
+
+    #: Grace period for hotspots to dispute a state-channel close (§5.1).
+    state_channel_grace_blocks: int = 10
+
+    #: DC price of one 24-byte packet: "$0.00001 USD" per DC, 1 DC/packet.
+    dc_per_packet: int = 1
+
+    #: Blocks between PoC challenges a hotspot may issue: "any hotspot can
+    #: send a challenge every 480 blocks" (§7.1).
+    poc_challenge_interval_blocks: int = 480
+
+    #: HIP 15: "hotspots within 300 meters of each other cannot act as a
+    #: witness for one another" (§8.2.1).
+    poc_witness_min_distance_km: float = 0.3
+
+    #: Maximum plausible witness distance heuristic used by validity
+    #: checks (the paper picks "a generous 25 km cutoff" analytically;
+    #: the chain's own RSSI heuristics are looser).
+    poc_witness_max_distance_km: float = 100.0
+
+    #: Maximum witnesses rewarded per challenge (reward decay beyond).
+    poc_max_witnesses_rewarded: int = 4
+
+    #: HIP 10 in force: cap data-transfer rewards at the DC-equivalent
+    #: value instead of splitting the fixed pool pro rata (§5.3.2).
+    hip10_data_reward_cap: bool = True
+
+    #: Epoch length in blocks for reward minting.
+    epoch_blocks: int = units.BLOCKS_PER_EPOCH
+
+    #: Monthly net HNT emission (pre-halving schedule), in whole HNT.
+    monthly_hnt_emission: float = 5_000_000.0
+
+    def with_updates(self, **changes: object) -> "ChainVars":
+        """A copy with the given chain vars changed (HIP application)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def hnt_per_epoch(self) -> float:
+        """Whole HNT minted per reward epoch."""
+        epochs_per_month = 30.0 * units.BLOCKS_PER_DAY / self.epoch_blocks
+        return self.monthly_hnt_emission / epochs_per_month
+
+
+#: Shared immutable default chain vars.
+DEFAULT_VARS = ChainVars()

@@ -1,0 +1,190 @@
+"""Meta-infrastructure analyses (§6.1, §9.1; Table 1, Figure 9).
+
+Runs the paper's annotation pipeline over the peerbook: every direct
+(``/ip4``) listen address is mapped IP → ASN (zannotate-style) → owning
+organisation (as2org-style), then aggregated into the Table 1 ranking,
+the Figure 9 ASN distribution, per-city ASN diversity, and the §9.1
+Spectrum terms-of-service exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AnalysisError
+from repro.p2p.backhaul import AccessType, AsUniverse
+from repro.p2p.multiaddr import parse_multiaddr
+from repro.p2p.peerbook import Peerbook
+
+__all__ = [
+    "IspRanking",
+    "isp_ranking",
+    "asn_distribution",
+    "CityDiversity",
+    "city_asn_diversity",
+    "TosExposure",
+    "tos_exposure",
+    "cloud_hosted_peers",
+]
+
+
+@dataclass(frozen=True)
+class IspRanking:
+    """Table 1: hotspots per ISP organisation."""
+
+    rows: Tuple[Tuple[str, int], ...]  # (org name, hotspot count), ranked
+    total_annotated: int
+    total_asns: int
+
+
+def _annotate(
+    peerbook: Peerbook, universe: AsUniverse
+) -> Dict[str, int]:
+    """Map each direct peer to its origin ASN (zannotate equivalent)."""
+    asn_by_peer: Dict[str, int] = {}
+    for entry in peerbook.entries_with_listen_addrs():
+        parsed = parse_multiaddr(entry.listen_addrs[0])
+        if parsed.is_relayed or parsed.ip is None:
+            continue
+        asn = universe.asn_for_ip(parsed.ip)
+        if asn is not None:
+            asn_by_peer[entry.peer] = asn
+    return asn_by_peer
+
+
+def isp_ranking(
+    peerbook: Peerbook, universe: AsUniverse, top_n: int = 15
+) -> IspRanking:
+    """Table 1: top ISPs by hotspot count (public-IP peers only)."""
+    asn_by_peer = _annotate(peerbook, universe)
+    if not asn_by_peer:
+        raise AnalysisError("no annotatable public-IP peers in peerbook")
+    counts: Dict[str, int] = {}
+    for asn in asn_by_peer.values():
+        org = universe.org_for_asn(asn)
+        counts[org] = counts.get(org, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+    return IspRanking(
+        rows=tuple(ranked[:top_n]),
+        total_annotated=len(asn_by_peer),
+        total_asns=len({a for a in asn_by_peer.values()}),
+    )
+
+
+def asn_distribution(
+    peerbook: Peerbook, universe: AsUniverse
+) -> List[Tuple[int, int]]:
+    """Figure 9: (asn, hotspot count) sorted descending by count."""
+    asn_by_peer = _annotate(peerbook, universe)
+    counts: Dict[int, int] = {}
+    for asn in asn_by_peer.values():
+        counts[asn] = counts.get(asn, 0) + 1
+    return sorted(counts.items(), key=lambda kv: -kv[1])
+
+
+@dataclass(frozen=True)
+class CityDiversity:
+    """§6.1 per-city ASN diversity."""
+
+    cities_with_hotspots: int
+    single_asn_cities: int
+    single_asn_cities_with_2plus: int
+    examples: Tuple[Tuple[str, int], ...]  # (city, hotspots) single-ASN
+
+
+def city_asn_diversity(
+    peer_city: Dict[str, str],
+    peer_asn: Dict[str, int],
+) -> CityDiversity:
+    """Count cities served by exactly one ASN.
+
+    Args:
+        peer_city: peer address → city name (from the world's ground
+            truth, as the paper geolocates from asserted location).
+        peer_asn: peer address → origin ASN (annotation output).
+    """
+    if not peer_city:
+        raise AnalysisError("no peers with city information")
+    asns_by_city: Dict[str, set] = {}
+    count_by_city: Dict[str, int] = {}
+    for peer, city in peer_city.items():
+        asn = peer_asn.get(peer)
+        if asn is None:
+            continue
+        asns_by_city.setdefault(city, set()).add(asn)
+        count_by_city[city] = count_by_city.get(city, 0) + 1
+    single = [c for c, asns in asns_by_city.items() if len(asns) == 1]
+    single_2plus = [c for c in single if count_by_city.get(c, 0) >= 2]
+    examples = sorted(
+        ((c, count_by_city[c]) for c in single_2plus),
+        key=lambda kv: -kv[1],
+    )
+    return CityDiversity(
+        cities_with_hotspots=len(asns_by_city),
+        single_asn_cities=len(single),
+        single_asn_cities_with_2plus=len(single_2plus),
+        examples=tuple(examples[:10]),
+    )
+
+
+@dataclass(frozen=True)
+class TosExposure:
+    """§9.1: hotspots at risk from residential-only terms of service."""
+
+    org: str
+    hotspots_on_org: int
+    us_hotspots_total: int
+    us_fraction_at_risk: float
+    detectable_on_port: int  # all of them: Helium uses port 44158
+
+
+def tos_exposure(
+    peerbook: Peerbook,
+    universe: AsUniverse,
+    us_peers: set,
+    org: str = "Spectrum",
+) -> TosExposure:
+    """What fraction of US hotspots one ISP could knock offline.
+
+    "If Spectrum were to flip the switch and enforce these provisions,
+    at least 17 % of the US hotspots would fall offline." Detection is
+    trivial: hotspots "attempt to use a unique port, 44158".
+    """
+    asn_by_peer = _annotate(peerbook, universe)
+    on_org_us = 0
+    port_detectable = 0
+    us_annotated = 0
+    for peer, asn in asn_by_peer.items():
+        if peer not in us_peers:
+            continue
+        us_annotated += 1
+        profile = universe.isp(asn)
+        if profile.name == org:
+            on_org_us += 1
+            entry = peerbook.entry(peer)
+            parsed = parse_multiaddr(entry.listen_addrs[0])
+            if parsed.port == 44158:
+                port_detectable += 1
+    if us_annotated == 0:
+        raise AnalysisError("no annotated US peers")
+    return TosExposure(
+        org=org,
+        hotspots_on_org=on_org_us,
+        us_hotspots_total=us_annotated,
+        us_fraction_at_risk=on_org_us / us_annotated,
+        detectable_on_port=port_detectable,
+    )
+
+
+def cloud_hosted_peers(
+    peerbook: Peerbook, universe: AsUniverse
+) -> Dict[str, int]:
+    """§6.1: peers on cloud providers (the validator look-alikes)."""
+    asn_by_peer = _annotate(peerbook, universe)
+    counts: Dict[str, int] = {}
+    for asn in asn_by_peer.values():
+        profile = universe.isp(asn)
+        if profile.access_type is AccessType.CLOUD:
+            counts[profile.name] = counts.get(profile.name, 0) + 1
+    return counts

@@ -1,0 +1,97 @@
+"""Resale-market analyses (§4.3.3, Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import units
+from repro.chain.blockchain import Blockchain
+from repro.chain.crypto import Address
+from repro.chain.transactions import TransferHotspot
+from repro.errors import AnalysisError
+
+__all__ = ["ResaleStats", "resale_stats", "transfers_over_time", "top_traders"]
+
+
+@dataclass(frozen=True)
+class ResaleStats:
+    """Figure 7a + §4.3.3 headline numbers."""
+
+    total_transfers: int
+    hotspots_transferred: int
+    transfers_per_hotspot: Dict[int, int]
+    transferred_fraction_of_fleet: float
+    at_most_two_transfers_fraction: float
+    zero_dc_fraction: float
+
+
+def resale_stats(chain: Blockchain) -> ResaleStats:
+    """Transfer counts, repeat-transfer distribution, 0-DC share."""
+    per_hotspot: Dict[Address, int] = {}
+    zero_dc = 0
+    total = 0
+    for _, txn in chain.iter_transactions(TransferHotspot):
+        per_hotspot[txn.gateway] = per_hotspot.get(txn.gateway, 0) + 1
+        total += 1
+        if txn.amount_dc == 0:
+            zero_dc += 1
+    if total == 0:
+        raise AnalysisError("no transfer_hotspot transactions on chain")
+    histogram: Dict[int, int] = {}
+    for count in per_hotspot.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    transferred = len(per_hotspot)
+    fleet = chain.ledger.hotspot_count
+    return ResaleStats(
+        total_transfers=total,
+        hotspots_transferred=transferred,
+        transfers_per_hotspot=dict(sorted(histogram.items())),
+        transferred_fraction_of_fleet=transferred / fleet if fleet else 0.0,
+        at_most_two_transfers_fraction=sum(
+            v for k, v in histogram.items() if k <= 2
+        ) / transferred,
+        zero_dc_fraction=zero_dc / total,
+    )
+
+
+def transfers_over_time(
+    chain: Blockchain, bucket_days: int = 30
+) -> List[Tuple[int, int]]:
+    """Figure 7c: (bucket start day, transfer count) time series."""
+    buckets: Dict[int, int] = {}
+    for height, _ in chain.iter_transactions(TransferHotspot):
+        day = height // units.BLOCKS_PER_DAY
+        bucket = (day // bucket_days) * bucket_days
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    return sorted(buckets.items())
+
+
+@dataclass(frozen=True)
+class TraderActivity:
+    """One wallet's buy/sell volume (Figure 7b)."""
+
+    owner: Address
+    bought: int
+    sold: int
+
+    @property
+    def total(self) -> int:
+        """Combined transfer participation."""
+        return self.bought + self.sold
+
+
+def top_traders(chain: Blockchain, top_n: int = 200) -> List[TraderActivity]:
+    """Figure 7b: the most active transfer participants."""
+    bought: Dict[Address, int] = {}
+    sold: Dict[Address, int] = {}
+    for _, txn in chain.iter_transactions(TransferHotspot):
+        bought[txn.buyer] = bought.get(txn.buyer, 0) + 1
+        sold[txn.seller] = sold.get(txn.seller, 0) + 1
+    owners = set(bought) | set(sold)
+    activity = [
+        TraderActivity(owner=o, bought=bought.get(o, 0), sold=sold.get(o, 0))
+        for o in owners
+    ]
+    activity.sort(key=lambda a: -a.total)
+    return activity[:top_n]

@@ -1,0 +1,165 @@
+"""Reward-economics analyses: earnings distribution and payback time.
+
+Footnote 1 of the paper: "Hotspots pay for themselves in a few weeks, but
+we do not view the current valuation of the HNT token as sustainable if
+the paying user base does not grow as well." These analyses quantify
+both halves: per-hotspot earnings over time, the payback distribution at
+prevailing prices, and the speculative ratio (coverage rewards vs data
+revenue) behind the sustainability worry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.chain.blockchain import Blockchain
+from repro.chain.crypto import Address
+from repro.chain.transactions import Rewards, RewardType
+from repro.errors import AnalysisError
+
+__all__ = [
+    "EarningsStats",
+    "hotspot_earnings",
+    "PaybackStats",
+    "payback_analysis",
+    "speculation_ratio",
+]
+
+
+@dataclass(frozen=True)
+class EarningsStats:
+    """Distribution of lifetime HNT earnings across hotspots."""
+
+    n_hotspots: int
+    total_hnt: float
+    median_hnt: float
+    p90_hnt: float
+    max_hnt: float
+    by_reward_type_hnt: Dict[str, float]
+
+
+def hotspot_earnings(chain: Blockchain) -> EarningsStats:
+    """Lifetime earnings per hotspot, plus the split by reward class."""
+    per_gateway: Dict[Address, int] = {}
+    by_type: Dict[str, int] = {}
+    for _, txn in chain.iter_transactions(Rewards):
+        for share in txn.shares:
+            by_type[share.reward_type.value] = (
+                by_type.get(share.reward_type.value, 0) + share.amount_bones
+            )
+            if share.gateway is not None:
+                per_gateway[share.gateway] = (
+                    per_gateway.get(share.gateway, 0) + share.amount_bones
+                )
+    if not per_gateway:
+        raise AnalysisError("no gateway rewards on chain")
+    values = np.sort(np.array(
+        [units.bones_to_hnt(b) for b in per_gateway.values()]
+    ))
+    return EarningsStats(
+        n_hotspots=len(values),
+        total_hnt=float(values.sum()),
+        median_hnt=float(np.median(values)),
+        p90_hnt=float(np.percentile(values, 90)),
+        max_hnt=float(values[-1]),
+        by_reward_type_hnt={
+            k: units.bones_to_hnt(v) for k, v in by_type.items()
+        },
+    )
+
+
+@dataclass(frozen=True)
+class PaybackStats:
+    """Footnote 1: how fast a hotspot pays for itself."""
+
+    hotspot_cost_usd: float
+    hnt_price_usd: float
+    n_hotspots: int
+    median_payback_days: float
+    p25_payback_days: float
+    paid_back_fraction: float  # within the observed window
+
+
+def payback_analysis(
+    chain: Blockchain,
+    hnt_price_usd: float,
+    hotspot_cost_usd: float = 400.0,
+    scale_factor: Optional[float] = None,
+) -> PaybackStats:
+    """Time-to-payback per hotspot at a given HNT price.
+
+    Walks reward transactions in chain order, accumulating USD value per
+    gateway, and records the block at which each crosses the hardware
+    cost. ``scale_factor`` descales per-hotspot earnings for scaled-down
+    simulations (emission scales with the fleet, so per-hotspot earnings
+    are scale-invariant already; pass None normally).
+    """
+    if hnt_price_usd <= 0 or hotspot_cost_usd <= 0:
+        raise AnalysisError("price and cost must be positive")
+    added_block: Dict[Address, int] = {
+        g: r.added_block for g, r in chain.ledger.hotspots.items()
+    }
+    cumulative: Dict[Address, float] = {}
+    payback_block: Dict[Address, int] = {}
+    factor = 1.0 if not scale_factor else 1.0
+    for height, txn in chain.iter_transactions(Rewards):
+        for share in txn.shares:
+            if share.gateway is None:
+                continue
+            value = units.bones_to_hnt(share.amount_bones) * hnt_price_usd * factor
+            total = cumulative.get(share.gateway, 0.0) + value
+            cumulative[share.gateway] = total
+            if total >= hotspot_cost_usd and share.gateway not in payback_block:
+                payback_block[share.gateway] = height
+    if not added_block:
+        raise AnalysisError("no hotspots on chain")
+    payback_days: List[float] = []
+    for gateway, block in payback_block.items():
+        start = added_block.get(gateway, 0)
+        payback_days.append((block - start) / units.BLOCKS_PER_DAY)
+    if not payback_days:
+        return PaybackStats(
+            hotspot_cost_usd=hotspot_cost_usd,
+            hnt_price_usd=hnt_price_usd,
+            n_hotspots=len(added_block),
+            median_payback_days=float("inf"),
+            p25_payback_days=float("inf"),
+            paid_back_fraction=0.0,
+        )
+    array = np.sort(np.array(payback_days))
+    return PaybackStats(
+        hotspot_cost_usd=hotspot_cost_usd,
+        hnt_price_usd=hnt_price_usd,
+        n_hotspots=len(added_block),
+        median_payback_days=float(np.median(array)),
+        p25_payback_days=float(np.percentile(array, 25)),
+        paid_back_fraction=len(array) / len(added_block),
+    )
+
+
+def speculation_ratio(chain: Blockchain) -> float:
+    """Coverage-reward HNT per data-transfer HNT (the §5 imbalance).
+
+    A large ratio is the paper's "more hotspot activity than user
+    activity": the network pays far more for *being there* than for
+    *carrying data*.
+    """
+    coverage = 0
+    data = 0
+    for _, txn in chain.iter_transactions(Rewards):
+        for share in txn.shares:
+            if share.reward_type in (
+                RewardType.POC_CHALLENGER,
+                RewardType.POC_CHALLENGEE,
+                RewardType.POC_WITNESS,
+            ):
+                coverage += share.amount_bones
+            elif share.reward_type is RewardType.DATA_TRANSFER:
+                data += share.amount_bones
+    if data == 0:
+        raise AnalysisError("no data-transfer rewards on chain")
+    return coverage / data

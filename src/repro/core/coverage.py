@@ -1,0 +1,593 @@
+"""Incentive-derived coverage models (§8.2.1).
+
+"As Helium lacks clear, radio-oriented coverage maps, we develop and test
+coverage models based on network incentives." The progression:
+
+1. :class:`ExplorerDotMap` — what explorer.helium.com shows: dots, not
+   coverage (Figure 12a). Provides counts, deliberately no area.
+2. :class:`DiskModel` — HIP 15 implies a hotspot covers a 300 m radius;
+   0.09295 % of the contiguous US (Figure 12b).
+3. :class:`HullModel` — convex hulls around each challengee and its
+   valid witnesses (Figure 12c); optionally dropping witnesses beyond a
+   25 km plausibility cutoff (Figure 12d, 0.5723 %).
+4. :class:`RevisedModel` — hulls plus radial coverage at each hull
+   vertex (radius = vertex→challengee distance) grown by the inverse-
+   FSPL RSSI term d = 10^((w−s)/20) (Figure 12e, 3.3032 %).
+
+Union areas are computed with an unbiased within-shape sampling
+estimator: for shape i, the fraction of its own uniform samples whose
+lowest-index covering shape is i, times its area, sums to the union area
+— exact in expectation and cheap even for thousands of overlapping
+shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, GeoError
+from repro.geo.geodesy import LatLon, destination
+from repro.geo.landmass import Landmass
+from repro.geo.polygon import Polygon, convex_hull, disk_area_km2
+from repro.radio.propagation import FSPL_SENSITIVITY_DBM, fspl_range_growth_m
+
+__all__ = [
+    "WitnessGeometry",
+    "build_witness_geometry",
+    "Shape",
+    "Disk",
+    "HullShape",
+    "CoverageEstimate",
+    "CoverageModel",
+    "ExplorerDotMap",
+    "DiskModel",
+    "HullModel",
+    "RevisedModel",
+    "PredictionScore",
+    "prediction_accuracy",
+]
+
+
+# --------------------------------------------------------------------------
+# Witness geometry extraction
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WitnessGeometry:
+    """One challenge reduced to the geometry the coverage models use."""
+
+    challengee: LatLon
+    #: (witness location, witness distance km, witness RSSI dBm) for each
+    #: chain-valid witness.
+    witnesses: Tuple[Tuple[LatLon, float, float], ...]
+
+
+def build_witness_geometry(
+    receipts: Iterable,
+    locate,
+    max_witness_km: Optional[float] = None,
+) -> List[WitnessGeometry]:
+    """Convert PoC receipts into witness geometries.
+
+    Args:
+        receipts: :class:`~repro.chain.transactions.PocReceipts` objects.
+        locate: callable mapping a hex token to :class:`LatLon` (usually
+            ``HexCell.from_token(...).center()``; injected so analyses can
+            substitute historical ledgers).
+        max_witness_km: optional plausibility cutoff — witnesses farther
+            than this from the challengee are dropped (the paper's 25 km
+            refinement).
+    """
+    geometries: List[WitnessGeometry] = []
+    for receipt in receipts:
+        challengee = locate(receipt.challengee_location_token)
+        if challengee is None:
+            continue
+        witnesses: List[Tuple[LatLon, float, float]] = []
+        for report in receipt.witnesses:
+            if not report.is_valid:
+                continue
+            location = locate(report.reported_location_token)
+            if location is None:
+                continue
+            distance = challengee.distance_km(location)
+            if max_witness_km is not None and distance > max_witness_km:
+                continue
+            witnesses.append((location, distance, report.rssi_dbm))
+        geometries.append(WitnessGeometry(
+            challengee=challengee, witnesses=tuple(witnesses)
+        ))
+    return geometries
+
+
+# --------------------------------------------------------------------------
+# Shapes
+# --------------------------------------------------------------------------
+
+
+class Shape:
+    """A covered region: supports contains/area/sample/extent."""
+
+    def contains(self, point: LatLon) -> bool:
+        raise NotImplementedError
+
+    def area_km2(self) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> LatLon:
+        """A uniform point inside the shape."""
+        raise NotImplementedError
+
+    @property
+    def centroid(self) -> LatLon:
+        raise NotImplementedError
+
+    @property
+    def extent_km(self) -> float:
+        """Max distance from centroid to any covered point."""
+        raise NotImplementedError
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """(south, west, north, east) bounding box of the shape."""
+        center = self.centroid
+        pad_lat = self.extent_km / 110.574
+        cos_lat = max(math.cos(math.radians(center.lat)), 0.05)
+        pad_lon = self.extent_km / (111.320 * cos_lat)
+        return (
+            center.lat - pad_lat,
+            center.lon - pad_lon,
+            center.lat + pad_lat,
+            center.lon + pad_lon,
+        )
+
+
+class _ShapeBinIndex:
+    """Bbox-binned index: point query touches exactly one bin.
+
+    Shapes register in every grid bin their bounding box overlaps, so a
+    point lookup is a single dict access plus exact contains tests —
+    independent of the largest shape's extent (a global-radius search
+    over thousands of overlapping hulls would be quadratic in practice).
+    """
+
+    def __init__(self, shapes: Sequence[Shape], bin_deg: float = 0.25) -> None:
+        self.bin_deg = bin_deg
+        self._bins: Dict[Tuple[int, int], List[int]] = {}
+        for index, shape in enumerate(shapes):
+            south, west, north, east = shape.bbox()
+            lat_lo = int(math.floor(south / bin_deg))
+            lat_hi = int(math.floor(north / bin_deg))
+            lon_lo = int(math.floor(west / bin_deg))
+            lon_hi = int(math.floor(east / bin_deg))
+            for lat_bin in range(lat_lo, lat_hi + 1):
+                for lon_bin in range(lon_lo, lon_hi + 1):
+                    self._bins.setdefault((lat_bin, lon_bin), []).append(index)
+
+    def candidates(self, point: LatLon) -> List[int]:
+        """Shape indices whose bbox bin contains ``point``."""
+        key = (
+            int(math.floor(point.lat / self.bin_deg)),
+            int(math.floor(point.lon / self.bin_deg)),
+        )
+        return self._bins.get(key, [])
+
+
+@dataclass(frozen=True)
+class Disk(Shape):
+    """A great-circle disk."""
+
+    center: LatLon
+    radius_km: float
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise GeoError(f"disk radius must be positive: {self.radius_km}")
+
+    def contains(self, point: LatLon) -> bool:
+        return self.center.distance_km(point) <= self.radius_km
+
+    def area_km2(self) -> float:
+        return disk_area_km2(self.radius_km)
+
+    def sample(self, rng: np.random.Generator) -> LatLon:
+        radius = self.radius_km * math.sqrt(float(rng.random()))
+        return destination(self.center, float(rng.uniform(0, 360)), radius)
+
+    @property
+    def centroid(self) -> LatLon:
+        return self.center
+
+    @property
+    def extent_km(self) -> float:
+        return self.radius_km
+
+
+class HullShape(Shape):
+    """A convex hull, sampled via fan triangulation."""
+
+    def __init__(self, polygon: Polygon) -> None:
+        self.polygon = polygon
+        self._centroid = polygon.centroid()
+        self._extent = polygon.max_radius_km()
+        self._area = polygon.area_km2()
+        self._triangles = self._triangulate()
+
+    def _triangulate(self) -> List[Tuple[LatLon, LatLon, LatLon, float]]:
+        vertices = self.polygon.vertices
+        anchor = vertices[0]
+        triangles = []
+        for i in range(1, len(vertices) - 1):
+            b, c = vertices[i], vertices[i + 1]
+            area = _triangle_area_km2(anchor, b, c)
+            triangles.append((anchor, b, c, area))
+        return triangles
+
+    def contains(self, point: LatLon) -> bool:
+        return self.polygon.contains(point)
+
+    def area_km2(self) -> float:
+        return self._area
+
+    def sample(self, rng: np.random.Generator) -> LatLon:
+        areas = [t[3] for t in self._triangles]
+        total = sum(areas)
+        if total <= 0:
+            return self._centroid
+        roll = float(rng.random()) * total
+        cumulative = 0.0
+        chosen = self._triangles[-1]
+        for triangle in self._triangles:
+            cumulative += triangle[3]
+            if roll <= cumulative:
+                chosen = triangle
+                break
+        a, b, c, _ = chosen
+        u, v = float(rng.random()), float(rng.random())
+        if u + v > 1.0:
+            u, v = 1.0 - u, 1.0 - v
+        lat = a.lat + u * (b.lat - a.lat) + v * (c.lat - a.lat)
+        lon = a.lon + u * (b.lon - a.lon) + v * (c.lon - a.lon)
+        return LatLon(lat, lon)
+
+    @property
+    def centroid(self) -> LatLon:
+        return self._centroid
+
+    @property
+    def extent_km(self) -> float:
+        return self._extent
+
+
+def _triangle_area_km2(a: LatLon, b: LatLon, c: LatLon) -> float:
+    """Planar triangle area on the local tangent plane (km²)."""
+    from repro.geo.geodesy import local_project_km
+
+    (x1, y1), (x2, y2), (x3, y3) = local_project_km([a, b, c], a)
+    return abs((x2 - x1) * (y3 - y1) - (x3 - x1) * (y2 - y1)) / 2.0
+
+
+# --------------------------------------------------------------------------
+# Models
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CoverageEstimate:
+    """Result of evaluating one coverage model against a landmass."""
+
+    model: str
+    n_shapes: int
+    union_area_km2: float
+    landmass_fraction: float
+    #: Fraction descaled to the real fleet size (≈ linear in the sparse
+    #: regime; None when no scale factor was supplied).
+    descaled_fraction: Optional[float] = None
+    #: Area contribution by shape class (hull / radial / rssi), Fig 12e.
+    breakdown_km2: Dict[str, float] = field(default_factory=dict)
+
+
+class CoverageModel:
+    """Base: a set of shapes plus union-area machinery."""
+
+    name = "base"
+
+    def __init__(self, shapes: Sequence[Shape], tags: Optional[Sequence[str]] = None):
+        self.shapes: List[Shape] = list(shapes)
+        self.tags: List[str] = list(tags) if tags is not None else ["shape"] * len(self.shapes)
+        if len(self.tags) != len(self.shapes):
+            raise AnalysisError("tags must align with shapes")
+        self._index = _ShapeBinIndex(self.shapes)
+
+    # -- point queries ------------------------------------------------------
+
+    def covering_shapes(self, point: LatLon) -> List[int]:
+        """Indices of shapes containing ``point``, ascending."""
+        if not self.shapes:
+            return []
+        return sorted(
+            i for i in self._index.candidates(point)
+            if self.shapes[i].contains(point)
+        )
+
+    def first_covering(self, point: LatLon) -> Optional[int]:
+        """Lowest index of a covering shape, or None (fast path).
+
+        Bin candidate lists are built in ascending index order, so the
+        first containing candidate is the answer — under heavy overlap
+        this terminates after a handful of tests.
+        """
+        for i in self._index.candidates(point):
+            if self.shapes[i].contains(point):
+                return i
+        return None
+
+    def covers(self, point: LatLon) -> bool:
+        """Whether the model predicts coverage at ``point``."""
+        return bool(self.covering_shapes(point))
+
+    # -- union area ----------------------------------------------------------
+
+    def union_area_km2(
+        self, rng: np.random.Generator, samples_per_shape: int = 24
+    ) -> Tuple[float, Dict[str, float]]:
+        """Unbiased union area and per-tag breakdown.
+
+        For each shape, uniform interior samples are credited to the
+        *lowest-index* covering shape; the shape's area times its
+        credited fraction contributes to the union. Summed over shapes
+        this is exactly the area of the union, in expectation.
+        """
+        total = 0.0
+        by_tag: Dict[str, float] = {}
+        for i, shape in enumerate(self.shapes):
+            credited = 0
+            for _ in range(samples_per_shape):
+                point = shape.sample(rng)
+                owner = self.first_covering(point)
+                if owner is None or owner == i:
+                    credited += 1
+            contribution = shape.area_km2() * credited / samples_per_shape
+            total += contribution
+            tag = self.tags[i]
+            by_tag[tag] = by_tag.get(tag, 0.0) + contribution
+        return total, by_tag
+
+    def landmass_fraction(
+        self,
+        landmass: Landmass,
+        rng: np.random.Generator,
+        samples_per_shape: int = 24,
+        scale_factor: Optional[float] = None,
+    ) -> CoverageEstimate:
+        """Fraction of ``landmass`` covered, with overseas area excluded.
+
+        Shapes centred outside the landmass bounding box are skipped;
+        samples landing off-landmass are not credited.
+        """
+        total = 0.0
+        by_tag: Dict[str, float] = {}
+        for i, shape in enumerate(self.shapes):
+            if not landmass.contains(shape.centroid):
+                continue
+            credited = 0
+            for _ in range(samples_per_shape):
+                point = shape.sample(rng)
+                if not landmass.contains(point):
+                    continue
+                owner = self.first_covering(point)
+                if owner is None or owner == i:
+                    credited += 1
+            contribution = shape.area_km2() * credited / samples_per_shape
+            total += contribution
+            tag = self.tags[i]
+            by_tag[tag] = by_tag.get(tag, 0.0) + contribution
+        fraction = total / landmass.area_km2
+        descaled = None
+        if scale_factor is not None and scale_factor > 0:
+            descaled = min(fraction / scale_factor, 1.0)
+        return CoverageEstimate(
+            model=self.name,
+            n_shapes=len(self.shapes),
+            union_area_km2=total,
+            landmass_fraction=fraction,
+            descaled_fraction=descaled,
+            breakdown_km2=by_tag,
+        )
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """A coverage model scored against field ground truth (§8.2.2)."""
+
+    model: str
+    packets: int
+    predicted_covered: int
+    #: P(received | model says covered) — the paper's "in-radius" score.
+    covered_received_fraction: float
+    #: P(missed | model says uncovered) — the "out-of-radius" score.
+    uncovered_missed_fraction: float
+    #: Plain accuracy: fraction of packets whose outcome the model got right.
+    accuracy: float
+
+
+def prediction_accuracy(model: CoverageModel, records) -> PredictionScore:
+    """Score any coverage model against walk/stationary ground truth.
+
+    Generalises the paper's HIP-15 scoring ("Predicting reception when
+    within 300 m of a hotspot is accurate 55.5 % of the time...") to the
+    whole model family: for each transmitted packet, compare the model's
+    covered/uncovered verdict at the transmit location against whether
+    the cloud actually received it.
+
+    Args:
+        model: any :class:`CoverageModel`.
+        records: :class:`~repro.lorawan.network.TransmissionRecord`s.
+    """
+    if not records:
+        raise AnalysisError("no transmission records to score against")
+    covered_received = covered_total = 0
+    uncovered_missed = uncovered_total = 0
+    for record in records:
+        covered = model.covers(record.device_location)
+        if covered:
+            covered_total += 1
+            covered_received += record.delivered_to_cloud
+        else:
+            uncovered_total += 1
+            uncovered_missed += not record.delivered_to_cloud
+    correct = covered_received + uncovered_missed
+    return PredictionScore(
+        model=model.name,
+        packets=len(records),
+        predicted_covered=covered_total,
+        covered_received_fraction=(
+            covered_received / covered_total if covered_total else 0.0
+        ),
+        uncovered_missed_fraction=(
+            uncovered_missed / uncovered_total if uncovered_total else 0.0
+        ),
+        accuracy=correct / len(records),
+    )
+
+
+class ExplorerDotMap:
+    """Figure 12a: the explorer's dot map — hotspot counts, no area.
+
+    The paper's criticism is that dots "always render at the same size",
+    so the class deliberately offers no area method.
+    """
+
+    def __init__(self, online: Sequence[LatLon], offline: Sequence[LatLon]):
+        self.online = list(online)
+        self.offline = list(offline)
+
+    @property
+    def n_online(self) -> int:
+        """Green dots."""
+        return len(self.online)
+
+    @property
+    def n_offline(self) -> int:
+        """Red dots."""
+        return len(self.offline)
+
+
+class DiskModel(CoverageModel):
+    """Figure 12b: HIP-15-implied 300 m disks around each hotspot."""
+
+    name = "disk-300m"
+
+    def __init__(self, hotspots: Sequence[LatLon], radius_km: float = 0.3):
+        shapes = [Disk(h, radius_km) for h in hotspots]
+        super().__init__(shapes, ["disk"] * len(shapes))
+        self.radius_km = radius_km
+
+
+def _dedup_hulls(
+    geometries: Sequence[WitnessGeometry],
+    max_witness_km: Optional[float],
+) -> List[HullShape]:
+    """Build hull shapes, collapsing repeated point sets.
+
+    The same challengee is challenged many times with the same witnesses;
+    identical point sets give identical hulls, so deduplication changes
+    nothing about the union while cutting shape count dramatically.
+    """
+    shapes: List[HullShape] = []
+    seen = set()
+    for geometry in geometries:
+        points = [geometry.challengee] + [
+            w[0] for w in geometry.witnesses
+            if max_witness_km is None or w[1] <= max_witness_km
+        ]
+        key = frozenset(
+            (round(p.lat, 5), round(p.lon, 5)) for p in points
+        )
+        if len(key) < 3 or key in seen:
+            continue
+        seen.add(key)
+        try:
+            shapes.append(HullShape(convex_hull(points)))
+        except GeoError:
+            continue  # collinear witnesses: degenerate hull
+    return shapes
+
+
+class HullModel(CoverageModel):
+    """Figures 12c/12d: convex hulls of challengee + valid witnesses.
+
+    Challenges with fewer than three distinct points contribute nothing
+    (a lone witness pair has no interior); repeated identical point sets
+    are collapsed (same union, far fewer shapes).
+    """
+
+    name = "witness-hulls"
+
+    def __init__(
+        self,
+        geometries: Sequence[WitnessGeometry],
+        max_witness_km: Optional[float] = None,
+    ):
+        shapes = _dedup_hulls(geometries, max_witness_km)
+        super().__init__(list(shapes), ["hull"] * len(shapes))
+        self.max_witness_km = max_witness_km
+        if max_witness_km is not None:
+            self.name = f"witness-hulls-{int(max_witness_km)}km"
+
+
+class RevisedModel(CoverageModel):
+    """Figure 12e: hulls + vertex radial disks + RSSI growth.
+
+    Every witness inside the cutoff contributes a disk of radius equal to
+    its distance from the challengee (radial term, the paper's yellow)
+    grown by the inverse-FSPL RSSI term (red trim):
+    d = 10^((w − s)/20) metres.
+
+    Two union-preserving reductions keep the shape count tractable:
+    repeated hull point sets are collapsed, and concentric disks at one
+    witness location union to the single largest disk — so the model
+    keeps one grown disk per witness site (tagged ``radial``). The RSSI
+    trim's standalone area (tiny: +20 m at the median RSSI) is reported
+    analytically in :attr:`rssi_ring_area_km2`.
+    """
+
+    name = "revised"
+
+    def __init__(
+        self,
+        geometries: Sequence[WitnessGeometry],
+        max_witness_km: float = 25.0,
+        sensitivity_dbm: float = FSPL_SENSITIVITY_DBM,
+    ):
+        hulls = _dedup_hulls(geometries, max_witness_km)
+        shapes: List[Shape] = list(hulls)
+        tags: List[str] = ["hull"] * len(hulls)
+
+        # One disk per witness site: the max grown radius seen there.
+        best_radius: Dict[Tuple[float, float], Tuple[LatLon, float]] = {}
+        rssi_ring_area = 0.0
+        for geometry in geometries:
+            for location, distance, rssi in geometry.witnesses:
+                if distance > max_witness_km:
+                    continue
+                radial = max(distance, 0.05)
+                growth_km = fspl_range_growth_m(rssi, sensitivity_dbm) / 1000.0
+                grown = radial + max(growth_km, 0.0)
+                rssi_ring_area += disk_area_km2(grown) - disk_area_km2(radial)
+                key = (round(location.lat, 5), round(location.lon, 5))
+                current = best_radius.get(key)
+                if current is None or grown > current[1]:
+                    best_radius[key] = (location, grown)
+        for location, radius in best_radius.values():
+            shapes.append(Disk(location, radius))
+            tags.append("radial")
+        super().__init__(shapes, tags)
+        self.max_witness_km = max_witness_km
+        self.sensitivity_dbm = sensitivity_dbm
+        #: Analytic (overlap-ignoring) area of the RSSI growth rings.
+        self.rssi_ring_area_km2 = rssi_ring_area

@@ -1,0 +1,13 @@
+"""Crypto-economic machinery: HNT emission, reward splits, DC, prices.
+
+The paper treats the economics as background (§2.4) but several analyses
+hinge on it: the HIP 10 arbitrage episode (§5.3.2) exists *because* data
+rewards were once pro-rata in a fixed pool while data cost was fixed in
+USD; the owner-class analysis (§4.3) keys off HNT balances; coverage
+incentives (§2.3, §7) are denominated in epoch reward shares.
+"""
+
+from repro.economics.oracle import PriceOracle
+from repro.economics.rewards import EpochActivity, RewardEngine, RewardSplit
+
+__all__ = ["PriceOracle", "RewardEngine", "RewardSplit", "EpochActivity"]

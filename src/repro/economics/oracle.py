@@ -1,0 +1,69 @@
+"""HNT price oracle.
+
+HNT "value has ranged from $8.32–19.70 USD in the month of May, 2021"
+(§2.4). The simulation uses a bounded geometric random walk with an
+upward drift from Helium's 2019 launch prices (sub-$1) into the paper's
+May-2021 band, which is all the fidelity the DC-burn and arbitrage
+analyses need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["PriceOracle"]
+
+
+class PriceOracle:
+    """Daily HNT/USD price series.
+
+    Args:
+        rng: random stream for the walk.
+        initial_price_usd: launch price.
+        drift_per_day: multiplicative drift of the geometric walk.
+        volatility: daily lognormal sigma.
+        floor_usd / cap_usd: hard bounds keeping the walk in a plausible
+            band (speculative blow-ups are out of scope, §2.4).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        initial_price_usd: float = 0.25,
+        drift_per_day: float = 1.006,
+        volatility: float = 0.05,
+        floor_usd: float = 0.05,
+        cap_usd: float = 20.0,
+    ) -> None:
+        if initial_price_usd <= 0:
+            raise SimulationError(f"initial price must be positive: {initial_price_usd}")
+        if floor_usd <= 0 or cap_usd <= floor_usd:
+            raise SimulationError(
+                f"need 0 < floor < cap, got floor={floor_usd}, cap={cap_usd}"
+            )
+        self._rng = rng
+        self._prices: List[float] = [min(max(initial_price_usd, floor_usd), cap_usd)]
+        self.drift_per_day = drift_per_day
+        self.volatility = volatility
+        self.floor_usd = floor_usd
+        self.cap_usd = cap_usd
+
+    def price_on_day(self, day: int) -> float:
+        """Price on simulation day ``day`` (extends the walk as needed)."""
+        if day < 0:
+            raise SimulationError(f"day must be non-negative, got {day}")
+        while len(self._prices) <= day:
+            shock = math.exp(float(self._rng.normal(0.0, self.volatility)))
+            nxt = self._prices[-1] * self.drift_per_day * shock
+            self._prices.append(min(max(nxt, self.floor_usd), self.cap_usd))
+        return self._prices[day]
+
+    def series(self, days: int) -> List[float]:
+        """The first ``days`` daily prices."""
+        self.price_on_day(max(days - 1, 0))
+        return self._prices[:days]

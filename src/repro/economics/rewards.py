@@ -1,0 +1,280 @@
+"""Epoch reward computation, including the HIP 10 cap.
+
+Every epoch the chain mints a fixed amount of HNT and splits it across
+activity classes. The split used for the period under study (and the one
+fact the paper states outright — "Every epoch, 32.5 % of newly minted HNT
+was divided among hotspots that ferried data, in proportion to the amount
+of data they carried", §5.3.2) is encoded in :class:`RewardSplit`.
+
+The HIP 10 story, which produced "the largest sustained volume of data
+traffic carried by the Helium network to date":
+
+* **Pre-HIP 10** — the data pool is split pro rata by packets carried,
+  independent of what the packets were worth in DC. Since DC cost is
+  fixed in USD and HNT floats, spamming packets to yourself could yield
+  more HNT than the DC you burned: an arbitrage.
+* **Post-HIP 10** — each hotspot's data reward is capped at the
+  HNT-equivalent of the DC it actually moved; surplus returns to the PoC
+  pools. The arbitrage margin collapses to ≤ 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro import units
+from repro.chain.crypto import Address
+from repro.chain.transactions import Rewards, RewardShare, RewardType
+from repro.errors import SimulationError
+
+__all__ = ["RewardSplit", "EpochActivity", "PocEvent", "RewardEngine"]
+
+
+@dataclass(frozen=True)
+class RewardSplit:
+    """Fractions of each epoch's minted HNT by activity class.
+
+    Defaults follow the mid-2020/2021 Helium schedule; they sum to 1.
+    """
+
+    securities: float = 0.34
+    data_transfer: float = 0.325
+    poc_challengees: float = 0.0531
+    poc_witnesses: float = 0.2124
+    poc_challengers: float = 0.0095
+    consensus: float = 0.06
+
+    def __post_init__(self) -> None:
+        total = (
+            self.securities
+            + self.data_transfer
+            + self.poc_challengees
+            + self.poc_witnesses
+            + self.poc_challengers
+            + self.consensus
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(f"reward split must sum to 1, got {total}")
+
+
+@dataclass(frozen=True)
+class PocEvent:
+    """A completed PoC challenge, reduced to what rewards need."""
+
+    challenger: Address
+    challenger_owner: Address
+    challengee: Address
+    challengee_owner: Address
+    #: (witness gateway, witness owner) for each *valid* witness.
+    witnesses: Tuple[Tuple[Address, Address], ...] = ()
+
+
+@dataclass
+class EpochActivity:
+    """Everything that earned rewards during one epoch."""
+
+    epoch_start_block: int
+    epoch_end_block: int
+    poc_events: List[PocEvent] = field(default_factory=list)
+    #: (gateway, owner) → packets ferried during the epoch.
+    data_packets: Dict[Tuple[Address, Address], int] = field(default_factory=dict)
+    #: (gateway, owner) → DC paid for those packets.
+    data_dcs: Dict[Tuple[Address, Address], int] = field(default_factory=dict)
+    #: consensus-group member owners for the epoch.
+    consensus_members: List[Address] = field(default_factory=list)
+    #: security-token holders (Helium investors); rewarded from the
+    #: securities pool. The analyses never inspect these, but dropping
+    #: the pool would inflate every other class by a third.
+    security_holders: List[Address] = field(default_factory=list)
+
+
+class RewardEngine:
+    """Turns an :class:`EpochActivity` into a :class:`Rewards` transaction."""
+
+    def __init__(
+        self,
+        split: RewardSplit = RewardSplit(),
+        hip10_cap: bool = True,
+        max_witnesses_rewarded: int = 4,
+    ) -> None:
+        self.split = split
+        self.hip10_cap = hip10_cap
+        self.max_witnesses_rewarded = max_witnesses_rewarded
+
+    def compute(
+        self,
+        activity: EpochActivity,
+        epoch_hnt: float,
+        hnt_price_usd: float,
+    ) -> Rewards:
+        """Mint one epoch's rewards.
+
+        Args:
+            activity: what happened during the epoch.
+            epoch_hnt: whole HNT minted this epoch.
+            hnt_price_usd: oracle price, used by the HIP 10 cap to convert
+                DC value into HNT.
+        """
+        if epoch_hnt < 0:
+            raise SimulationError(f"epoch emission cannot be negative: {epoch_hnt}")
+        shares: List[RewardShare] = []
+        total_bones = units.hnt_to_bones(epoch_hnt)
+
+        shares.extend(self._poc_shares(activity, total_bones))
+        data_shares, data_surplus = self._data_shares(
+            activity, total_bones, hnt_price_usd
+        )
+        shares.extend(data_shares)
+        # HIP 10: surplus from capped data rewards flows back to PoC
+        # participants pro rata (modelled as a witness-pool top-up).
+        if data_surplus > 0:
+            shares.extend(
+                self._surplus_shares(activity, data_surplus)
+            )
+        shares.extend(self._flat_shares(
+            activity.consensus_members,
+            int(total_bones * self.split.consensus),
+            RewardType.CONSENSUS,
+        ))
+        shares.extend(self._flat_shares(
+            activity.security_holders,
+            int(total_bones * self.split.securities),
+            RewardType.SECURITY,
+        ))
+        return Rewards(
+            epoch_start_block=activity.epoch_start_block,
+            epoch_end_block=activity.epoch_end_block,
+            shares=tuple(s for s in shares if s.amount_bones > 0),
+        )
+
+    # -- pools -------------------------------------------------------------
+
+    def _poc_shares(
+        self, activity: EpochActivity, total_bones: int
+    ) -> List[RewardShare]:
+        events = activity.poc_events
+        if not events:
+            return []
+        challenger_pool = int(total_bones * self.split.poc_challengers)
+        challengee_pool = int(total_bones * self.split.poc_challengees)
+        witness_pool = int(total_bones * self.split.poc_witnesses)
+
+        shares: List[RewardShare] = []
+        # Challenger rewards are fixed per challenge (§2.3).
+        per_challenge = challenger_pool // len(events)
+        for event in events:
+            shares.append(RewardShare(
+                account=event.challenger_owner,
+                gateway=event.challenger,
+                amount_bones=per_challenge,
+                reward_type=RewardType.POC_CHALLENGER,
+            ))
+
+        # Challengee rewards scale with witness quality ("more witnesses
+        # are better", §2.3): weight 1 + min(n_witnesses, cap).
+        challengee_weights = [
+            1.0 + min(len(e.witnesses), self.max_witnesses_rewarded)
+            for e in events
+        ]
+        weight_sum = sum(challengee_weights)
+        for event, weight in zip(events, challengee_weights):
+            shares.append(RewardShare(
+                account=event.challengee_owner,
+                gateway=event.challengee,
+                amount_bones=int(challengee_pool * weight / weight_sum),
+                reward_type=RewardType.POC_CHALLENGEE,
+            ))
+
+        # Witness rewards: equal units per valid witness, decaying to zero
+        # beyond the per-challenge cap (density disincentive, §2.3).
+        witness_units: Dict[Tuple[Address, Address], float] = {}
+        for event in events:
+            for rank, (gateway, owner) in enumerate(event.witnesses):
+                unit = 1.0 if rank < self.max_witnesses_rewarded else 0.25
+                key = (gateway, owner)
+                witness_units[key] = witness_units.get(key, 0.0) + unit
+        unit_sum = sum(witness_units.values())
+        if unit_sum > 0:
+            for (gateway, owner), unit in witness_units.items():
+                shares.append(RewardShare(
+                    account=owner,
+                    gateway=gateway,
+                    amount_bones=int(witness_pool * unit / unit_sum),
+                    reward_type=RewardType.POC_WITNESS,
+                ))
+        return shares
+
+    def _data_shares(
+        self,
+        activity: EpochActivity,
+        total_bones: int,
+        hnt_price_usd: float,
+    ) -> Tuple[List[RewardShare], int]:
+        """Data-transfer pool; returns (shares, surplus_bones)."""
+        pool = int(total_bones * self.split.data_transfer)
+        packets = activity.data_packets
+        if not packets or pool == 0:
+            # No data moved: pre-HIP-10 chains re-allocated the pool to
+            # PoC (§5.3.2, "rewards ... were instead allocated to PoC").
+            return [], pool
+        total_packets = sum(packets.values())
+        shares: List[RewardShare] = []
+        surplus = 0
+        for key, count in packets.items():
+            gateway, owner = key
+            pro_rata = int(pool * count / total_packets)
+            amount = pro_rata
+            if self.hip10_cap:
+                dcs = activity.data_dcs.get(key, count)
+                dc_value_usd = units.dc_to_usd(dcs)
+                cap_bones = units.hnt_to_bones(dc_value_usd / hnt_price_usd)
+                if pro_rata > cap_bones:
+                    surplus += pro_rata - cap_bones
+                    amount = cap_bones
+            shares.append(RewardShare(
+                account=owner,
+                gateway=gateway,
+                amount_bones=amount,
+                reward_type=RewardType.DATA_TRANSFER,
+            ))
+        return shares, surplus
+
+    def _surplus_shares(
+        self, activity: EpochActivity, surplus_bones: int
+    ) -> List[RewardShare]:
+        """Return capped-data surplus to PoC witnesses pro rata."""
+        recipients: Dict[Tuple[Address, Address], int] = {}
+        for event in activity.poc_events:
+            for gateway, owner in event.witnesses:
+                key = (gateway, owner)
+                recipients[key] = recipients.get(key, 0) + 1
+        if not recipients:
+            return []
+        total = sum(recipients.values())
+        return [
+            RewardShare(
+                account=owner,
+                gateway=gateway,
+                amount_bones=int(surplus_bones * count / total),
+                reward_type=RewardType.POC_WITNESS,
+            )
+            for (gateway, owner), count in recipients.items()
+        ]
+
+    @staticmethod
+    def _flat_shares(
+        accounts: List[Address], pool_bones: int, reward_type: RewardType
+    ) -> List[RewardShare]:
+        if not accounts or pool_bones == 0:
+            return []
+        per_account = pool_bones // len(accounts)
+        return [
+            RewardShare(
+                account=account,
+                gateway=None,
+                amount_bones=per_account,
+                reward_type=reward_type,
+            )
+            for account in accounts
+        ]

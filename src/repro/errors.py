@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystem-specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeoError(ReproError):
+    """Invalid geospatial input (bad coordinates, resolution, polygon)."""
+
+
+class ChainError(ReproError):
+    """Blockchain-level failure (invalid block or inconsistent ledger)."""
+
+
+class TransactionError(ChainError):
+    """A transaction failed validation against the current ledger state."""
+
+
+class InsufficientFunds(TransactionError):
+    """A wallet lacked the HNT or DC required by a transaction."""
+
+
+class StateChannelError(ChainError):
+    """Invalid state-channel operation (overspend, double close, ...)."""
+
+
+class PocError(ReproError):
+    """Proof-of-Coverage protocol violation."""
+
+
+class LoraWanError(ReproError):
+    """LoRaWAN stack failure (join rejected, bad frame, no downlink slot)."""
+
+
+class JoinError(LoraWanError):
+    """Over-the-air activation failed (unknown device or bad key)."""
+
+
+class P2pError(ReproError):
+    """Peer-to-peer fabric failure (bad multiaddr, unknown peer)."""
+
+
+class MultiaddrError(P2pError):
+    """A multiaddr string could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """Scenario or simulation engine misconfiguration."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to run on data that cannot support it."""

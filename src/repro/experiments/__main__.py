@@ -1,0 +1,67 @@
+"""Run every experiment and print the paper-vs-measured comparison.
+
+Usage::
+
+    python -m repro.experiments                 # paper scenario, all
+    python -m repro.experiments fig12 fig13     # a subset
+    python -m repro.experiments --scenario small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.context import get_result
+from repro.experiments.registry import EXPERIMENTS, format_report, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="also write rows/series as JSON+CSV under DIR",
+    )
+    parser.add_argument(
+        "--figures", metavar="DIR", default=None,
+        help="also render the figures as SVG under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.ids or EXPERIMENTS.ids()
+    unknown = [i for i in ids if i not in EXPERIMENTS.ids()]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    print(f"building {args.scenario} scenario (seed {args.seed})...")
+    started = time.time()
+    result = get_result(args.scenario, args.seed)
+    print(f"scenario ready in {time.time() - started:.1f}s\n")
+
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, result)
+        print(format_report(report))
+        print()
+    if args.export:
+        from repro.experiments.export import export_all
+
+        written = export_all(result, args.export, experiment_ids=ids)
+        print(f"exported {len(written)} files to {args.export}")
+    if args.figures:
+        from repro.experiments.figures import render_figures
+
+        figure_ids = None if not args.ids else args.ids
+        rendered = render_figures(result, args.figures, figure_ids)
+        print(f"rendered {len(rendered)} figures to {args.figures}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

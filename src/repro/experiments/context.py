@@ -1,0 +1,42 @@
+"""Shared scenario cache for experiments, benchmarks and examples.
+
+Building the paper scenario takes ~30 s; every bench and example wants
+the same chain. ``get_result`` memoises one result per (scenario, seed)
+within the process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.simulation import (
+    SimulationEngine,
+    SimulationResult,
+    paper_scenario,
+    small_scenario,
+)
+
+__all__ = ["get_result"]
+
+_CACHE: Dict[Tuple[str, int], SimulationResult] = {}
+
+_BUILDERS = {
+    "paper": paper_scenario,
+    "small": small_scenario,
+}
+
+
+def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
+    """A memoised simulation result for the named scenario preset."""
+    key = (scenario, seed)
+    cached = _CACHE.get(key)
+    if cached is None:
+        builder = _BUILDERS.get(scenario)
+        if builder is None:
+            raise KeyError(
+                f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
+            )
+        config = builder(seed=seed)
+        cached = SimulationEngine(config).run()
+        _CACHE[key] = cached
+    return cached

@@ -1,0 +1,129 @@
+"""Experiment registry and the paper-vs-measured report format."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Row",
+    "ExperimentReport",
+    "EXPERIMENTS",
+    "run_experiment",
+    "format_report",
+]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One paper-vs-measured comparison line."""
+
+    label: str
+    paper: Optional[Number]
+    measured: Number
+    unit: str = ""
+    note: str = ""
+
+    def matches_within(self, relative: float) -> bool:
+        """Whether measured is within ``relative`` of the paper value."""
+        if self.paper is None:
+            return True
+        if self.paper == 0:
+            return abs(self.measured) <= relative
+        return abs(self.measured - self.paper) / abs(self.paper) <= relative
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced, printable."""
+
+    experiment_id: str
+    title: str
+    rows: List[Row] = field(default_factory=list)
+    #: Raw series for figure-shaped experiments (CDFs, time series).
+    series: Dict[str, list] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+#: experiment id → module path (module must expose ``run``).
+_EXPERIMENT_MODULES: Dict[str, str] = {
+    "headline_s3": "repro.experiments.headline_s3",
+    "fig02": "repro.experiments.fig02",
+    "fig03": "repro.experiments.fig03",
+    "fig04": "repro.experiments.fig04",
+    "fig05": "repro.experiments.fig05",
+    "s4_3": "repro.experiments.s4_3",
+    "fig06": "repro.experiments.fig06",
+    "fig07": "repro.experiments.fig07",
+    "fig08": "repro.experiments.fig08",
+    "table1": "repro.experiments.table1",
+    "fig09": "repro.experiments.fig09",
+    "fig10": "repro.experiments.fig10",
+    "fig11": "repro.experiments.fig11",
+    "s7_1": "repro.experiments.s7_1",
+    "s7_2": "repro.experiments.s7_2",
+    "s8_1": "repro.experiments.s8_1",
+    "fig12": "repro.experiments.fig12",
+    "fig13": "repro.experiments.fig13",
+    "fig14": "repro.experiments.fig14",
+    "fig15": "repro.experiments.fig15",
+    "s9_1": "repro.experiments.s9_1",
+}
+
+
+class _Registry(dict):
+    """Lazy experiment loader: imports modules on first access."""
+
+    def __missing__(self, key: str) -> Callable:
+        module_path = _EXPERIMENT_MODULES.get(key)
+        if module_path is None:
+            raise AnalysisError(
+                f"unknown experiment {key!r}; known: {sorted(_EXPERIMENT_MODULES)}"
+            )
+        module = importlib.import_module(module_path)
+        self[key] = module.run
+        return self[key]
+
+    def ids(self) -> List[str]:
+        """All registered experiment ids."""
+        return sorted(_EXPERIMENT_MODULES)
+
+
+EXPERIMENTS = _Registry()
+
+
+def run_experiment(experiment_id: str, result) -> ExperimentReport:
+    """Run one experiment against a simulation result."""
+    return EXPERIMENTS[experiment_id](result)
+
+
+def format_report(report: ExperimentReport) -> str:
+    """Render a report as an aligned text table."""
+    lines = [f"== {report.experiment_id}: {report.title} =="]
+    if report.rows:
+        label_width = max(len(r.label) for r in report.rows)
+        for row in report.rows:
+            paper = "—" if row.paper is None else _fmt(row.paper)
+            measured = _fmt(row.measured)
+            unit = f" {row.unit}" if row.unit else ""
+            note = f"   ({row.note})" if row.note else ""
+            lines.append(
+                f"  {row.label:<{label_width}}  paper={paper:>12}{unit}  "
+                f"measured={measured:>12}{unit}{note}"
+            )
+    for note in report.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, int):
+        return f"{value:,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"

@@ -1,0 +1,270 @@
+"""Minimal dependency-free SVG chart primitives.
+
+The benchmark environment has no plotting stack, and the reproduction
+promises to *regenerate the paper's figures* — so this module implements
+just enough SVG to draw them: axes with ticks, polylines (CDFs, time
+series), bars, scatter dots, and geographic outlines (the Figure 3c/12
+US maps). Output is plain SVG 1.1 text, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = ["SvgCanvas", "Chart"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class SvgCanvas:
+    """An SVG document built element by element."""
+
+    def __init__(self, width: int = 640, height: int = 400) -> None:
+        if width <= 0 or height <= 0:
+            raise AnalysisError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = "#333", width: float = 1.0,
+             dash: Optional[str] = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 color: str = "#1f77b4", width: float = 1.5,
+                 close: bool = False, fill: str = "none") -> None:
+        if not points:
+            return
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        tag = "polygon" if close else "polyline"
+        self._elements.append(
+            f'<{tag} points="{coords}" fill="{fill}" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float = 2.0,
+               color: str = "#1f77b4", opacity: float = 1.0) -> None:
+        self._elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" '
+            f'fill="{color}" fill-opacity="{opacity}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             color: str = "#1f77b4", opacity: float = 1.0) -> None:
+        self._elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{color}" fill-opacity="{opacity}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 11,
+             color: str = "#222", anchor: str = "start") -> None:
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{color}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{_escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+class Chart:
+    """A 2-D chart: data space → pixel space, axes, marks.
+
+    >>> chart = Chart(title="CDF of move distances")
+    >>> chart.set_domain(0.0, 100.0, 0.0, 1.0)
+    >>> chart.cdf([1.0, 2.0, 50.0])
+    >>> svg = chart.render()
+    """
+
+    MARGIN_LEFT = 60
+    MARGIN_RIGHT = 15
+    MARGIN_TOP = 30
+    MARGIN_BOTTOM = 45
+
+    def __init__(self, width: int = 640, height: int = 400,
+                 title: str = "", x_label: str = "", y_label: str = "",
+                 log_x: bool = False) -> None:
+        self.canvas = SvgCanvas(width, height)
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.log_x = log_x
+        self._domain: Optional[Tuple[float, float, float, float]] = None
+        self._legend: List[Tuple[str, str]] = []
+
+    # -- scales -------------------------------------------------------------
+
+    def set_domain(self, x_min: float, x_max: float,
+                   y_min: float, y_max: float) -> None:
+        """Fix the data-space extents (call before plotting)."""
+        if x_max <= x_min or y_max <= y_min:
+            raise AnalysisError("domain extents must be increasing")
+        if self.log_x and x_min <= 0:
+            x_min = max(x_min, 1e-3)
+        self._domain = (x_min, x_max, y_min, y_max)
+
+    def _require_domain(self) -> Tuple[float, float, float, float]:
+        if self._domain is None:
+            raise AnalysisError("set_domain must be called before plotting")
+        return self._domain
+
+    def _sx(self, x: float) -> float:
+        x_min, x_max, _, _ = self._require_domain()
+        if self.log_x:
+            x = max(x, x_min)
+            ratio = (math.log10(x) - math.log10(x_min)) / (
+                math.log10(x_max) - math.log10(x_min)
+            )
+        else:
+            ratio = (x - x_min) / (x_max - x_min)
+        plot_width = self.canvas.width - self.MARGIN_LEFT - self.MARGIN_RIGHT
+        return self.MARGIN_LEFT + ratio * plot_width
+
+    def _sy(self, y: float) -> float:
+        _, _, y_min, y_max = self._require_domain()
+        ratio = (y - y_min) / (y_max - y_min)
+        plot_height = self.canvas.height - self.MARGIN_TOP - self.MARGIN_BOTTOM
+        return self.canvas.height - self.MARGIN_BOTTOM - ratio * plot_height
+
+    # -- marks ----------------------------------------------------------------
+
+    def series(self, xs: Sequence[float], ys: Sequence[float],
+               color: str = "#1f77b4", label: str = "",
+               width: float = 1.5, dash: Optional[str] = None) -> None:
+        """A polyline series."""
+        if len(xs) != len(ys):
+            raise AnalysisError("series x and y lengths differ")
+        points = [(self._sx(x), self._sy(y)) for x, y in zip(xs, ys)]
+        if dash:
+            for (x1, y1), (x2, y2) in zip(points, points[1:]):
+                self.canvas.line(x1, y1, x2, y2, color, width, dash)
+        else:
+            self.canvas.polyline(points, color=color, width=width)
+        if label:
+            self._legend.append((label, color))
+
+    def cdf(self, values: Sequence[float], color: str = "#1f77b4",
+            label: str = "", max_points: int = 1500) -> None:
+        """An empirical CDF as a step-ish polyline.
+
+        Large samples are decimated to ``max_points`` vertices — visually
+        identical, but the SVG stays small.
+        """
+        if not values:
+            raise AnalysisError("cdf needs at least one value")
+        ordered = sorted(values)
+        n = len(ordered)
+        if n > max_points:
+            stride = n / max_points
+            indices = [int(i * stride) for i in range(max_points)] + [n - 1]
+        else:
+            indices = list(range(n))
+        xs = [ordered[0]] + [ordered[i] for i in indices]
+        ys = [0.0] + [(i + 1) / n for i in indices]
+        self.series(xs, ys, color=color, label=label)
+
+    def bars(self, xs: Sequence[float], heights: Sequence[float],
+             color: str = "#1f77b4", bar_width: Optional[float] = None,
+             label: str = "") -> None:
+        """Vertical bars anchored at y = domain minimum."""
+        _, _, y_min, _ = self._require_domain()
+        if bar_width is None and len(xs) > 1:
+            bar_width = abs(self._sx(xs[1]) - self._sx(xs[0])) * 0.8
+        pixel_width = bar_width if bar_width else 10.0
+        base = self._sy(y_min)
+        for x, height in zip(xs, heights):
+            top = self._sy(height)
+            self.canvas.rect(self._sx(x) - pixel_width / 2, top,
+                             pixel_width, max(base - top, 0.0), color, 0.85)
+        if label:
+            self._legend.append((label, color))
+
+    def scatter(self, points: Sequence[Tuple[float, float]],
+                color: str = "#1f77b4", r: float = 2.0,
+                opacity: float = 0.8, label: str = "") -> None:
+        """Scatter dots (also used for map hotspot dots)."""
+        for x, y in points:
+            self.canvas.circle(self._sx(x), self._sy(y), r, color, opacity)
+        if label:
+            self._legend.append((label, color))
+
+    def outline(self, boundary: Sequence[Tuple[float, float]],
+                color: str = "#999") -> None:
+        """A closed outline (e.g. the US boundary for map figures)."""
+        points = [(self._sx(x), self._sy(y)) for x, y in boundary]
+        self.canvas.polyline(points, color=color, width=1.0, close=True)
+
+    # -- decorations ---------------------------------------------------------
+
+    def _ticks(self, low: float, high: float, n: int = 5) -> List[float]:
+        if self.log_x and low > 0:
+            lo_exp = math.floor(math.log10(low))
+            hi_exp = math.ceil(math.log10(high))
+            return [10.0 ** e for e in range(int(lo_exp), int(hi_exp) + 1)]
+        step = (high - low) / n
+        return [low + i * step for i in range(n + 1)]
+
+    def _fmt(self, value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.01:
+            return f"{value:.0e}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:g}"
+
+    def render(self) -> str:
+        """Draw axes, labels, legend; return the SVG text."""
+        x_min, x_max, y_min, y_max = self._require_domain()
+        canvas = self.canvas
+        left, bottom = self.MARGIN_LEFT, canvas.height - self.MARGIN_BOTTOM
+        right = canvas.width - self.MARGIN_RIGHT
+        top = self.MARGIN_TOP
+        canvas.line(left, bottom, right, bottom)
+        canvas.line(left, bottom, left, top)
+        for tick in self._ticks(x_min, x_max):
+            if tick < x_min - 1e-12 or tick > x_max * 1.0001:
+                continue
+            x = self._sx(tick)
+            canvas.line(x, bottom, x, bottom + 4)
+            canvas.text(x, bottom + 16, self._fmt(tick), size=10,
+                        anchor="middle")
+        for tick in self._ticks(y_min, y_max):
+            y = self._sy(tick)
+            canvas.line(left - 4, y, left, y)
+            canvas.text(left - 7, y + 3, self._fmt(tick), size=10,
+                        anchor="end")
+        if self.title:
+            canvas.text(canvas.width / 2, 18, self.title, size=13,
+                        anchor="middle")
+        if self.x_label:
+            canvas.text(canvas.width / 2, canvas.height - 8, self.x_label,
+                        size=11, anchor="middle")
+        if self.y_label:
+            canvas.text(14, top - 8, self.y_label, size=11)
+        for i, (label, color) in enumerate(self._legend):
+            y = top + 8 + i * 16
+            canvas.rect(right - 130, y - 8, 10, 10, color)
+            canvas.text(right - 115, y, label, size=10)
+        return canvas.render()

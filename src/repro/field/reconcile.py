@@ -1,0 +1,155 @@
+"""SD-card-vs-cloud reconciliation (§8.1, §8.2.2; Tables 2 and 3).
+
+The paper logs packets on the device's SD card and compares against the
+cloud log. These functions compute every statistic that comparison
+yields: PRR, the single/double/longest miss-run structure, the ACK/NACK
+validity tables, and HIP-15 prediction accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import AnalysisError
+from repro.lorawan.mac import AckOutcome
+from repro.lorawan.network import TransmissionRecord
+
+__all__ = [
+    "prr",
+    "MissRunStats",
+    "miss_run_stats",
+    "AckTable",
+    "ack_table",
+    "Hip15Accuracy",
+    "hip15_accuracy",
+]
+
+
+def prr(records: Sequence[TransmissionRecord]) -> float:
+    """Packet reception ratio: cloud receptions / packets sent."""
+    if not records:
+        raise AnalysisError("no transmission records")
+    return sum(1 for r in records if r.delivered_to_cloud) / len(records)
+
+
+@dataclass(frozen=True)
+class MissRunStats:
+    """Structure of the losses: mostly singles in the paper's re-run
+    (83.5 % single-misses, 92.2 % single-or-double, longest run 34)."""
+
+    total_misses: int
+    runs: Dict[int, int]  # run length → count of runs
+    single_miss_fraction: float
+    single_or_double_fraction: float
+    longest_run: int
+
+
+def miss_run_stats(records: Sequence[TransmissionRecord]) -> MissRunStats:
+    """Consecutive-miss run lengths over the send sequence."""
+    if not records:
+        raise AnalysisError("no transmission records")
+    runs: Dict[int, int] = {}
+    current = 0
+    for record in records:
+        if record.delivered_to_cloud:
+            if current > 0:
+                runs[current] = runs.get(current, 0) + 1
+            current = 0
+        else:
+            current += 1
+    if current > 0:
+        runs[current] = runs.get(current, 0) + 1
+    total_misses = sum(length * count for length, count in runs.items())
+    if total_misses == 0:
+        return MissRunStats(0, {}, 0.0, 0.0, 0)
+    singles = runs.get(1, 0)
+    doubles = runs.get(2, 0)
+    return MissRunStats(
+        total_misses=total_misses,
+        runs=dict(sorted(runs.items())),
+        single_miss_fraction=singles / total_misses,
+        single_or_double_fraction=(singles + 2 * doubles) / total_misses,
+        longest_run=max(runs),
+    )
+
+
+@dataclass(frozen=True)
+class AckTable:
+    """Tables 2 and 3: ACK/NACK validity."""
+
+    packets_sent: int
+    correct_ack: int
+    correct_nack: int
+    incorrect_ack: int
+    incorrect_nack: int
+
+    def fractions(self) -> Dict[str, float]:
+        """The table's percentage row (as fractions)."""
+        n = max(self.packets_sent, 1)
+        return {
+            "correct_ack": self.correct_ack / n,
+            "correct_nack": self.correct_nack / n,
+            "incorrect_ack": self.incorrect_ack / n,
+            "incorrect_nack": self.incorrect_nack / n,
+        }
+
+
+def ack_table(records: Sequence[TransmissionRecord]) -> AckTable:
+    """Classify every confirmed uplink per the paper's four buckets."""
+    if not records:
+        raise AnalysisError("no transmission records")
+    counts = {outcome: 0 for outcome in AckOutcome}
+    for record in records:
+        outcome = AckOutcome.classify(record.acked, record.delivered_to_cloud)
+        counts[outcome] += 1
+    return AckTable(
+        packets_sent=len(records),
+        correct_ack=counts[AckOutcome.CORRECT_ACK],
+        correct_nack=counts[AckOutcome.CORRECT_NACK],
+        incorrect_ack=counts[AckOutcome.INCORRECT_ACK],
+        incorrect_nack=counts[AckOutcome.INCORRECT_NACK],
+    )
+
+
+@dataclass(frozen=True)
+class Hip15Accuracy:
+    """§8.2.2: does the 300 m promise predict reception?
+
+    Paper: "Predicting reception when within 300 m of a hotspot is
+    accurate 55.5 % of the time, while predicting no reception outside
+    of the radius is accurate for 79.6 % of packets."
+    """
+
+    packets_inside: int
+    packets_outside: int
+    inside_received_fraction: float   # accuracy of "covered ⇒ received"
+    outside_missed_fraction: float    # accuracy of "uncovered ⇒ missed"
+
+
+def hip15_accuracy(
+    records: Sequence[TransmissionRecord], radius_km: float = 0.3
+) -> Hip15Accuracy:
+    """Score the 300 m disk model against walk ground truth."""
+    if not records:
+        raise AnalysisError("no transmission records")
+    inside = [
+        r for r in records
+        if r.nearest_hotspot_km is not None and r.nearest_hotspot_km <= radius_km
+    ]
+    outside = [
+        r for r in records
+        if r.nearest_hotspot_km is None or r.nearest_hotspot_km > radius_km
+    ]
+    inside_received = sum(1 for r in inside if r.delivered_to_cloud)
+    outside_missed = sum(1 for r in outside if not r.delivered_to_cloud)
+    return Hip15Accuracy(
+        packets_inside=len(inside),
+        packets_outside=len(outside),
+        inside_received_fraction=(
+            inside_received / len(inside) if inside else 0.0
+        ),
+        outside_missed_fraction=(
+            outside_missed / len(outside) if outside else 0.0
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Geospatial substrate: geodesy, hex indexing, polygons, and landmass.
+
+This package replaces the external geospatial stack the paper relies on
+(Uber H3, GIS landmass data) with self-contained implementations:
+
+* :mod:`repro.geo.geodesy` — great-circle math on the WGS-84 sphere.
+* :mod:`repro.geo.hexgrid` — a hierarchical hexagonal index with
+  H3-compatible resolution semantics (hotspot locations live at res 12).
+* :mod:`repro.geo.polygon` — convex hulls, point-in-polygon tests and
+  area integration used by the coverage models.
+* :mod:`repro.geo.cities` — a synthetic city/population database that
+  drives hotspot placement.
+* :mod:`repro.geo.landmass` — a contiguous-US boundary model used to
+  express coverage as a fraction of landmass.
+"""
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_KM,
+    LatLon,
+    destination,
+    haversine_km,
+    initial_bearing_deg,
+)
+from repro.geo.hexgrid import HexCell, HexGrid, RESOLUTION_TABLE
+from repro.geo.polygon import Polygon, convex_hull
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "LatLon",
+    "haversine_km",
+    "destination",
+    "initial_bearing_deg",
+    "HexCell",
+    "HexGrid",
+    "RESOLUTION_TABLE",
+    "Polygon",
+    "convex_hull",
+]

@@ -1,0 +1,124 @@
+"""Flat-grid spatial index for radius queries over point sets.
+
+PoC witnessing ("which hotspots are in radio range of this challengee?"),
+relay analysis and the coverage rasteriser all need fast nearest/within-
+radius queries over tens of thousands of hotspots. A uniform lat/lon bin
+grid is ideal: O(1) insert, and a radius query touches only the bins the
+query circle overlaps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, Iterable, List, Tuple, TypeVar
+
+from repro.errors import GeoError
+from repro.geo.geodesy import LatLon, haversine_km
+
+__all__ = ["SpatialIndex"]
+
+T = TypeVar("T")
+
+
+class SpatialIndex(Generic[T]):
+    """Index arbitrary items by location; query by great-circle radius.
+
+    Args:
+        cell_deg: bin size in degrees. The default 0.5° (~55 km N-S) suits
+            the 10–100 km radii of witness queries; pass a smaller value
+            for dense small-radius workloads.
+
+    >>> index = SpatialIndex()
+    >>> index.insert(LatLon(32.7, -117.1), "san-diego")
+    >>> index.insert(LatLon(40.7, -74.0), "nyc")
+    >>> [item for _, item in index.within_radius(LatLon(32.8, -117.2), 50)]
+    ['san-diego']
+    """
+
+    def __init__(self, cell_deg: float = 0.5) -> None:
+        if cell_deg <= 0:
+            raise GeoError(f"cell size must be positive, got {cell_deg}")
+        self.cell_deg = cell_deg
+        self._bins: Dict[Tuple[int, int], List[Tuple[LatLon, T]]] = {}
+        self._count = 0
+
+    def _key(self, point: LatLon) -> Tuple[int, int]:
+        return (
+            int(math.floor(point.lat / self.cell_deg)),
+            int(math.floor(point.lon / self.cell_deg)),
+        )
+
+    def insert(self, point: LatLon, item: T) -> None:
+        """Add one item at ``point``."""
+        self._bins.setdefault(self._key(point), []).append((point, item))
+        self._count += 1
+
+    def insert_many(self, pairs: Iterable[Tuple[LatLon, T]]) -> None:
+        """Add several ``(point, item)`` pairs."""
+        for point, item in pairs:
+            self.insert(point, item)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def within_radius(
+        self, center: LatLon, radius_km: float
+    ) -> List[Tuple[LatLon, T]]:
+        """All ``(point, item)`` within ``radius_km`` of ``center``.
+
+        Results are exact (candidates from overlapping bins are distance-
+        filtered) and unordered.
+        """
+        if radius_km < 0:
+            raise GeoError(f"radius must be non-negative, got {radius_km}")
+        lat_pad = radius_km / 110.574 / self.cell_deg
+        cos_lat = max(math.cos(math.radians(center.lat)), 0.05)
+        lon_pad = radius_km / (111.320 * cos_lat) / self.cell_deg
+        lat0 = int(math.floor(center.lat / self.cell_deg))
+        lon0 = int(math.floor(center.lon / self.cell_deg))
+        results: List[Tuple[LatLon, T]] = []
+        for dlat in range(-int(math.ceil(lat_pad)) - 1, int(math.ceil(lat_pad)) + 2):
+            for dlon in range(
+                -int(math.ceil(lon_pad)) - 1, int(math.ceil(lon_pad)) + 2
+            ):
+                bucket = self._bins.get((lat0 + dlat, lon0 + dlon))
+                if not bucket:
+                    continue
+                for point, item in bucket:
+                    if (
+                        haversine_km(center.lat, center.lon, point.lat, point.lon)
+                        <= radius_km
+                    ):
+                        results.append((point, item))
+        return results
+
+    def count_within_radius(self, center: LatLon, radius_km: float) -> int:
+        """Number of items within ``radius_km`` of ``center``."""
+        return len(self.within_radius(center, radius_km))
+
+    def nearest(self, center: LatLon, max_radius_km: float = 500.0) -> Tuple[LatLon, T]:
+        """The closest item within ``max_radius_km``.
+
+        Expands the search ring geometrically; raises :class:`GeoError`
+        when nothing lies within the cap.
+        """
+        radius = max(self.cell_deg * 55.0, 1.0)
+        while radius <= max_radius_km:
+            candidates = self.within_radius(center, radius)
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda pair: haversine_km(
+                        center.lat, center.lon, pair[0].lat, pair[0].lon
+                    ),
+                )
+            radius *= 2.0
+        candidates = self.within_radius(center, max_radius_km)
+        if candidates:
+            return min(
+                candidates,
+                key=lambda pair: haversine_km(
+                    center.lat, center.lon, pair[0].lat, pair[0].lon
+                ),
+            )
+        raise GeoError(f"no items within {max_radius_km} km of {center}")

@@ -1,0 +1,42 @@
+"""LoRaWAN stack: devices, packet forwarders, routers, and the Console.
+
+Implements the data plane of Figure 1: edge devices broadcast LoRa
+uplinks; hotspots (packet forwarder + miner) recover them and offer them
+to routers; routers buy packets through state channels, deliver payloads
+to applications, and race the 1 s / 2 s LoRaMAC receive windows to get
+acknowledgments back down (§2.2, §5.1, §5.2).
+"""
+
+from repro.lorawan.console import Console, ConsoleAccount
+from repro.lorawan.device import DeviceConfig, EdgeDevice, UplinkResult
+from repro.lorawan.forwarder import PacketForwarder
+from repro.lorawan.keys import DeviceCredentials
+from repro.lorawan.mac import (
+    AckOutcome,
+    DownlinkFrame,
+    RX1_DELAY_S,
+    RX2_DELAY_S,
+    UplinkFrame,
+)
+from repro.lorawan.network import LoraWanNetwork, NetworkHotspot
+from repro.lorawan.router import HeliumRouter, PacketOffer, RouterConfig
+
+__all__ = [
+    "DeviceCredentials",
+    "DeviceConfig",
+    "EdgeDevice",
+    "UplinkResult",
+    "UplinkFrame",
+    "DownlinkFrame",
+    "AckOutcome",
+    "RX1_DELAY_S",
+    "RX2_DELAY_S",
+    "PacketForwarder",
+    "HeliumRouter",
+    "RouterConfig",
+    "PacketOffer",
+    "Console",
+    "ConsoleAccount",
+    "LoraWanNetwork",
+    "NetworkHotspot",
+]

@@ -1,0 +1,125 @@
+"""The Helium Console: the monopolistic default router (§5.2).
+
+"As a (currently) free service, the Helium company provides the Helium
+Console, which is both a Helium router as well as an interface for
+provisioning and managing devices." OUI 1 and OUI 2 belong to it, and
+81.18 % of all state-channel activity flows through them — which is why
+per-application traffic is invisible on-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.chain.crypto import Address
+from repro.errors import InsufficientFunds, LoraWanError
+from repro.lorawan.keys import DeviceCredentials
+from repro.lorawan.router import HeliumRouter, RouterConfig
+
+__all__ = ["ConsoleAccount", "Console", "CONSOLE_OUIS"]
+
+#: "OUI 1 and OUI 2 are registered to the Helium company" (§5.2).
+CONSOLE_OUIS = (1, 2)
+
+#: "$10 USD purchase of DC (which is the minimum purchase amount
+#: permitted by the Console)" (§5.2).
+MIN_PURCHASE_USD: float = 10.0
+
+
+@dataclass
+class ConsoleAccount:
+    """One user's Console account: a DC balance and their devices."""
+
+    user: Address
+    dc_balance: int = 0
+    device_euis: List[str] = field(default_factory=list)
+    integrations: List[str] = field(default_factory=list)
+
+
+class Console(HeliumRouter):
+    """The Console: a router plus per-user accounting and DC billing.
+
+    The Console buys packets with its own wallet (so the chain sees only
+    OUI 1/2 activity) and bills users' internal DC balances at cost.
+    """
+
+    def __init__(
+        self,
+        owner: Address,
+        oui: int = 1,
+        config: RouterConfig = RouterConfig(),
+    ) -> None:
+        super().__init__(owner=owner, oui=oui, config=config)
+        self.accounts: Dict[Address, ConsoleAccount] = {}
+        self._account_by_eui: Dict[str, Address] = {}
+
+    # -- accounts ---------------------------------------------------------------
+
+    def open_account(self, user: Address) -> ConsoleAccount:
+        """Create (or fetch) a user account."""
+        account = self.accounts.get(user)
+        if account is None:
+            account = ConsoleAccount(user=user)
+            self.accounts[user] = account
+        return account
+
+    def fund_with_usd(self, user: Address, usd: float) -> int:
+        """Credit-card funding path: Console buys and burns HNT itself.
+
+        Returns the DC credited. Raises :class:`LoraWanError` below the
+        Console's $10 minimum.
+        """
+        if usd < MIN_PURCHASE_USD:
+            raise LoraWanError(
+                f"Console minimum purchase is ${MIN_PURCHASE_USD}, got ${usd}"
+            )
+        dc = units.usd_to_dc(usd)
+        self.open_account(user).dc_balance += dc
+        return dc
+
+    def fund_with_burn(self, user: Address, dc_from_burn: int) -> None:
+        """Credit DC minted by the user's own on-chain HNT burn (§5.2)."""
+        if dc_from_burn <= 0:
+            raise LoraWanError(f"burn must credit positive DC, got {dc_from_burn}")
+        self.open_account(user).dc_balance += dc_from_burn
+
+    # -- devices -----------------------------------------------------------------
+
+    def register_user_device(
+        self, user: Address, credentials: DeviceCredentials
+    ) -> None:
+        """Register a device under a user account (§2.1 workflow)."""
+        account = self.open_account(user)
+        self.register_device(credentials)
+        account.device_euis.append(credentials.dev_eui)
+        self._account_by_eui[credentials.dev_eui] = user
+
+    def add_integration(self, user: Address, name: str) -> None:
+        """Attach a data integration (HTTP, cloud DB, mapper...)."""
+        self.open_account(user).integrations.append(name)
+
+    # -- billing -----------------------------------------------------------------
+
+    def bill_packet(self, dev_eui: str, dcs: int) -> None:
+        """Deduct a packet's DC cost from the owning account at cost.
+
+        Raises:
+            InsufficientFunds: when the account balance is exhausted
+                (the Console stops buying this device's packets).
+        """
+        user = self._account_by_eui.get(dev_eui)
+        if user is None:
+            raise LoraWanError(f"no Console account for device {dev_eui}")
+        account = self.accounts[user]
+        if account.dc_balance < dcs:
+            raise InsufficientFunds(
+                f"account {user} has {account.dc_balance} DC, packet needs {dcs}"
+            )
+        account.dc_balance -= dcs
+
+    def account_for_device(self, dev_eui: str) -> Optional[ConsoleAccount]:
+        """The account owning a device EUI, if any."""
+        user = self._account_by_eui.get(dev_eui)
+        return self.accounts.get(user) if user is not None else None

@@ -1,0 +1,76 @@
+"""Semtech packet forwarder: the radio half of a hotspot (§2.2).
+
+Forwards frames between the LoRa concentrator and the co-resident miner
+over a deliberately primitive UDP protocol. The paper quotes the Semtech
+source: "There is no authentication of the gateway or the server, and the
+acknowledges are only used for network quality assessment, not to correct
+UDP datagram losses (no retries)." We model that as a small, unrecoverable
+per-datagram loss between forwarder and miner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LoraWanError
+from repro.lorawan.mac import UplinkFrame
+
+__all__ = ["ForwarderStats", "PacketForwarder"]
+
+
+@dataclass
+class ForwarderStats:
+    """Datagram counters of one forwarder."""
+
+    uplinks_received: int = 0
+    uplinks_forwarded: int = 0
+    uplinks_lost_udp: int = 0
+    downlinks_sent: int = 0
+
+    @property
+    def udp_loss_rate(self) -> float:
+        """Observed forwarder→miner datagram loss."""
+        if self.uplinks_received == 0:
+            return 0.0
+        return self.uplinks_lost_udp / self.uplinks_received
+
+
+class PacketForwarder:
+    """The forwarder inside one hotspot.
+
+    Args:
+        gateway: hotspot chain address (used in logs/offers).
+        udp_loss_probability: forwarder→miner datagram loss. The link is
+            a localhost socket in co-located hotspots, so the default is
+            small but non-zero — the protocol has no retries to hide it.
+    """
+
+    def __init__(self, gateway: str, udp_loss_probability: float = 0.002) -> None:
+        if not (0.0 <= udp_loss_probability <= 1.0):
+            raise LoraWanError(
+                f"loss probability must be in [0, 1]: {udp_loss_probability}"
+            )
+        self.gateway = gateway
+        self.udp_loss_probability = udp_loss_probability
+        self.stats = ForwarderStats()
+
+    def forward_uplink(
+        self, frame: UplinkFrame, rng: np.random.Generator
+    ) -> Optional[UplinkFrame]:
+        """Relay a demodulated uplink to the miner.
+
+        Returns ``None`` when the UDP datagram is lost (no retries).
+        """
+        self.stats.uplinks_received += 1
+        if float(rng.random()) < self.udp_loss_probability:
+            self.stats.uplinks_lost_udp += 1
+            return None
+        self.stats.uplinks_forwarded += 1
+        return frame
+
+    def send_downlink(self) -> None:
+        """Count a downlink transmission through this forwarder."""
+        self.stats.downlinks_sent += 1

@@ -1,0 +1,107 @@
+"""LoRaWAN MAC frames and the acknowledgment timing rules.
+
+"The LoRaMAC between edge device and gateway has two acknowledgment
+windows, at precisely 1 s and 2 s after a packet transmission." (§5.2)
+The router must complete the whole proffer → purchase → payload → ACK →
+purchase-ACK pipeline inside those windows, which is why router latency
+matters so much to the §8 ACK/NACK statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import LoraWanError
+from repro.radio.lora import SpreadingFactor
+
+__all__ = [
+    "RX1_DELAY_S",
+    "RX2_DELAY_S",
+    "UplinkFrame",
+    "DownlinkFrame",
+    "AckOutcome",
+]
+
+#: First receive window opens exactly 1 s after uplink end.
+RX1_DELAY_S: float = 1.0
+
+#: Second (lower-reliability) window opens at 2 s.
+RX2_DELAY_S: float = 2.0
+
+
+@dataclass(frozen=True)
+class UplinkFrame:
+    """A device→network data frame."""
+
+    dev_addr: str
+    fcnt: int
+    payload: bytes
+    confirmed: bool
+    freq_mhz: float
+    sf: SpreadingFactor
+    sent_at_s: float  # simulation wall-clock when transmission *ended*
+
+    def __post_init__(self) -> None:
+        if self.fcnt < 0:
+            raise LoraWanError(f"frame counter cannot be negative: {self.fcnt}")
+        if len(self.payload) > 242:
+            raise LoraWanError(
+                f"payload exceeds LoRaWAN maximum: {len(self.payload)} bytes"
+            )
+
+    @property
+    def frame_id(self) -> str:
+        """Dedup key for this frame across multiple receiving hotspots."""
+        return f"{self.dev_addr}:{self.fcnt}"
+
+
+@dataclass(frozen=True)
+class DownlinkFrame:
+    """A network→device frame (here: ACKs)."""
+
+    dev_addr: str
+    ack_for_fcnt: int
+    via_gateway: str
+    scheduled_at_s: float  # when the gateway transmits it
+
+    def window(self, uplink_sent_at_s: float) -> Optional[int]:
+        """Which receive window this downlink lands in (1, 2, or None).
+
+        A downlink that misses both windows is never heard by the device.
+        """
+        delta = self.scheduled_at_s - uplink_sent_at_s
+        if abs(delta - RX1_DELAY_S) < 0.1:
+            return 1
+        if abs(delta - RX2_DELAY_S) < 0.1:
+            return 2
+        return None
+
+
+class AckOutcome(Enum):
+    """Device-side bookkeeping of a confirmed uplink, per Tables 2 & 3.
+
+    The paper cross-references the device SD-card log against the cloud
+    log: an ACK is *correct* when the cloud also has the packet; a NACK
+    is *correct* when the cloud missed it; an *incorrect NACK* is a
+    packet the cloud received but whose ACK never reached the device
+    (downlink is harder than uplink); an *incorrect ACK* would be an ACK
+    for a packet the cloud never got — the paper found zero.
+    """
+
+    CORRECT_ACK = "correct_ack"
+    CORRECT_NACK = "correct_nack"
+    INCORRECT_ACK = "incorrect_ack"
+    INCORRECT_NACK = "incorrect_nack"
+
+    @classmethod
+    def classify(cls, device_got_ack: bool, cloud_got_packet: bool) -> "AckOutcome":
+        """Classify one confirmed uplink."""
+        if device_got_ack and cloud_got_packet:
+            return cls.CORRECT_ACK
+        if device_got_ack and not cloud_got_packet:
+            return cls.INCORRECT_ACK
+        if not device_got_ack and cloud_got_packet:
+            return cls.INCORRECT_NACK
+        return cls.CORRECT_NACK

@@ -1,0 +1,153 @@
+"""OUI routing: how hotspots find the router that owns a device.
+
+Figure 1 / §2.2: "Hotspots find Helium-compliant routers by looking up
+device owners using packet metadata and a filter list in the Helium
+blockchain (in contrast to standard LoRaWAN, where gateways have one,
+statically configured router)."
+
+Helium carves the LoRaWAN devaddr space into per-OUI slabs; a hotspot
+inspects an uplink's devaddr, resolves the owning OUI from the chain's
+routing table, and offers the packet to that OUI's router. This module
+implements the slab allocator and the lookup, plus a multi-router front
+end for the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import LoraWanError
+from repro.lorawan.keys import SessionKeys
+from repro.lorawan.router import HeliumRouter
+
+__all__ = ["DevAddrSlab", "RoutingTable", "RouterFrontend"]
+
+#: Devaddr space is 32-bit; slabs are allocated in fixed-size chunks.
+SLAB_SIZE: int = 8  # devaddr prefixes (hex nibbles) per slab
+
+
+@dataclass(frozen=True)
+class DevAddrSlab:
+    """A contiguous devaddr prefix range owned by one OUI."""
+
+    oui: int
+    start: int  # inclusive, over the first-byte space 0..255
+    end: int    # exclusive
+
+    def contains(self, dev_addr: str) -> bool:
+        """Whether a devaddr's first byte falls inside this slab."""
+        try:
+            first_byte = int(dev_addr[:2], 16)
+        except (ValueError, IndexError):
+            return False
+        return self.start <= first_byte < self.end
+
+
+class RoutingTable:
+    """The chain's OUI → devaddr-slab filter list.
+
+    Slabs are handed out in registration order, eight first-byte values
+    per OUI — a simplification of Helium's xor-filter scheme that keeps
+    the observable behaviour (each OUI owns a deterministic, disjoint
+    devaddr region; hotspots resolve owners with one lookup).
+    """
+
+    def __init__(self) -> None:
+        self._slabs: List[DevAddrSlab] = []
+        self._next_start = 0
+
+    def register_oui(self, oui: int) -> DevAddrSlab:
+        """Allocate the next slab to ``oui``.
+
+        Raises:
+            LoraWanError: when the devaddr space is exhausted or the OUI
+                is already registered.
+        """
+        if any(slab.oui == oui for slab in self._slabs):
+            raise LoraWanError(f"OUI {oui} already has a devaddr slab")
+        if self._next_start + SLAB_SIZE > 256:
+            raise LoraWanError("devaddr space exhausted")
+        slab = DevAddrSlab(
+            oui=oui, start=self._next_start, end=self._next_start + SLAB_SIZE
+        )
+        self._slabs.append(slab)
+        self._next_start += SLAB_SIZE
+        return slab
+
+    def slab_for_oui(self, oui: int) -> DevAddrSlab:
+        """The slab owned by ``oui``."""
+        for slab in self._slabs:
+            if slab.oui == oui:
+                return slab
+        raise LoraWanError(f"OUI {oui} has no devaddr slab")
+
+    def route(self, dev_addr: str) -> Optional[int]:
+        """The OUI owning a devaddr, or None when unrouteable."""
+        for slab in self._slabs:
+            if slab.contains(dev_addr):
+                return slab.oui
+        return None
+
+    def rehome_session(self, session: SessionKeys, oui: int) -> SessionKeys:
+        """Rewrite a session's devaddr into the OUI's slab.
+
+        Real joins mint devaddrs inside the owning slab; our toy key
+        derivation produces uniform addresses, so the router front end
+        rehomes them at join time.
+        """
+        slab = self.slab_for_oui(oui)
+        first_byte = slab.start + int(session.dev_addr[:2], 16) % SLAB_SIZE
+        dev_addr = f"{first_byte:02x}{session.dev_addr[2:]}"
+        return SessionKeys(
+            dev_addr=dev_addr,
+            nwk_s_key=session.nwk_s_key,
+            app_s_key=session.app_s_key,
+        )
+
+
+class RouterFrontend:
+    """Multi-router dispatch: the hotspot-side view of Figure 1.
+
+    Holds every registered router and resolves which of them should be
+    offered a given uplink — the piece standard LoRaWAN lacks.
+    """
+
+    def __init__(self) -> None:
+        self.table = RoutingTable()
+        self._routers: Dict[int, HeliumRouter] = {}
+
+    def add_router(self, router: HeliumRouter) -> DevAddrSlab:
+        """Register a router and allocate its OUI's devaddr slab."""
+        if router.oui in self._routers:
+            raise LoraWanError(f"router for OUI {router.oui} already added")
+        slab = self.table.register_oui(router.oui)
+        self._routers[router.oui] = router
+        return slab
+
+    def join(self, router: HeliumRouter, credentials) -> SessionKeys:
+        """OTAA join through a specific router, rehomed into its slab."""
+        if router.oui not in self._routers:
+            raise LoraWanError(f"router for OUI {router.oui} not registered")
+        session = router.join(credentials)
+        rehomed = self.table.rehome_session(session, router.oui)
+        # The router must recognise the rehomed address.
+        router._sessions[rehomed.dev_addr] = rehomed  # noqa: SLF001 - same package
+        return rehomed
+
+    def router_for(self, dev_addr: str) -> HeliumRouter:
+        """The router that owns ``dev_addr``.
+
+        Raises:
+            LoraWanError: when no OUI claims the address (the packet is
+                unrouteable and hotspots drop it).
+        """
+        oui = self.table.route(dev_addr)
+        if oui is None or oui not in self._routers:
+            raise LoraWanError(f"no router owns devaddr {dev_addr!r}")
+        return self._routers[oui]
+
+    @property
+    def routers(self) -> List[HeliumRouter]:
+        """All registered routers."""
+        return list(self._routers.values())

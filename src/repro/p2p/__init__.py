@@ -1,0 +1,31 @@
+"""Peer-to-peer fabric: multiaddrs, peerbook, circuit relays, backhaul.
+
+Section 6 of the paper studies Helium's *meta-infrastructure*: the ISPs
+hotspots hang off (§6.1) and the libp2p circuit-relay graph NATed
+hotspots depend on (§6.2). This package simulates both: a synthetic AS
+universe with per-city ISP markets, IP/NAT assignment, and the random
+relay selection the paper verified Helium uses.
+"""
+
+from repro.p2p.backhaul import AsUniverse, BackhaulAssignment, IspProfile
+from repro.p2p.multiaddr import (
+    format_ip4,
+    format_relay,
+    parse_multiaddr,
+    ParsedMultiaddr,
+)
+from repro.p2p.peerbook import Peerbook, PeerEntry
+from repro.p2p.relay import RelayFabric
+
+__all__ = [
+    "AsUniverse",
+    "IspProfile",
+    "BackhaulAssignment",
+    "parse_multiaddr",
+    "ParsedMultiaddr",
+    "format_ip4",
+    "format_relay",
+    "Peerbook",
+    "PeerEntry",
+    "RelayFabric",
+]

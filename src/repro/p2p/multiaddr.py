@@ -1,0 +1,95 @@
+"""libp2p multiaddr parsing for the two formats Helium peerbooks use.
+
+"Peerbook entries are formatted in two ways:
+``/p2p/relay_node_hash/p2p-circuit/p2p/peer_node_hash`` for hotspots who
+rely on a relay node and ``/ip4/ipv4_address/tcp/port`` for hotspots that
+have public IPs and accessible ports." (§6.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MultiaddrError
+
+__all__ = [
+    "HELIUM_PORT",
+    "ParsedMultiaddr",
+    "parse_multiaddr",
+    "format_ip4",
+    "format_relay",
+]
+
+#: "They attempt to use a unique port, 44158" (§9.1).
+HELIUM_PORT: int = 44158
+
+
+@dataclass(frozen=True)
+class ParsedMultiaddr:
+    """A decoded peerbook listen address."""
+
+    raw: str
+    is_relayed: bool
+    ip: Optional[str] = None
+    port: Optional[int] = None
+    relay_hash: Optional[str] = None
+    peer_hash: Optional[str] = None
+
+
+def format_ip4(ip: str, port: int = HELIUM_PORT) -> str:
+    """Render a direct TCP listen address."""
+    _validate_ip(ip)
+    if not (0 < port < 65536):
+        raise MultiaddrError(f"port out of range: {port}")
+    return f"/ip4/{ip}/tcp/{port}"
+
+
+def format_relay(relay_hash: str, peer_hash: str) -> str:
+    """Render a circuit-relay listen address."""
+    if not relay_hash or not peer_hash:
+        raise MultiaddrError("relay and peer hashes must be non-empty")
+    if "/" in relay_hash or "/" in peer_hash:
+        raise MultiaddrError("hashes may not contain '/'")
+    return f"/p2p/{relay_hash}/p2p-circuit/p2p/{peer_hash}"
+
+
+def parse_multiaddr(raw: str) -> ParsedMultiaddr:
+    """Parse either peerbook entry format.
+
+    Raises:
+        MultiaddrError: for anything that is not one of the two formats.
+    """
+    if not raw.startswith("/"):
+        raise MultiaddrError(f"multiaddr must start with '/': {raw!r}")
+    parts = raw.split("/")[1:]
+    if len(parts) == 4 and parts[0] == "ip4" and parts[2] == "tcp":
+        _validate_ip(parts[1])
+        try:
+            port = int(parts[3])
+        except ValueError as exc:
+            raise MultiaddrError(f"bad port in {raw!r}") from exc
+        if not (0 < port < 65536):
+            raise MultiaddrError(f"port out of range in {raw!r}")
+        return ParsedMultiaddr(raw=raw, is_relayed=False, ip=parts[1], port=port)
+    if (
+        len(parts) == 5
+        and parts[0] == "p2p"
+        and parts[2] == "p2p-circuit"
+        and parts[3] == "p2p"
+    ):
+        if not parts[1] or not parts[4]:
+            raise MultiaddrError(f"empty hash in {raw!r}")
+        return ParsedMultiaddr(
+            raw=raw, is_relayed=True, relay_hash=parts[1], peer_hash=parts[4]
+        )
+    raise MultiaddrError(f"unrecognised multiaddr format: {raw!r}")
+
+
+def _validate_ip(ip: str) -> None:
+    octets = ip.split(".")
+    if len(octets) != 4:
+        raise MultiaddrError(f"bad IPv4 address: {ip!r}")
+    for octet in octets:
+        if not octet.isdigit() or not (0 <= int(octet) <= 255):
+            raise MultiaddrError(f"bad IPv4 octet in {ip!r}")

@@ -1,0 +1,34 @@
+"""Proof of Coverage: challenges, witness validity, and cheating.
+
+PoC is how Helium turns radio reality into chain data (§2.3): a random
+challenger asks a random challengee to transmit a secret; hotspots that
+hear it file witness reports; the chain applies validity heuristics and
+pays everyone involved. 99.2 % of all Helium transactions are PoC (§3),
+and the paper's coverage models (§8.2.1) are built entirely from witness
+geometry — so this package is the factual backbone of the reproduction.
+
+It also implements the paper's two incentive case studies as injectable
+cheat strategies: **silent movers** (§7.1) who relocate without
+re-asserting, and **lying witnesses** (§7.2) who forge RSSI.
+"""
+
+from repro.poc.challenge import ChallengeOutcome, PocParticipant, run_challenge
+from repro.poc.cheats import CheatStrategy, GossipClique, RssiLiar, SilentMover
+from repro.poc.engine import PocEngine
+from repro.poc.validity import (
+    InvalidReason,
+    WitnessValidityChecker,
+)
+
+__all__ = [
+    "PocParticipant",
+    "ChallengeOutcome",
+    "run_challenge",
+    "PocEngine",
+    "WitnessValidityChecker",
+    "InvalidReason",
+    "CheatStrategy",
+    "SilentMover",
+    "RssiLiar",
+    "GossipClique",
+]

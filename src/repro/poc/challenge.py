@@ -1,0 +1,214 @@
+"""Simulation of a single PoC challenge (§2.3).
+
+The physics runs on **actual** locations; the chain's validity checks run
+on **asserted** locations and self-reported RSSI. The gap between the two
+is where every §7 incentive pathology lives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chain.crypto import Address
+from repro.chain.transactions import PocReceipts, PocRequest, WitnessReport
+from repro.economics.rewards import PocEvent
+from repro.geo.geodesy import LatLon
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.poc.cheats import CheatStrategy
+from repro.poc.validity import WitnessValidityChecker
+from repro.radio.lora import ChannelPlan, US915
+from repro.radio.propagation import Environment, LinkBudget, PropagationModel
+
+__all__ = ["PocParticipant", "ChallengeOutcome", "run_challenge"]
+
+#: Hotspots beyond this actual distance are never candidate witnesses
+#: (generously above the 60–110 km over-water receptions the paper notes).
+WITNESS_QUERY_RADIUS_KM: float = 120.0
+
+#: LoRa concentrators cannot demodulate below roughly this RSSI.
+DEMOD_FLOOR_DBM: float = -139.0
+
+
+@dataclass
+class PocParticipant:
+    """A hotspot as the PoC engine sees it.
+
+    Args:
+        gateway / owner: chain addresses.
+        asserted_location: what the chain believes (hex-centre snapped).
+        actual_location: radio ground truth; differs for silent movers.
+        environment: propagation class of the deployment site.
+        antenna_gain_dbi: link-budget gain (a few hotspots run high-gain
+            antennas — the source of the paper's footnote-16 outliers).
+        online: offline hotspots neither transmit nor witness.
+        cheat: optional cheating strategy.
+    """
+
+    gateway: Address
+    owner: Address
+    asserted_location: LatLon
+    actual_location: LatLon
+    environment: Environment = Environment.SUBURBAN
+    antenna_gain_dbi: float = 1.2
+    online: bool = True
+    cheat: Optional[CheatStrategy] = None
+
+    @property
+    def asserted_cell(self) -> HexCell:
+        """Asserted location as a res-12 hex cell."""
+        return HexGrid.encode_cell(self.asserted_location)
+
+    @property
+    def is_silent_mover(self) -> bool:
+        """True when actual and asserted locations diverge (> 1 km)."""
+        return self.actual_location.distance_km(self.asserted_location) > 1.0
+
+
+@dataclass
+class ChallengeOutcome:
+    """Everything one challenge produced."""
+
+    request: PocRequest
+    receipts: PocReceipts
+    event: PocEvent
+    #: (witness gateway, actual distance km) for every report filed,
+    #: valid or not — ground truth the analyses can score against.
+    witness_actual_distances: List[Tuple[Address, float]] = field(
+        default_factory=list
+    )
+
+
+def _link_environment(a: Environment, b: Environment) -> Environment:
+    """Effective environment of a link between two sites.
+
+    Clutter at either end attenuates, so the worse (higher path-loss
+    exponent) endpoint dominates — except for links where both ends are
+    in open country or over water, which is how the paper's rare 60–110
+    km over-lake witness links arise (footnote 16).
+    """
+    open_envs = (Environment.OVER_WATER, Environment.RURAL, Environment.FREE_SPACE)
+    if a in open_envs and b in open_envs:
+        return min(a, b, key=lambda env: env.path_loss_exponent)
+    return max(a, b, key=lambda env: env.path_loss_exponent)
+
+
+def run_challenge(
+    challenger: PocParticipant,
+    challengee: PocParticipant,
+    candidates: Sequence[PocParticipant],
+    rng: np.random.Generator,
+    checker: Optional[WitnessValidityChecker] = None,
+    plan: ChannelPlan = US915,
+) -> ChallengeOutcome:
+    """Simulate one challenge and produce its chain transactions.
+
+    Args:
+        challenger: the hotspot that constructed the challenge.
+        challengee: the hotspot asked to transmit.
+        candidates: hotspots near the challengee's *actual* location
+            (from a spatial index), plus any gossip-clique members.
+        rng: random stream.
+        checker: validity heuristics (defaults to chain defaults).
+        plan: regional channel plan for the transmission.
+    """
+    if checker is None:
+        checker = WitnessValidityChecker()
+    freq_mhz = plan.random_channel(rng)
+    channel_index = plan.channel_index(freq_mhz)
+    secret_hash = hashlib.sha256(
+        f"{challenger.gateway}:{challengee.gateway}:{rng.integers(1 << 30)}".encode()
+    ).hexdigest()
+
+    reports: List[WitnessReport] = []
+    event_witnesses: List[Tuple[Address, Address]] = []
+    actual_distances: List[Tuple[Address, float]] = []
+
+    for candidate in candidates:
+        if candidate.gateway == challengee.gateway or not candidate.online:
+            continue
+        actual_km = challengee.actual_location.distance_km(
+            candidate.actual_location
+        )
+        honest_rssi: Optional[float] = None
+        if actual_km <= WITNESS_QUERY_RADIUS_KM and actual_km > 1e-4:
+            env = _link_environment(challengee.environment, candidate.environment)
+            model = PropagationModel(
+                env,
+                LinkBudget(antenna_gain_dbi=candidate.antenna_gain_dbi),
+            )
+            rssi = model.sample_rssi_dbm(actual_km, rng)
+            if rssi >= DEMOD_FLOOR_DBM:
+                honest_rssi = rssi
+
+        asserted_km = challengee.asserted_location.distance_km(
+            candidate.asserted_location
+        )
+        reported: Optional[float]
+        if candidate.cheat is not None:
+            fabricate = honest_rssi is None and candidate.cheat.witnesses_out_of_range(
+                challengee.gateway
+            )
+            if honest_rssi is None and not fabricate:
+                continue
+            reported = candidate.cheat.forge_rssi(
+                honest_rssi, asserted_km, checker, rng
+            )
+            if reported is None:
+                continue
+        else:
+            if honest_rssi is None:
+                continue
+            reported = honest_rssi
+
+        verdict = checker.check(
+            challengee_location=challengee.asserted_location,
+            witness_location=candidate.asserted_location,
+            witness_cell=candidate.asserted_cell,
+            rssi_dbm=reported,
+            freq_mhz=freq_mhz,
+            channel_index=channel_index,
+        )
+        reports.append(WitnessReport(
+            witness=candidate.gateway,
+            rssi_dbm=reported,
+            snr_db=float(rng.normal(5.0, 4.0)),
+            frequency_mhz=freq_mhz,
+            reported_location_token=candidate.asserted_cell.token,
+            is_valid=verdict.is_valid,
+            invalid_reason=(
+                verdict.reason.value if verdict.reason is not None else None
+            ),
+        ))
+        actual_distances.append((candidate.gateway, actual_km))
+        if verdict.is_valid:
+            event_witnesses.append((candidate.gateway, candidate.owner))
+
+    request = PocRequest(
+        challenger=challenger.gateway,
+        secret_hash=secret_hash,
+        challengee=challengee.gateway,
+    )
+    receipts = PocReceipts(
+        challenger=challenger.gateway,
+        challengee=challengee.gateway,
+        challengee_location_token=challengee.asserted_cell.token,
+        witnesses=tuple(reports),
+        frequency_mhz=freq_mhz,
+    )
+    event = PocEvent(
+        challenger=challenger.gateway,
+        challenger_owner=challenger.owner,
+        challengee=challengee.gateway,
+        challengee_owner=challengee.owner,
+        witnesses=tuple(event_witnesses),
+    )
+    return ChallengeOutcome(
+        request=request,
+        receipts=receipts,
+        event=event,
+        witness_actual_distances=actual_distances,
+    )

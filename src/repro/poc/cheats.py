@@ -1,0 +1,116 @@
+"""Cheating strategies from the paper's incentive case studies (§7).
+
+The simulation injects these into a minority of hotspots; the analysis
+layer then re-discovers them from chain data alone, exactly as the paper
+did (silent-mover detection via impossible witness geometry, lying-witness
+detection via impossible RSSI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.poc.validity import WitnessValidityChecker
+
+__all__ = ["CheatStrategy", "SilentMover", "RssiLiar", "GossipClique"]
+
+
+@dataclass
+class CheatStrategy:
+    """Base class; honest hotspots carry no strategy (``None``)."""
+
+    def forge_rssi(
+        self,
+        honest_rssi_dbm: Optional[float],
+        asserted_distance_km: float,
+        checker: WitnessValidityChecker,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        """The RSSI this hotspot reports, given what it honestly heard.
+
+        Returning ``None`` means "do not witness"; the default is honest
+        pass-through.
+        """
+        return honest_rssi_dbm
+
+    def witnesses_out_of_range(self, challengee_gateway: str) -> bool:
+        """Whether this hotspot fabricates a witness report it never heard."""
+        return False
+
+
+@dataclass
+class SilentMover(CheatStrategy):
+    """A hotspot that physically moved without re-asserting (§7.1).
+
+    The strategy object itself is a marker — the *lie* is in the
+    simulation world, where the hotspot's actual location differs from
+    its asserted one ("Joyful Pink Skunk ... witnesses hotspots in the
+    state of New York" while asserted in Pennsylvania). It reports its
+    honest RSSI; the geometry does the lying.
+    """
+
+    moved_from_token: str = ""
+    moved_to_description: str = ""
+
+
+@dataclass
+class RssiLiar(CheatStrategy):
+    """A witness that forges RSSI (§7.2).
+
+    With probability ``absurd_probability`` it reports a nonsense value
+    (the paper saw "an RSSI as high as 1,041,313,293 dBm"); otherwise it
+    inflates its honest reading by ``inflation_db`` in a "misguided
+    attempt to earn more rewards for witnessing well".
+    """
+
+    inflation_db: float = 25.0
+    absurd_probability: float = 0.02
+    absurd_value_dbm: float = 1_041_313_293.0
+
+    def forge_rssi(
+        self,
+        honest_rssi_dbm: Optional[float],
+        asserted_distance_km: float,
+        checker: WitnessValidityChecker,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        if honest_rssi_dbm is None:
+            return None
+        if float(rng.random()) < self.absurd_probability:
+            return self.absurd_value_dbm
+        return honest_rssi_dbm + self.inflation_db
+
+
+@dataclass
+class GossipClique(CheatStrategy):
+    """Colluding hotspots that gossip challenge secrets (§7.2).
+
+    "Colluding, modestly geospatially clustered nodes could easily gossip
+    challengee secrets to increase the number of challenges (plausibly!)
+    'witnessed'". Members witness any clique member's challenge whether
+    or not they heard it, and forge an RSSI just under the public
+    plausibility bound — defeating the heuristics by construction.
+    """
+
+    clique_id: int = 0
+    members: Set[str] = field(default_factory=set)
+
+    def witnesses_out_of_range(self, challengee_gateway: str) -> bool:
+        return challengee_gateway in self.members
+
+    def forge_rssi(
+        self,
+        honest_rssi_dbm: Optional[float],
+        asserted_distance_km: float,
+        checker: WitnessValidityChecker,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        # Query the same public algorithm the chain runs (§7.2 takeaway),
+        # then back off a comfortable margin below the bound.
+        bound = checker.max_plausible_rssi_dbm(max(asserted_distance_km, 0.31))
+        forged = bound - float(rng.uniform(35.0, 55.0))
+        # Stay above the too-low floor as well.
+        return max(forged, checker.rssi_floor_dbm + 3.0)

@@ -1,0 +1,121 @@
+"""PoC engine: drives challenge rounds across the whole hotspot fleet.
+
+"Hotspot challenges are not geographically coordinated and can be acted
+on any other hotspot in the world. They do not target and prove any
+specific region has coverage, rather they stochastically validate every
+node in the network's coverage over time." (§2.3)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.crypto import Address
+from repro.errors import PocError
+from repro.geo.spatialindex import SpatialIndex
+from repro.poc.challenge import (
+    ChallengeOutcome,
+    PocParticipant,
+    WITNESS_QUERY_RADIUS_KM,
+    run_challenge,
+)
+from repro.poc.cheats import GossipClique
+from repro.poc.validity import WitnessValidityChecker
+from repro.radio.lora import ChannelPlan, US915
+
+__all__ = ["PocEngine"]
+
+
+class PocEngine:
+    """Holds the participant fleet and runs stochastic challenge rounds.
+
+    Participants are indexed by their *actual* location — radio truth —
+    because that is what determines who can physically hear a challenge.
+    Validity checking inside each challenge then uses asserted locations.
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[PocParticipant],
+        checker: Optional[WitnessValidityChecker] = None,
+        plan: ChannelPlan = US915,
+    ) -> None:
+        if not participants:
+            raise PocError("PoC engine needs at least one participant")
+        self.participants: List[PocParticipant] = list(participants)
+        self.by_gateway: Dict[Address, PocParticipant] = {
+            p.gateway: p for p in self.participants
+        }
+        self.checker = checker if checker is not None else WitnessValidityChecker()
+        self.plan = plan
+        self._index: SpatialIndex[PocParticipant] = SpatialIndex(cell_deg=1.0)
+        for participant in self.participants:
+            self._index.insert(participant.actual_location, participant)
+        self._clique_members: Dict[int, List[PocParticipant]] = {}
+        for participant in self.participants:
+            if isinstance(participant.cheat, GossipClique):
+                self._clique_members.setdefault(
+                    participant.cheat.clique_id, []
+                ).append(participant)
+
+    def add_participant(self, participant: PocParticipant) -> None:
+        """Register a newly deployed hotspot with the engine."""
+        if participant.gateway in self.by_gateway:
+            raise PocError(f"participant already registered: {participant.gateway}")
+        self.participants.append(participant)
+        self.by_gateway[participant.gateway] = participant
+        self._index.insert(participant.actual_location, participant)
+        if isinstance(participant.cheat, GossipClique):
+            self._clique_members.setdefault(
+                participant.cheat.clique_id, []
+            ).append(participant)
+
+    def _online(self) -> List[PocParticipant]:
+        online = [p for p in self.participants if p.online]
+        if len(online) < 2:
+            raise PocError("need at least two online hotspots to run a challenge")
+        return online
+
+    def candidates_for(self, challengee: PocParticipant) -> List[PocParticipant]:
+        """Physical neighbours plus any gossip-clique conspirators."""
+        nearby = [
+            participant
+            for _, participant in self._index.within_radius(
+                challengee.actual_location, WITNESS_QUERY_RADIUS_KM
+            )
+        ]
+        if isinstance(challengee.cheat, GossipClique):
+            seen = {p.gateway for p in nearby}
+            for member in self._clique_members.get(challengee.cheat.clique_id, []):
+                if member.gateway not in seen:
+                    nearby.append(member)
+        return nearby
+
+    def run_one(
+        self, rng: np.random.Generator, challengee: Optional[PocParticipant] = None
+    ) -> ChallengeOutcome:
+        """Run a single challenge with random challenger/challengee."""
+        online = self._online()
+        challenger = online[int(rng.integers(len(online)))]
+        if challengee is None:
+            challengee = challenger
+            while challengee.gateway == challenger.gateway:
+                challengee = online[int(rng.integers(len(online)))]
+        return run_challenge(
+            challenger=challenger,
+            challengee=challengee,
+            candidates=self.candidates_for(challengee),
+            rng=rng,
+            checker=self.checker,
+            plan=self.plan,
+        )
+
+    def run_round(
+        self, n_challenges: int, rng: np.random.Generator
+    ) -> List[ChallengeOutcome]:
+        """Run ``n_challenges`` independent challenges."""
+        if n_challenges < 0:
+            raise PocError(f"challenge count cannot be negative: {n_challenges}")
+        return [self.run_one(rng) for _ in range(n_challenges)]

@@ -1,0 +1,128 @@
+"""Chain-side witness validity heuristics (§8.2.1).
+
+A witness is valid unless it trips one of the five criteria the paper
+enumerates:
+
+* is too close to the challengee (< 300 m — HIP 15),
+* has too high an RSSI (several heuristics),
+* has too low an RSSI (several heuristics),
+* is pentagonally distorted (rare artifact of H3 distance),
+* claims capture on the wrong channel (impossible).
+
+All checks run on **chain-visible data only**: asserted locations and the
+witness's self-reported RSSI. That is the paper's §7.2 point — "the
+current PoC model relies on witnesses reporting their RSSI truthfully,
+while RSSI is easily forged" — and our cheat strategies exploit exactly
+the gap between these heuristics and radio truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.geo.geodesy import LatLon
+from repro.geo.hexgrid import HexCell
+from repro.radio.lora import MAX_EIRP_DBM_US
+from repro.radio.propagation import fspl_db
+
+__all__ = ["InvalidReason", "ValidityVerdict", "WitnessValidityChecker"]
+
+
+class InvalidReason(Enum):
+    """Why a witness report was marked invalid."""
+
+    TOO_CLOSE = "too_close"
+    RSSI_TOO_HIGH = "rssi_too_high"
+    RSSI_TOO_LOW = "rssi_too_low"
+    PENTAGON_DISTORTION = "pentagon_distortion"
+    WRONG_CHANNEL = "wrong_channel"
+
+
+@dataclass(frozen=True)
+class ValidityVerdict:
+    """Outcome of validity checking for one witness report."""
+
+    is_valid: bool
+    reason: Optional[InvalidReason] = None
+
+
+class WitnessValidityChecker:
+    """Implements the five §8.2.1 validity criteria.
+
+    Args:
+        min_distance_km: HIP 15 exclusion radius (0.3 km).
+        rssi_margin_db: slack added to the free-space upper bound before
+            an RSSI is called "too high". Deliberately generous — real
+            chains kept heuristics loose to avoid penalising honest
+            outliers, which is precisely why forged-but-plausible RSSIs
+            sail through (§7.2 takeaway).
+        rssi_floor_dbm: below this, a report is "too low" (no real LoRa
+            demodulator decodes it).
+        eirp_dbm: assumed transmit EIRP for the free-space bound.
+    """
+
+    def __init__(
+        self,
+        min_distance_km: float = 0.3,
+        rssi_margin_db: float = 30.0,
+        rssi_floor_dbm: float = -139.0,
+        eirp_dbm: float = 28.2,
+    ) -> None:
+        self.min_distance_km = min_distance_km
+        self.rssi_margin_db = rssi_margin_db
+        self.rssi_floor_dbm = rssi_floor_dbm
+        self.eirp_dbm = eirp_dbm
+
+    def check(
+        self,
+        challengee_location: LatLon,
+        witness_location: LatLon,
+        witness_cell: HexCell,
+        rssi_dbm: float,
+        freq_mhz: float,
+        channel_index: int,
+    ) -> ValidityVerdict:
+        """Judge one witness report.
+
+        Args:
+            challengee_location: challengee's *asserted* location.
+            witness_location: witness's *asserted* location.
+            witness_cell: witness's asserted hex cell (pentagon check).
+            rssi_dbm: the self-reported RSSI.
+            freq_mhz: carrier the witness claims it captured on.
+            channel_index: index of ``freq_mhz`` in the regional plan,
+                −1 when the frequency is off-plan.
+        """
+        if channel_index < 0:
+            return ValidityVerdict(False, InvalidReason.WRONG_CHANNEL)
+        if witness_cell.is_pentagon_distorted():
+            return ValidityVerdict(False, InvalidReason.PENTAGON_DISTORTION)
+        distance_km = challengee_location.distance_km(witness_location)
+        if distance_km < self.min_distance_km:
+            return ValidityVerdict(False, InvalidReason.TOO_CLOSE)
+        if rssi_dbm < self.rssi_floor_dbm:
+            return ValidityVerdict(False, InvalidReason.RSSI_TOO_LOW)
+        if rssi_dbm > self.max_plausible_rssi_dbm(distance_km, freq_mhz):
+            return ValidityVerdict(False, InvalidReason.RSSI_TOO_HIGH)
+        return ValidityVerdict(True)
+
+    def max_plausible_rssi_dbm(
+        self, distance_km: float, freq_mhz: float = 904.6
+    ) -> float:
+        """Free-space upper bound on honest RSSI at ``distance_km``.
+
+        Public on the blockchain — which is the paper's point: "expert
+        manipulators (with access to the cheating detection algorithm
+        running on the public blockchain) will always be able to defeat
+        heuristics". :class:`~repro.poc.cheats.GossipClique` calls this
+        exact function to forge passing values.
+        """
+        # Absolute physics bound: nothing exceeds the legal EIRP at 0 m.
+        if distance_km <= 0:
+            return MAX_EIRP_DBM_US
+        return min(
+            self.eirp_dbm - fspl_db(distance_km, freq_mhz) + self.rssi_margin_db,
+            MAX_EIRP_DBM_US,
+        )

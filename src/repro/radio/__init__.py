@@ -1,0 +1,47 @@
+"""LoRa PHY substrate: modulation parameters and radio propagation.
+
+The field experiments (§8) and the PoC witness machinery both ride on a
+LoRa physical layer. :mod:`repro.radio.lora` models the modulation side —
+spreading factors, airtime, receiver sensitivity, regional channel plans —
+and :mod:`repro.radio.propagation` models the channel: free-space and
+log-distance path loss, shadowing, and the paper's inverse-FSPL radius
+growth formula used by the revised coverage model.
+"""
+
+from repro.radio.lora import (
+    Bandwidth,
+    ChannelPlan,
+    CodingRate,
+    EU868,
+    LoRaParams,
+    SpreadingFactor,
+    US915,
+    airtime_ms,
+    sensitivity_dbm,
+)
+from repro.radio.propagation import (
+    Environment,
+    FSPL_SENSITIVITY_DBM,
+    LinkBudget,
+    PropagationModel,
+    fspl_db,
+    fspl_range_growth_m,
+)
+
+__all__ = [
+    "SpreadingFactor",
+    "Bandwidth",
+    "CodingRate",
+    "LoRaParams",
+    "ChannelPlan",
+    "US915",
+    "EU868",
+    "airtime_ms",
+    "sensitivity_dbm",
+    "Environment",
+    "PropagationModel",
+    "LinkBudget",
+    "fspl_db",
+    "fspl_range_growth_m",
+    "FSPL_SENSITIVITY_DBM",
+]

@@ -1,0 +1,226 @@
+"""LoRa modulation model: spreading factors, airtime, sensitivity, regions.
+
+Implements the Semtech LoRa modem equations (SX1276 datasheet §4.1) that
+determine packet airtime and receiver sensitivity, plus the US915/EU868
+regional channel plans Helium operates under. These feed three places:
+
+* the field-test simulator, which needs airtime to pace the paper's
+  "free-running send" counter app (§8.1);
+* the PoC engine, which needs channel plans for the "claims capture on
+  the wrong channel (impossible)" witness-validity rule (§8.2.1);
+* the coverage models, which need receiver sensitivity (the paper uses
+  −134 dBm for the recommended ST board).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SpreadingFactor",
+    "Bandwidth",
+    "CodingRate",
+    "LoRaParams",
+    "ChannelPlan",
+    "US915",
+    "EU868",
+    "airtime_ms",
+    "sensitivity_dbm",
+    "ST_BOARD_SENSITIVITY_DBM",
+    "MAX_EIRP_DBM_US",
+]
+
+#: Receiver sensitivity of the ST B-L072Z-LRWAN1 board the paper deploys
+#: ("We set s to be a constant −134 dBm", §8.2.1).
+ST_BOARD_SENSITIVITY_DBM: float = -134.0
+
+#: "FCC regulations limit transmitters to +36 dBm EIRP" (§7.2).
+MAX_EIRP_DBM_US: float = 36.0
+
+
+class SpreadingFactor(IntEnum):
+    """LoRa spreading factor: chips per symbol = 2**SF."""
+
+    SF7 = 7
+    SF8 = 8
+    SF9 = 9
+    SF10 = 10
+    SF11 = 11
+    SF12 = 12
+
+
+class Bandwidth(IntEnum):
+    """Channel bandwidth in Hz."""
+
+    BW125 = 125_000
+    BW250 = 250_000
+    BW500 = 500_000
+
+
+class CodingRate(Enum):
+    """Forward error correction rate (4/x)."""
+
+    CR_4_5 = 1
+    CR_4_6 = 2
+    CR_4_7 = 3
+    CR_4_8 = 4
+
+
+#: Demodulator SNR floor per spreading factor (dB), SX1276 datasheet.
+_SNR_FLOOR_DB: Dict[SpreadingFactor, float] = {
+    SpreadingFactor.SF7: -7.5,
+    SpreadingFactor.SF8: -10.0,
+    SpreadingFactor.SF9: -12.5,
+    SpreadingFactor.SF10: -15.0,
+    SpreadingFactor.SF11: -17.5,
+    SpreadingFactor.SF12: -20.0,
+}
+
+#: Receiver noise figure assumed for sensitivity computation (dB).
+_NOISE_FIGURE_DB: float = 6.0
+
+
+def sensitivity_dbm(sf: SpreadingFactor, bw: Bandwidth = Bandwidth.BW125) -> float:
+    """Receiver sensitivity: thermal noise + noise figure + SNR floor.
+
+    S = −174 + 10·log10(BW) + NF + SNR_floor. Matches the published
+    SX1276 figures within ~1 dB (e.g. SF12/125 kHz → −137 dBm).
+    """
+    return -174.0 + 10.0 * math.log10(int(bw)) + _NOISE_FIGURE_DB + _SNR_FLOOR_DB[sf]
+
+
+@dataclass(frozen=True)
+class LoRaParams:
+    """Complete physical-layer parameterisation of a transmission."""
+
+    sf: SpreadingFactor = SpreadingFactor.SF9
+    bw: Bandwidth = Bandwidth.BW125
+    cr: CodingRate = CodingRate.CR_4_5
+    preamble_symbols: int = 8
+    explicit_header: bool = True
+    crc: bool = True
+
+    @property
+    def symbol_time_ms(self) -> float:
+        """Duration of one LoRa symbol in milliseconds."""
+        return (2 ** int(self.sf)) / int(self.bw) * 1000.0
+
+    @property
+    def low_data_rate_optimize(self) -> bool:
+        """LoRaWAN mandates DE for symbol times over 16 ms (SF11/12 @125k)."""
+        return self.symbol_time_ms > 16.0
+
+    def sensitivity_dbm(self) -> float:
+        """Receiver sensitivity for this parameterisation."""
+        return sensitivity_dbm(self.sf, self.bw)
+
+
+def airtime_ms(payload_bytes: int, params: LoRaParams = LoRaParams()) -> float:
+    """Time on air of a LoRa packet (Semtech SX1276 §4.1.1.7).
+
+    Args:
+        payload_bytes: PHY payload length (LoRaWAN MAC frame size).
+        params: modulation parameters.
+
+    Raises:
+        ReproError: if ``payload_bytes`` is negative.
+    """
+    if payload_bytes < 0:
+        raise ReproError(f"payload length must be non-negative: {payload_bytes}")
+    t_sym = params.symbol_time_ms
+    t_preamble = (params.preamble_symbols + 4.25) * t_sym
+    de = 1 if params.low_data_rate_optimize else 0
+    ih = 0 if params.explicit_header else 1
+    crc = 1 if params.crc else 0
+    sf = int(params.sf)
+    numerator = 8 * payload_bytes - 4 * sf + 28 + 16 * crc - 20 * ih
+    n_payload = 8 + max(
+        math.ceil(numerator / (4 * (sf - 2 * de))) * (params.cr.value + 4), 0
+    )
+    return t_preamble + n_payload * t_sym
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A regional LoRaWAN channel plan (uplink side).
+
+    Only the attributes the simulation consumes are modelled: channel
+    centre frequencies (for the wrong-channel PoC validity check), the
+    default data-rate range, and the regional duty-cycle limit.
+    """
+
+    name: str
+    uplink_mhz: Tuple[float, ...]
+    max_eirp_dbm: float
+    duty_cycle: float  # fraction of time a device may transmit (1.0 = none)
+    default_sf: SpreadingFactor
+
+    def channel_index(self, freq_mhz: float, tolerance_mhz: float = 0.01) -> int:
+        """Index of ``freq_mhz`` in the plan, or −1 when off-plan.
+
+        The PoC validity rule "claims capture on the wrong channel
+        (impossible)" reduces to this lookup returning −1.
+        """
+        for i, f in enumerate(self.uplink_mhz):
+            if abs(f - freq_mhz) <= tolerance_mhz:
+                return i
+        return -1
+
+    def random_channel(self, rng) -> float:
+        """A uniformly chosen uplink channel frequency."""
+        return float(self.uplink_mhz[int(rng.integers(len(self.uplink_mhz)))])
+
+
+def _us915_channels() -> Tuple[float, ...]:
+    # Sub-band 2 (channels 8-15), the de-facto Helium US sub-band.
+    return tuple(903.9 + 0.2 * i for i in range(8))
+
+
+def _eu868_channels() -> Tuple[float, ...]:
+    return (868.1, 868.3, 868.5, 867.1, 867.3, 867.5, 867.7, 867.9)
+
+
+#: US plan: no duty cycle, but dwell-time limits; Helium uses sub-band 2.
+US915 = ChannelPlan(
+    name="US915",
+    uplink_mhz=_us915_channels(),
+    max_eirp_dbm=MAX_EIRP_DBM_US,
+    duty_cycle=1.0,
+    default_sf=SpreadingFactor.SF9,
+)
+
+#: EU plan: 1 % duty cycle in the 868 MHz band, +16 dBm EIRP.
+EU868 = ChannelPlan(
+    name="EU868",
+    uplink_mhz=_eu868_channels(),
+    max_eirp_dbm=16.0,
+    duty_cycle=0.01,
+    default_sf=SpreadingFactor.SF9,
+)
+
+
+def plan_for_country(country: str) -> ChannelPlan:
+    """Channel plan in force for a country code (US915 outside Europe)."""
+    european = {
+        "GB", "DE", "FR", "ES", "IT", "NL", "BE", "CH", "AT", "PT", "IE",
+        "SE", "DK", "NO", "FI", "PL", "CZ", "GR", "TR",
+    }
+    return EU868 if country in european else US915
+
+
+def max_payload_bytes(sf: SpreadingFactor) -> int:
+    """LoRaWAN maximum application payload for a spreading factor (US915)."""
+    table = {
+        SpreadingFactor.SF7: 242,
+        SpreadingFactor.SF8: 125,
+        SpreadingFactor.SF9: 53,
+        SpreadingFactor.SF10: 11,
+        SpreadingFactor.SF11: 11,   # not used for US uplink; kept for EU
+        SpreadingFactor.SF12: 11,
+    }
+    return table[sf]

@@ -1,0 +1,244 @@
+"""Radio propagation models for the simulated LoRa channel.
+
+Three layers of fidelity, all used somewhere in the reproduction:
+
+* **Free-space path loss (FSPL)** — the paper's revised coverage model
+  grows witness radii with the inverse FSPL formula ``d = 10^((w−s)/20)``
+  (§8.2.1); :func:`fspl_range_growth_m` is that exact expression.
+* **Log-distance with lognormal shadowing** — the workhorse channel for
+  PoC witnessing and field walks. Exponents and shadowing sigmas vary by
+  environment, reproducing both the urban multipath losses the walks see
+  and the freak 60–110 km over-water receptions the paper footnotes.
+* **Packet success** — reception is Bernoulli in the RSSI margin over
+  receiver sensitivity, smoothed with a logistic roll-off so the PRR
+  curves have the soft knee real LoRa links exhibit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.radio.lora import ST_BOARD_SENSITIVITY_DBM
+
+__all__ = [
+    "Environment",
+    "PropagationModel",
+    "LinkBudget",
+    "fspl_db",
+    "fspl_range_km",
+    "fspl_range_growth_m",
+    "FSPL_SENSITIVITY_DBM",
+    "DEFAULT_FREQ_MHZ",
+]
+
+#: Default carrier for link budget math (US915 sub-band 2 centre).
+DEFAULT_FREQ_MHZ: float = 904.6
+
+#: Sensitivity constant used by the paper's radius-growth formula.
+FSPL_SENSITIVITY_DBM: float = ST_BOARD_SENSITIVITY_DBM
+
+
+def fspl_db(distance_km: float, freq_mhz: float = DEFAULT_FREQ_MHZ) -> float:
+    """Free-space path loss in dB.
+
+    FSPL(dB) = 20·log10(d_km) + 20·log10(f_MHz) + 32.44.
+
+    Raises:
+        ReproError: for non-positive distance or frequency.
+    """
+    if distance_km <= 0:
+        raise ReproError(f"distance must be positive, got {distance_km}")
+    if freq_mhz <= 0:
+        raise ReproError(f"frequency must be positive, got {freq_mhz}")
+    return 20.0 * math.log10(distance_km) + 20.0 * math.log10(freq_mhz) + 32.44
+
+
+def fspl_range_km(
+    tx_power_dbm: float,
+    sensitivity_dbm: float,
+    freq_mhz: float = DEFAULT_FREQ_MHZ,
+) -> float:
+    """Maximum free-space range for a link budget, in kilometres."""
+    budget = tx_power_dbm - sensitivity_dbm
+    return 10.0 ** ((budget - 32.44 - 20.0 * math.log10(freq_mhz)) / 20.0)
+
+
+def fspl_range_growth_m(
+    witness_rssi_dbm: float, sensitivity_dbm: float = FSPL_SENSITIVITY_DBM
+) -> float:
+    """The paper's radius-growth term: ``d = 10^((w − s) / 20)`` in metres.
+
+    For the median witness RSSI of −108 dBm and s = −134 dBm this gives
+    10^(26/20) ≈ 20 m, exactly the "+20 m of coverage range" the paper
+    reports for the RSSI step of the revised model (§8.2.1).
+
+    Args:
+        witness_rssi_dbm: RSSI the witness reported for the challenge.
+        sensitivity_dbm: sensitivity of the device hoping for coverage.
+    """
+    return 10.0 ** ((witness_rssi_dbm - sensitivity_dbm) / 20.0)
+
+
+class Environment(Enum):
+    """Radio environment class with (exponent, shadowing σ, extra loss).
+
+    Exponents and clutter losses are calibrated so hotspot-to-hotspot
+    witnessing concentrates at the few-km distances of the paper's
+    Figure 13 (with rural/over-water links providing the 60–110 km
+    tail) while ground-level device links (STREET_LEVEL) produce the
+    few-hundred-metre reliable ranges the §8.2.2 walks observe.
+    """
+
+    FREE_SPACE = ("free-space", 2.0, 0.0, 0.0)
+    RURAL = ("rural", 3.0, 4.0, 16.0)
+    SUBURBAN = ("suburban", 3.4, 6.0, 16.0)
+    URBAN = ("urban", 3.7, 8.0, 22.0)
+    #: Handheld device at ground level amid clutter (walk tests).
+    STREET_LEVEL = ("street-level", 4.0, 8.0, 24.0)
+    OVER_WATER = ("over-water", 2.05, 2.0, 0.0)
+
+    def __init__(
+        self, label: str, exponent: float, sigma_db: float, excess_db: float
+    ) -> None:
+        self.label = label
+        self.path_loss_exponent = exponent
+        self.shadowing_sigma_db = sigma_db
+        self.excess_loss_db = excess_db
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Transmit-side parameters of a link."""
+
+    tx_power_dbm: float = 27.0  # typical Helium hotspot / device EIRP
+    antenna_gain_dbi: float = 1.2
+    freq_mhz: float = DEFAULT_FREQ_MHZ
+
+    @property
+    def eirp_dbm(self) -> float:
+        """Effective isotropic radiated power."""
+        return self.tx_power_dbm + self.antenna_gain_dbi
+
+
+class PropagationModel:
+    """Log-distance path loss with lognormal shadowing.
+
+    PL(d) = FSPL(d₀) + excess + 10·n·log10(d/d₀) + X_σ, with reference
+    distance d₀ = 100 m. The ``excess`` term folds in clutter losses so
+    the urban model produces the few-hundred-metre reliable ranges the
+    paper's walk tests observe, while the rural/over-water models allow
+    the multi-km witnessing PoC records show.
+    """
+
+    #: Reference distance for the log-distance model, in km.
+    REFERENCE_KM: float = 0.1
+
+    def __init__(
+        self,
+        environment: Environment = Environment.SUBURBAN,
+        budget: Optional[LinkBudget] = None,
+    ) -> None:
+        self.environment = environment
+        self.budget = budget if budget is not None else LinkBudget()
+        self._ref_loss_db = (
+            fspl_db(self.REFERENCE_KM, self.budget.freq_mhz)
+            + environment.excess_loss_db
+        )
+
+    def mean_path_loss_db(self, distance_km: float) -> float:
+        """Expected path loss at ``distance_km`` (no shadowing)."""
+        if distance_km <= 0:
+            raise ReproError(f"distance must be positive, got {distance_km}")
+        d = max(distance_km, 1e-4)  # clamp into the model's valid region
+        return self._ref_loss_db + 10.0 * self.environment.path_loss_exponent * (
+            math.log10(d / self.REFERENCE_KM)
+        )
+
+    def mean_rssi_dbm(self, distance_km: float) -> float:
+        """Expected RSSI at ``distance_km``."""
+        return self.budget.eirp_dbm - self.mean_path_loss_db(distance_km)
+
+    def sample_rssi_dbm(
+        self, distance_km: float, rng: np.random.Generator
+    ) -> float:
+        """One RSSI draw including lognormal shadowing."""
+        shadow = float(rng.normal(0.0, self.environment.shadowing_sigma_db))
+        return self.mean_rssi_dbm(distance_km) + shadow
+
+    def reception_probability(
+        self,
+        distance_km: float,
+        sensitivity_dbm: float = ST_BOARD_SENSITIVITY_DBM,
+        softness_db: float = 3.0,
+    ) -> float:
+        """Probability a packet at ``distance_km`` is demodulated.
+
+        Logistic in the mean link margin; ``softness_db`` sets how fast
+        success decays around the sensitivity threshold and absorbs both
+        shadowing variance and interference.
+        """
+        margin = self.mean_rssi_dbm(distance_km) - sensitivity_dbm
+        return 1.0 / (1.0 + math.exp(-margin / softness_db))
+
+    def packet_received(
+        self,
+        distance_km: float,
+        rng: np.random.Generator,
+        sensitivity_dbm: float = ST_BOARD_SENSITIVITY_DBM,
+    ) -> bool:
+        """Bernoulli reception draw using a shadowed RSSI sample."""
+        rssi = self.sample_rssi_dbm(distance_km, rng)
+        return rssi >= sensitivity_dbm
+
+    def max_range_km(
+        self,
+        sensitivity_dbm: float = ST_BOARD_SENSITIVITY_DBM,
+        margin_db: float = 0.0,
+    ) -> float:
+        """Distance at which the mean RSSI meets sensitivity + margin."""
+        available = self.budget.eirp_dbm - sensitivity_dbm - margin_db
+        excess = available - self._ref_loss_db
+        if excess <= 0:
+            return self.REFERENCE_KM
+        return self.REFERENCE_KM * 10.0 ** (
+            excess / (10.0 * self.environment.path_loss_exponent)
+        )
+
+
+def environment_for_density(hotspots_within_5km: int) -> Environment:
+    """Heuristic mapping from local hotspot density to radio environment.
+
+    Kept for callers that reason about *real-scale* densities; the
+    simulator itself classifies by city population
+    (:func:`environment_for_city`), which is scale-invariant.
+    """
+    if hotspots_within_5km >= 60:
+        return Environment.URBAN
+    if hotspots_within_5km >= 12:
+        return Environment.SUBURBAN
+    return Environment.RURAL
+
+
+def environment_for_city(
+    population: int, distance_from_center_km: float, core_radius_km: float
+) -> Environment:
+    """Radio environment from city size and position within it.
+
+    Environment is about buildings, not about how many hotspots a
+    simulation happens to deploy — so it derives from population (which
+    is scale-invariant): big-city cores are urban, their fringes and
+    mid-size cities suburban, small towns rural.
+    """
+    if population >= 400_000:
+        if distance_from_center_km <= core_radius_km:
+            return Environment.URBAN
+        return Environment.SUBURBAN
+    if population >= 40_000:
+        return Environment.SUBURBAN
+    return Environment.RURAL

@@ -1,0 +1,27 @@
+"""Generative model of the Helium network's history.
+
+This package *writes* the blockchain the analyses read. Day by day it
+deploys hotspots into a synthetic geography (adoption is batch-limited
+and US-first, §4.2), assigns them to heavy-tailed owners (§4.3), moves
+them (test-then-deploy, (0,0) artifacts, silent movers — §4.1, §7.1),
+resells them (§4.3.3), runs thinned Proof-of-Coverage over real radio
+geometry (§2.3), generates data traffic including the HIP 10 arbitrage
+episode (§5.3), mints rewards, and assigns backhaul/NAT/relays (§6).
+
+Every marginal the paper reports is a *calibration target*; EXPERIMENTS.md
+records how close the defaults land.
+"""
+
+from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.scenario import ScenarioConfig, paper_scenario, small_scenario
+from repro.simulation.world import SimHotspot, World
+
+__all__ = [
+    "ScenarioConfig",
+    "paper_scenario",
+    "small_scenario",
+    "World",
+    "SimHotspot",
+    "SimulationEngine",
+    "SimulationResult",
+]

@@ -1,0 +1,104 @@
+"""Adoption process: how many hotspots come online each day (§4.2).
+
+"Qualitatively, growth seems mostly limited by hotspot availability. New
+production runs ('batches') are quickly placed into service." (Fig. 5)
+We model exactly that: demand always exceeds supply; supply arrives in
+monthly production batches that grow geometrically; daily placements
+drain the current inventory with a short sell-out transient after each
+batch lands.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["AdoptionSchedule", "build_adoption_schedule"]
+
+
+class AdoptionSchedule:
+    """Per-day deployment counts plus international share."""
+
+    def __init__(self, daily_counts: List[int], international_share: List[float]) -> None:
+        if len(daily_counts) != len(international_share):
+            raise SimulationError("schedule arrays must align")
+        self.daily_counts = daily_counts
+        self.international_share = international_share
+
+    @property
+    def total(self) -> int:
+        """Total hotspots deployed over the run."""
+        return sum(self.daily_counts)
+
+    def cumulative(self) -> List[int]:
+        """Cumulative deployment curve (Fig. 5 upper series)."""
+        out = []
+        running = 0
+        for count in self.daily_counts:
+            running += count
+            out.append(running)
+        return out
+
+
+def build_adoption_schedule(
+    config: ScenarioConfig, rng: np.random.Generator
+) -> AdoptionSchedule:
+    """Build the day-by-day deployment schedule.
+
+    Batches arrive every ``batch_interval_days``, each larger than the
+    last by ``batch_growth``; batch sizes are normalised so the run ends
+    at ``target_hotspots``. Within a batch window, placements front-load
+    (hotspots sell out fast), with small multiplicative noise.
+    """
+    n_days = config.n_days
+    n_batches = max(1, math.ceil(n_days / config.batch_interval_days))
+    raw_batches = [config.batch_growth ** i for i in range(n_batches)]
+    norm = config.target_hotspots / sum(raw_batches)
+    batch_sizes = [raw * norm for raw in raw_batches]
+
+    daily = [0.0] * n_days
+    for batch_index, size in enumerate(batch_sizes):
+        start = batch_index * config.batch_interval_days
+        end = min(start + config.batch_interval_days, n_days)
+        window = end - start
+        if window <= 0:
+            continue
+        # Front-loaded drain: weight day d within the window by a
+        # geometric decay — most units ship in the first week.
+        weights = np.array([0.82 ** d for d in range(window)])
+        weights = weights / weights.sum()
+        noise = rng.uniform(0.7, 1.3, size=window)
+        shaped = weights * noise
+        shaped = shaped / shaped.sum() * size
+        for offset in range(window):
+            daily[start + offset] += shaped[offset]
+
+    counts = _integerise(daily, config.target_hotspots)
+
+    intl: List[float] = []
+    ramp_days = 120.0
+    for day in range(n_days):
+        if day < config.international_launch_day:
+            intl.append(0.0)
+        else:
+            progress = min(1.0, (day - config.international_launch_day) / ramp_days)
+            intl.append(config.international_share_final * progress)
+    return AdoptionSchedule(counts, intl)
+
+
+def _integerise(daily: List[float], target: int) -> List[int]:
+    """Round a fractional schedule to integers summing exactly to target."""
+    counts = [int(x) for x in daily]
+    remainders = sorted(
+        range(len(daily)), key=lambda i: daily[i] - counts[i], reverse=True
+    )
+    deficit = target - sum(counts)
+    for i in range(abs(deficit)):
+        index = remainders[i % len(remainders)]
+        counts[index] += 1 if deficit > 0 else -1
+    return [max(0, c) for c in counts]

@@ -1,0 +1,195 @@
+"""Hotspot relocation process (§4.1).
+
+Reproduces the paper's move phenomenology:
+
+* 71.9 % of hotspots never move after the initial assert; movers follow
+  a geometric tail (≈55 % of movers stop within two moves, ≈16 % exceed
+  five).
+* Move *timing* follows Figure 4: 17.9 % of relocations within a day,
+  35.8 % within a week, 63.2 % within a month.
+* Move *distance* is bimodal (Figure 3): short test-then-deploy hops
+  within the city, and long-distance flows — dominated by US→Europe
+  resale exports — plus the (0,0) "null island" GPS-fix artifacts.
+* One pathological frequent mover (20 relocations) and a handful of
+  silent movers who relocate physically but never re-assert (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geo.cities import City
+from repro.geo.geodesy import LatLon, destination
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["PlannedMove", "MovePlanner", "sample_move_gap_days"]
+
+
+@dataclass
+class PlannedMove:
+    """One scheduled relocation.
+
+    ``day`` is fractional: the integer part is the calendar day, the
+    fraction places the assert within the day's blocks so that sub-day
+    relocation intervals (17.9 % of them, Fig. 4) exist on-chain.
+    """
+
+    day: float
+    kind: str  # "short" | "long" | "to_null" | "from_null"
+
+
+def sample_move_gap_days(
+    rng: np.random.Generator, heavy_mover: bool = False
+) -> float:
+    """Days between consecutive relocations, matching Figure 4's CDF.
+
+    Heavy movers (test-then-deploy churners and the 20-move outlier)
+    draw from the same piecewise shape with a compressed tail — they
+    must, or their multi-move careers could not fit inside the study
+    window at all, given the network's late exponential growth.
+    """
+    roll = float(rng.random())
+    if heavy_mover:
+        # Compressed: late churners complete their careers within weeks.
+        if roll < 0.15:
+            return float(rng.uniform(0.02, 1.0))
+        if roll < 0.30:
+            return float(rng.uniform(1.0, 5.0))
+        if roll < 0.60:
+            return float(rng.uniform(5.0, 15.0))
+        return float(rng.uniform(15.0, 60.0))
+    # Generative anchors sit *below* Fig. 4's measured CDF because the
+    # study window right-censors long gaps: under the exponential
+    # adoption curve this parameterisation measures out near the paper's
+    # 17.9 / 35.8 / 63.2 % anchors (see EXPERIMENTS.md for the residual).
+    if roll < 0.12:
+        return float(rng.uniform(0.02, 1.0))
+    if roll < 0.24:
+        return float(rng.uniform(1.0, 7.0))
+    if roll < 0.46:
+        return float(rng.uniform(7.0, 30.0))
+    return float(rng.uniform(30.0, 450.0))
+
+
+class MovePlanner:
+    """Plans each hotspot's relocation schedule at deployment time."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self._frequent_mover_assigned = False
+
+    def initial_assert_is_null(self, rng: np.random.Generator) -> bool:
+        """Whether the first assert lands at (0, 0) (no GPS fix)."""
+        return float(rng.random()) < self.config.null_island_initial_probability
+
+    def plan(
+        self,
+        added_day: int,
+        rng: np.random.Generator,
+        initial_null: bool,
+        will_transfer_on: Optional[int] = None,
+    ) -> List[PlannedMove]:
+        """The relocation schedule for one hotspot.
+
+        Args:
+            added_day: deployment day.
+            rng: random stream.
+            initial_null: the first assert was at (0, 0); a correcting
+                move follows within days (89 % of (0,0) asserts were
+                first-time, then fixed).
+            will_transfer_on: day of a scheduled resale, if any; roughly
+                half of transfers are followed by a long-distance move.
+        """
+        config = self.config
+        moves: List[PlannedMove] = []
+        cursor = float(added_day)
+        if initial_null:
+            cursor += float(rng.uniform(0.2, 6.0))
+            moves.append(PlannedMove(day=cursor, kind="from_null"))
+
+        n_extra = 0
+        if not self._frequent_mover_assigned and float(rng.random()) < 1.0 / max(
+            config.target_hotspots, 1
+        ):
+            # The single 20-move outlier (§4.1).
+            n_extra = config.frequent_mover_moves
+            self._frequent_mover_assigned = True
+        elif float(rng.random()) >= config.never_move_fraction:
+            n_extra = 1
+            while float(rng.random()) < config.extra_move_probability:
+                n_extra += 1
+
+        # Churners (3+ planned moves) draw compressed gaps: with the
+        # fleet's late exponential growth, multi-move careers can only
+        # exist at all if they complete within weeks — which is also the
+        # only way Fig. 2's fat mover tail and Fig. 4's interval CDF can
+        # coexist under right-censoring.
+        heavy = n_extra >= 3
+        for _ in range(n_extra):
+            cursor += sample_move_gap_days(rng, heavy_mover=heavy)
+            if cursor >= config.n_days:
+                break
+            roll = float(rng.random())
+            if roll < config.null_island_move_probability:
+                kind = "to_null"
+            elif roll < config.null_island_move_probability + config.long_move_fraction:
+                kind = "long"
+            else:
+                kind = "short"
+            if kind == "to_null":
+                # Nobody stays at (0, 0): "there are no online hotspots
+                # that have moved to and remain at (0,0)" (§4.1) — only
+                # visit null island if the correcting move also fits
+                # inside the study window.
+                correction = cursor + float(rng.uniform(0.2, 4.0))
+                if correction >= config.n_days:
+                    break
+                moves.append(PlannedMove(day=cursor, kind="to_null"))
+                moves.append(PlannedMove(day=correction, kind="from_null"))
+                cursor = correction
+                continue
+            moves.append(PlannedMove(day=cursor, kind=kind))
+
+        if will_transfer_on is not None and float(rng.random()) < 0.5:
+            move_day = will_transfer_on + float(rng.uniform(1.5, 10.0))
+            if move_day < config.n_days:
+                moves.append(PlannedMove(day=move_day, kind="long"))
+        moves.sort(key=lambda m: m.day)
+        return moves
+
+    # -- move targets ------------------------------------------------------------
+
+    @staticmethod
+    def short_move_target(
+        current: LatLon, city: City, rng: np.random.Generator
+    ) -> LatLon:
+        """A test-then-deploy hop: a few hundred metres to a few km."""
+        distance = float(rng.lognormal(np.log(1.2), 0.9))
+        distance = min(distance, 3.0 * city.scatter_radius_km())
+        return destination(current, float(rng.uniform(0.0, 360.0)), distance)
+
+    def long_move_target(
+        self,
+        day: int,
+        currently_us: bool,
+        cities,
+        rng: np.random.Generator,
+    ) -> City:
+        """Destination city of a long-distance move.
+
+        After the international launch, most long moves out of the US are
+        exports (the blue flow in Figure 3c); the remainder shuffle
+        between US metros.
+        """
+        config = self.config
+        exporting = (
+            currently_us
+            and day >= config.international_launch_day
+            and float(rng.random()) < config.long_move_us_export_fraction
+        )
+        if exporting:
+            return cities.sample_city(rng, exclude_us=True)
+        return cities.sample_city(rng, country="US" if currently_us else None)

@@ -1,0 +1,144 @@
+"""Owner assignment: who buys each new hotspot (§4.3).
+
+Calibration targets from the paper: "approximately 5,700 owners (62.1%)
+own only one hotspot, about 1,300 owners (14.6%) own two hotspots, about
+600 owners (7%) own three"; 83.7 % own ≤ 3; 10.3 % own ≥ 5; max 1,903
+(a whale that grew from 160 in March to 1,903 in May). We model this as
+new-owner-vs-preferential-attachment with an organic cap, plus injected
+archetypes: mining pools (Denver clusters), commercial fleets (Careband/
+nowi), and the late-arriving whale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geo.cities import City
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.world import SimOwner, World
+
+__all__ = ["OwnerModel"]
+
+
+class OwnerModel:
+    """Assigns each newly deployed hotspot to an owner wallet."""
+
+    def __init__(self, config: ScenarioConfig, world: World) -> None:
+        self.config = config
+        self.world = world
+        self._organic: List[SimOwner] = []
+        self._whale: Optional[SimOwner] = None
+        self._pools: List[SimOwner] = []
+        self._commercials: List[SimOwner] = []
+        self._pool_quota: List[int] = []
+        self._commercial_quota: List[int] = []
+        self._bootstrap_archetypes()
+
+    def _bootstrap_archetypes(self) -> None:
+        config = self.config
+        for city_name, fleet in config.mining_pools:
+            city = self._city_named(city_name)
+            owner = self.world.new_owner("pool", home_city=city)
+            self._pools.append(owner)
+            self._pool_quota.append(fleet)
+        for city_name, fleet in config.commercial_fleets:
+            city = self._city_named(city_name)
+            owner = self.world.new_owner("commercial", home_city=city)
+            self._commercials.append(owner)
+            self._commercial_quota.append(fleet)
+
+    def _city_named(self, name: str) -> City:
+        for city in self.world.cities.cities:
+            if city.name == name:
+                return city
+        raise SimulationError(f"archetype city not in database: {name!r}")
+
+    # -- assignment ---------------------------------------------------------
+
+    def assign(self, day: int, rng: np.random.Generator) -> SimOwner:
+        """Pick the owner of a hotspot deployed on ``day``.
+
+        Priority: archetype fleets fill first (they deploy early and
+        deliberately), then the whale absorbs late supply, then the
+        organic new-owner / preferential-attachment mix.
+        """
+        config = self.config
+        # Archetype fleets trickle in during the first two-thirds of the run.
+        if day < config.n_days * 0.67:
+            for i, owner in enumerate(self._pools):
+                if owner.hotspot_count < self._pool_quota[i] and rng.random() < 0.08:
+                    return owner
+            for i, owner in enumerate(self._commercials):
+                if (
+                    owner.hotspot_count < self._commercial_quota[i]
+                    and rng.random() < 0.06
+                ):
+                    return owner
+        # The whale: a late bulk buyer (§4.3, max 160 → 1,903 in 10 weeks).
+        if day >= config.whale_start_day:
+            if self._whale is None:
+                self._whale = self.world.new_owner("whale")
+            if rng.random() < config.whale_share_of_late_supply:
+                return self._whale
+        # Organic market.
+        if not self._organic or rng.random() < config.new_owner_probability:
+            owner = self.world.new_owner("individual")
+            self._organic.append(owner)
+            return owner
+        return self._attach(rng)
+
+    def _attach(self, rng: np.random.Generator) -> SimOwner:
+        """Preferential attachment among organic owners, capped."""
+        eligible = [
+            o for o in self._organic if o.hotspot_count < self.config.organic_owner_cap
+        ]
+        if not eligible:
+            owner = self.world.new_owner("individual")
+            self._organic.append(owner)
+            return owner
+        weights = np.array(
+            [max(o.hotspot_count, 1) ** self.config.attachment_alpha for o in eligible],
+            dtype=float,
+        )
+        weights /= weights.sum()
+        owner = eligible[int(rng.choice(len(eligible), p=weights))]
+        if owner.hotspot_count >= 2:
+            owner.archetype = "repeat"
+            owner.encashes = True
+        return owner
+
+    # -- deployment city ---------------------------------------------------------
+
+    def deployment_city(
+        self, owner: SimOwner, day: int, international_share: float, rng: np.random.Generator
+    ) -> City:
+        """Where this owner deploys a hotspot bought on ``day``.
+
+        Archetype owners cluster near their home city; organic owners
+        follow population weights, going international per the launch
+        ramp.
+        """
+        if owner.home_city is not None and owner.archetype in ("pool", "commercial"):
+            return owner.home_city
+        go_international = rng.random() < international_share
+        if go_international:
+            return self.world.cities.sample_city(rng, exclude_us=True)
+        return self.world.cities.sample_city(rng, country="US")
+
+    @property
+    def whale(self) -> Optional[SimOwner]:
+        """The whale owner, once created."""
+        return self._whale
+
+    @property
+    def pools(self) -> List[SimOwner]:
+        """Mining-pool archetype owners."""
+        return list(self._pools)
+
+    @property
+    def commercials(self) -> List[SimOwner]:
+        """Commercial archetype owners."""
+        return list(self._commercials)

@@ -1,0 +1,115 @@
+"""Resale market: transfer_hotspot transactions (§4.3.3).
+
+Targets: ≈8.6 % of deployed hotspots ever transferred; 95.4 % of
+transferred hotspots change hands at most twice; 95.8 % of transfers
+carry 0 DC (the money moves on eBay, not on-chain); activity starts in
+December 2020 and grows (Figure 7c, 3,819 transfers over six months);
+and a small set of heavy traders ("the 200 owners which have
+participated in the most hotspot transfers") dominate volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["PlannedTransfer", "ResalePlanner"]
+
+#: eBay-style resale prices, USD (paper: median $989, min $405, max $6,500).
+_PRICE_MEDIAN_USD = 989.0
+_PRICE_MIN_USD = 405.0
+_PRICE_MAX_USD = 6_500.0
+
+
+@dataclass
+class PlannedTransfer:
+    """One scheduled ownership transfer."""
+
+    day: int
+    #: On-chain payment in DC (0 for off-chain settlements).
+    amount_dc: int
+    #: Buyer is a flipper who will churn it again quickly.
+    to_flipper: bool = False
+
+
+class ResalePlanner:
+    """Decides, at deployment, each hotspot's future transfer schedule."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+
+    def plan(
+        self, added_day: int, rng: np.random.Generator
+    ) -> List[PlannedTransfer]:
+        """Transfer schedule for one hotspot (usually empty)."""
+        config = self.config
+        if float(rng.random()) >= config.resale_fraction:
+            return []
+        first_possible = max(added_day + 7, config.resale_start_day)
+        if first_possible >= config.n_days:
+            return []
+        transfers: List[PlannedTransfer] = []
+        # Volume grows over time (Fig. 7c): bias sale days toward the end.
+        span = config.n_days - first_possible
+        day = first_possible + int(span * float(rng.beta(2.0, 1.2)))
+        to_flipper = float(rng.random()) < 0.12
+        transfers.append(PlannedTransfer(
+            day=min(day, config.n_days - 1),
+            amount_dc=self._sample_amount_dc(rng),
+            to_flipper=to_flipper,
+        ))
+        # Repeat transfers: geometric, boosted for flipper inventory.
+        repeat_p = 0.75 if to_flipper else config.repeat_transfer_probability
+        while float(rng.random()) < repeat_p and transfers[-1].day + 5 < config.n_days:
+            gap = int(rng.uniform(5, 60))
+            next_day = transfers[-1].day + gap
+            if next_day >= config.n_days:
+                break
+            transfers.append(PlannedTransfer(
+                day=next_day,
+                amount_dc=self._sample_amount_dc(rng),
+                to_flipper=False,
+            ))
+            repeat_p = config.repeat_transfer_probability * 0.5
+        return transfers
+
+    def _sample_amount_dc(self, rng: np.random.Generator) -> int:
+        """On-chain DC amount: almost always zero."""
+        if float(rng.random()) < self.config.zero_dc_transfer_fraction:
+            return 0
+        # Lognormal around the eBay median, clamped to observed bounds.
+        price = float(rng.lognormal(np.log(_PRICE_MEDIAN_USD), 0.5))
+        price = min(max(price, _PRICE_MIN_USD), _PRICE_MAX_USD)
+        return units.usd_to_dc(price)
+
+
+def pick_buyer(
+    world_owners: list,
+    new_owner_factory,
+    flippers: list,
+    to_flipper: bool,
+    seller: str,
+    rng: np.random.Generator,
+) -> Optional[str]:
+    """Choose a buyer wallet for one transfer.
+
+    70 % brand-new owners (resale is how latecomers get hardware during
+    the shortage), the rest existing owners; flipper-bound transfers go
+    to a flipper wallet. Returns ``None`` when no distinct buyer exists.
+    """
+    if to_flipper and flippers:
+        candidates = [f for f in flippers if f != seller]
+        if candidates:
+            return candidates[int(rng.integers(len(candidates)))]
+    if float(rng.random()) < 0.7 or not world_owners:
+        return new_owner_factory()
+    for _ in range(10):
+        buyer = world_owners[int(rng.integers(len(world_owners)))]
+        if buyer != seller:
+            return buyer
+    return None

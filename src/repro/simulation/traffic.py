@@ -1,0 +1,147 @@
+"""Data traffic process: who sends packets, when, and through whom (§5).
+
+Reproduces the three traffic regimes of Figure 8:
+
+* a pre-DC era (before Aug 12, 2020) with modest free traffic,
+* the arbitrage spam spike (Aug 12 – Sep 6, 2020): "Users were gaming
+  the network by spamming packets to devices they owned to increase
+  their share of mined HNT" until HIP 10 capped data rewards,
+* steadily growing organic traffic afterwards, approaching ~14
+  packets/second network-wide by late May 2021, dominated by the
+  Console (OUI 1/2 hold 81.18 % of state-channel transactions) with
+  third-party OUIs "recently started to increase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.chain.crypto import Address
+from repro.errors import SimulationError
+from repro.simulation.scenario import ScenarioConfig
+
+__all__ = ["DayTraffic", "TrafficModel"]
+
+#: Seconds in a day, for packets/second ↔ packets/day conversions.
+_DAY_S = 86_400.0
+
+
+@dataclass
+class DayTraffic:
+    """One day's traffic, split by router class."""
+
+    day: int
+    console_packets: int
+    third_party_packets: int
+    spam_packets: int
+
+    @property
+    def total_packets(self) -> int:
+        """All packets ferried this day."""
+        return self.console_packets + self.third_party_packets + self.spam_packets
+
+
+class TrafficModel:
+    """Generates daily packet volumes and attributes them to hotspots."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+
+    # -- volumes ------------------------------------------------------------
+
+    def day_traffic(self, day: int, rng: np.random.Generator) -> DayTraffic:
+        """Packet volumes for simulation day ``day``."""
+        config = self.config
+        if day < 0 or day >= config.n_days:
+            raise SimulationError(f"day {day} outside scenario range")
+        organic = self._organic_packets(day)
+        noise = float(rng.uniform(0.8, 1.25))
+        organic = int(organic * noise)
+        third_share = self._third_party_share(day)
+        third = int(organic * third_share)
+        console = organic - third
+        return DayTraffic(
+            day=day,
+            console_packets=console,
+            third_party_packets=third,
+            spam_packets=self._spam_packets(day, organic),
+        )
+
+    def _organic_packets(self, day: int) -> int:
+        """Exponential organic growth to the final packets/second."""
+        config = self.config
+        final_daily = config.final_packets_per_second * _DAY_S
+        # Start around 1/400 of the final rate; exponential ramp.
+        start_daily = max(final_daily / 400.0, 50.0)
+        progress = day / max(config.n_days - 1, 1)
+        return int(start_daily * (final_daily / start_daily) ** progress)
+
+    def _third_party_share(self, day: int) -> float:
+        """Third-party routers carry a late, growing slice (§5.3.1)."""
+        config = self.config
+        onset = 0.65 * config.n_days
+        if day < onset:
+            return 0.0
+        progress = (day - onset) / max(config.n_days - onset, 1.0)
+        return 0.15 * progress
+
+    def _spam_packets(self, day: int, organic_today: int) -> int:
+        """The HIP 10 arbitrage episode (§5.3.2)."""
+        config = self.config
+        if day < config.dc_payments_live_day or day > config.spam_decay_end_day:
+            return 0
+        peak = organic_today * config.arbitrage_peak_multiplier
+        if day <= config.hip10_day:
+            # Ramp up fast once DC rewards go live.
+            ramp = (day - config.dc_payments_live_day + 1) / max(
+                config.hip10_day - config.dc_payments_live_day + 1, 1
+            )
+            return int(peak * ramp)
+        # HIP 10 landed: spam decays over the following days.
+        decay_span = max(config.spam_decay_end_day - config.hip10_day, 1)
+        remaining = 1.0 - (day - config.hip10_day) / decay_span
+        return int(peak * max(remaining, 0.0))
+
+    # -- attribution ------------------------------------------------------------
+
+    @staticmethod
+    def attribute_packets(
+        packets: int,
+        hotspot_weights: Dict[Address, float],
+        rng: np.random.Generator,
+        max_hotspots: int = 40,
+    ) -> Dict[Address, int]:
+        """Split a packet count across ferrying hotspots.
+
+        Weights come from the engine (commercial-fleet hotspots carry the
+        most — devices cluster around real applications). A multinomial
+        draw over the ``max_hotspots`` heaviest keeps summaries compact.
+        """
+        if packets <= 0 or not hotspot_weights:
+            return {}
+        items = sorted(hotspot_weights.items(), key=lambda kv: -kv[1])[:max_hotspots]
+        gateways = [gw for gw, _ in items]
+        raw = np.array([w for _, w in items], dtype=float)
+        probabilities = raw / raw.sum()
+        draws = rng.multinomial(packets, probabilities)
+        return {
+            gateway: int(count)
+            for gateway, count in zip(gateways, draws)
+            if count > 0
+        }
+
+    def channels_per_day(self, third_party: bool) -> float:
+        """State-channel close cadence by router class.
+
+        The Console closes every ``console_close_blocks`` (~120 blocks ≈
+        2 h → 12/day); third parties collectively produce enough
+        open/close volume to leave the Console with its 81.18 % share.
+        """
+        console_txn_rate = 2.0 * (1440.0 / self.config.console_close_blocks)
+        if not third_party:
+            return console_txn_rate / 2.0
+        total_rate = console_txn_rate / self.config.console_channel_share
+        return (total_rate - console_txn_rate) / 2.0

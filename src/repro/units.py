@@ -1,0 +1,104 @@
+"""Unit conversions and protocol constants shared across the library.
+
+Helium mixes several unit systems: radio power in dBm/mW, money in HNT, DC
+and USD, time in seconds, blocks and epochs. Keeping the conversions in one
+module avoids the classic off-by-1000 errors between "bones" (the smallest
+HNT denomination) and whole HNT, and between block heights and wall time.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BLOCK_TIME_S",
+    "BLOCKS_PER_DAY",
+    "BLOCKS_PER_EPOCH",
+    "BONES_PER_HNT",
+    "DC_PER_USD",
+    "USD_PER_DC",
+    "GENESIS_UNIX_TIME",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dc_to_usd",
+    "usd_to_dc",
+    "hnt_to_bones",
+    "bones_to_hnt",
+    "block_to_unix_time",
+    "unix_time_to_block",
+    "blocks_between",
+]
+
+#: Target block cadence: "New blocks are minted every 60 s" (paper, §3).
+BLOCK_TIME_S: int = 60
+
+#: Blocks in one day at the target cadence.
+BLOCKS_PER_DAY: int = 24 * 60 * 60 // BLOCK_TIME_S
+
+#: Reward epoch length in blocks (Helium mints rewards every ~30 blocks).
+BLOCKS_PER_EPOCH: int = 30
+
+#: Smallest HNT denomination ("bones"), 10^8 per HNT like satoshi/bitcoin.
+BONES_PER_HNT: int = 100_000_000
+
+#: "Data Credits (DC), whose value is fixed at $0.00001 USD per 1 DC" (§2.4).
+USD_PER_DC: float = 0.00001
+DC_PER_USD: int = 100_000
+
+#: "the first real entry to the blockchain was recorded on July 29, 2019"
+#: (paper, §3) — 2019-07-29T00:00:00Z.
+GENESIS_UNIX_TIME: int = 1_564_358_400
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power level in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power level in milliwatts to dBm.
+
+    Raises:
+        ValueError: if ``mw`` is not strictly positive.
+    """
+    if mw <= 0:
+        raise ValueError(f"power must be positive to express in dBm, got {mw}")
+    return 10.0 * math.log10(mw)
+
+
+def dc_to_usd(dc: int) -> float:
+    """Convert a Data Credit amount to US dollars at the fixed DC price."""
+    return dc * USD_PER_DC
+
+
+def usd_to_dc(usd: float) -> int:
+    """Convert US dollars to whole Data Credits (rounded down)."""
+    return int(usd * DC_PER_USD)
+
+
+def hnt_to_bones(hnt: float) -> int:
+    """Convert whole HNT to bones (the integer on-chain denomination)."""
+    return round(hnt * BONES_PER_HNT)
+
+
+def bones_to_hnt(bones: int) -> float:
+    """Convert bones to whole HNT."""
+    return bones / BONES_PER_HNT
+
+
+def block_to_unix_time(height: int) -> int:
+    """Nominal Unix timestamp of a block at the target 60 s cadence."""
+    return GENESIS_UNIX_TIME + height * BLOCK_TIME_S
+
+
+def unix_time_to_block(unix_time: int) -> int:
+    """Nominal block height containing ``unix_time`` (clamped at genesis)."""
+    if unix_time <= GENESIS_UNIX_TIME:
+        return 0
+    return (unix_time - GENESIS_UNIX_TIME) // BLOCK_TIME_S
+
+
+def blocks_between(days: float = 0.0, hours: float = 0.0, minutes: float = 0.0) -> int:
+    """Number of blocks spanning a wall-clock interval at 60 s/block."""
+    total_seconds = (days * 24 * 60 + hours * 60 + minutes) * 60
+    return int(total_seconds // BLOCK_TIME_S)

@@ -1,0 +1,139 @@
+"""Meta-infrastructure and relay analysis tests over the shared scenario."""
+
+import pytest
+
+from repro.core.analysis.meta import (
+    asn_distribution,
+    city_asn_diversity,
+    cloud_hosted_peers,
+    isp_ranking,
+    tos_exposure,
+)
+from repro.core.analysis.relays import (
+    relay_distances,
+    relay_load_histogram,
+    relay_stats,
+)
+from repro.p2p.multiaddr import parse_multiaddr
+from repro.rng import RngHub
+
+
+class TestIspAnalyses:
+    def test_ranking_head_is_us_cable(self, small_result):
+        ranking = isp_ranking(small_result.peerbook, small_result.world.isps)
+        assert len(ranking.rows) == 15
+        top_names = [org for org, _ in ranking.rows[:3]]
+        # Table 1's head: the big US residential ISPs dominate.
+        assert "Spectrum" in top_names
+        counts = [count for _, count in ranking.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_asn_distribution_heavy_headed(self, small_result):
+        distribution = asn_distribution(
+            small_result.peerbook, small_result.world.isps
+        )
+        total = sum(c for _, c in distribution)
+        head = sum(c for _, c in distribution[:10])
+        assert head / total > 0.5                 # Fig. 9 head
+        assert any(c <= 2 for _, c in distribution)  # Fig. 9 long tail
+
+    def test_city_diversity(self, small_result):
+        universe = small_result.world.isps
+        peer_asn = {}
+        for entry in small_result.peerbook.entries_with_listen_addrs():
+            parsed = parse_multiaddr(entry.listen_addrs[0])
+            if parsed.ip:
+                asn = universe.asn_for_ip(parsed.ip)
+                if asn is not None:
+                    peer_asn[entry.peer] = asn
+        peer_city = {
+            g: h.city.name
+            for g, h in small_result.world.hotspots.items()
+            if g in peer_asn
+        }
+        diversity = city_asn_diversity(peer_city, peer_asn)
+        assert diversity.cities_with_hotspots > 0
+        assert diversity.single_asn_cities >= diversity.single_asn_cities_with_2plus
+        # §6.1: a large minority of cities depend on one ASN.
+        assert diversity.single_asn_cities / diversity.cities_with_hotspots > 0.2
+
+    def test_cloud_validators_detected(self, small_result):
+        clouds = cloud_hosted_peers(small_result.peerbook, small_result.world.isps)
+        assert set(clouds) <= {"Digital Ocean", "Amazon"}
+
+    def test_tos_exposure(self, small_result):
+        us_peers = {
+            g for g, h in small_result.world.hotspots.items() if h.in_us
+        }
+        exposure = tos_exposure(
+            small_result.peerbook, small_result.world.isps, us_peers
+        )
+        # §9.1: "at least 17 % of the US hotspots" — small-scenario
+        # annotated samples are in the low hundreds, so the band is wide.
+        assert 0.07 < exposure.us_fraction_at_risk < 0.42
+        assert exposure.detectable_on_port == exposure.hotspots_on_org
+
+
+class TestRelayAnalyses:
+    def test_relayed_fraction_near_paper(self, small_result):
+        stats = relay_stats(small_result.peerbook)
+        assert stats.relayed_fraction == pytest.approx(0.5548, abs=0.08)
+
+    def test_load_histogram_shape(self, small_result):
+        histogram = relay_load_histogram(small_result.peerbook)
+        # Fig. 10: most relays carry very few peers.
+        light = sum(v for k, v in histogram.items() if k <= 2)
+        assert light / sum(histogram.values()) > 0.6
+
+    def test_random_selection_confirmed(self, small_result):
+        locations = {
+            g: h.asserted_location
+            for g, h in small_result.world.hotspots.items()
+            if h.asserted_location is not None
+        }
+        rng = RngHub(5).stream("trials")
+        comparison = relay_distances(
+            small_result.peerbook, locations, rng, n_trials=5
+        )
+        assert len(comparison.randomized_trials_km) == 5
+        # The engine assigns relays randomly, so actual vs randomised
+        # CDFs must agree (Fig. 11's conclusion).
+        assert comparison.ks_statistic < 0.08
+
+
+class TestLightTransition:
+    """Footnote 10: the validator/light-node transition what-if."""
+
+    def test_visibility_degrades_with_conversion(self, small_result):
+        import numpy as np
+
+        from repro.core.analysis.relays import light_hotspot_transition
+
+        rng = np.random.default_rng(4)
+        mild = light_hotspot_transition(small_result.peerbook, 0.2, rng)
+        heavy = light_hotspot_transition(small_result.peerbook, 0.8, rng)
+        assert 0.0 < mild.visibility_loss < heavy.visibility_loss <= 1.0
+        # Relayed peers are collateral of their relay converting.
+        assert heavy.stranded_relayed_peers > 0
+
+    def test_zero_conversion_is_noop(self, small_result):
+        import numpy as np
+
+        from repro.core.analysis.relays import light_hotspot_transition
+
+        impact = light_hotspot_transition(
+            small_result.peerbook, 0.0, np.random.default_rng(1)
+        )
+        assert impact.converted == 0
+        assert impact.visibility_loss == 0.0
+
+    def test_invalid_fraction_rejected(self, small_result):
+        import numpy as np
+
+        from repro.core.analysis.relays import light_hotspot_transition
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            light_hotspot_transition(
+                small_result.peerbook, 1.5, np.random.default_rng(1)
+            )

@@ -1,0 +1,111 @@
+"""Blockchain (sparse block store) tests."""
+
+import pytest
+
+from repro import units
+from repro.chain.blockchain import Blockchain
+from repro.chain.transactions import AddGateway, AssertLocation, PocRequest
+from repro.errors import ChainError, TransactionError
+
+
+@pytest.fixture()
+def chain() -> Blockchain:
+    return Blockchain()
+
+
+class TestMinting:
+    def test_genesis_exists(self, chain):
+        assert chain.height == 0
+        assert chain.tip.unix_time == units.GENESIS_UNIX_TIME
+
+    def test_mint_applies_transactions(self, chain):
+        chain.submit(AddGateway(gateway="hs_1", owner="wal_a"))
+        block = chain.mint_block()
+        assert block.height == 1
+        assert len(block) == 1
+        assert "hs_1" in chain.ledger.hotspots
+
+    def test_sparse_heights(self, chain):
+        chain.submit(AddGateway(gateway="hs_1", owner="wal_a"))
+        block = chain.mint_block(5000)
+        assert block.height == 5000
+        assert len(chain) == 2  # genesis + one block
+
+    def test_nominal_timestamps(self, chain):
+        block = chain.mint_block(1440)
+        assert block.unix_time == units.GENESIS_UNIX_TIME + 86_400
+
+    def test_height_must_increase(self, chain):
+        chain.mint_block(100)
+        with pytest.raises(ChainError):
+            chain.mint_block(100)
+        with pytest.raises(ChainError):
+            chain.mint_block(50)
+
+    def test_invalid_txn_aborts_mint(self, chain):
+        chain.submit(AssertLocation(
+            gateway="hs_ghost", owner="wal_a", location_token="c-12-1-1", nonce=1
+        ))
+        with pytest.raises(TransactionError):
+            chain.mint_block()
+        # The invalid transaction stays pending for inspection.
+        assert chain.pending_count == 1
+        assert chain.height == 0
+        dropped = chain.drop_pending()
+        assert len(dropped) == 1
+
+    def test_hash_chain_links(self, chain):
+        b1 = chain.mint_block(10)
+        b2 = chain.mint_block(20)
+        assert b2.prev_hash == b1.hash
+
+
+class TestQueries:
+    def _populate(self, chain):
+        chain.submit(AddGateway(gateway="hs_1", owner="wal_a"))
+        chain.mint_block(10)
+        chain.submit(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-1-1", nonce=1
+        ))
+        chain.submit(AddGateway(gateway="hs_2", owner="wal_b"))
+        chain.mint_block(20)
+        chain.submit(PocRequest(
+            challenger="hs_1", secret_hash="s", challengee="hs_2"
+        ))
+        chain.mint_block(30)
+
+    def test_iter_all(self, chain):
+        self._populate(chain)
+        assert len(list(chain.iter_transactions())) == 4
+
+    def test_iter_by_kind(self, chain):
+        self._populate(chain)
+        adds = list(chain.iter_transactions(AddGateway))
+        assert len(adds) == 2
+        assert all(isinstance(t, AddGateway) for _, t in adds)
+
+    def test_iter_by_height_window(self, chain):
+        self._populate(chain)
+        window = list(chain.iter_transactions(start_height=15, end_height=25))
+        assert len(window) == 2
+        assert all(h == 20 for h, _ in window)
+
+    def test_iter_with_predicate(self, chain):
+        self._populate(chain)
+        mine = list(chain.iter_transactions(
+            AddGateway, predicate=lambda t: t.owner == "wal_b"
+        ))
+        assert len(mine) == 1
+
+    def test_count_transactions(self, chain):
+        self._populate(chain)
+        counts = chain.count_transactions()
+        assert counts["add_gateway"] == 2
+        assert counts["poc_request"] == 1
+        assert chain.total_transactions == 4
+
+    def test_block_at(self, chain):
+        self._populate(chain)
+        assert chain.block_at(20).height == 20
+        with pytest.raises(ChainError):
+            chain.block_at(15)

@@ -1,0 +1,61 @@
+"""Keypair, address, signature and hotspot-naming tests."""
+
+import pytest
+
+from repro.chain.crypto import Keypair, sign, verify
+from repro.chain.naming import ADJECTIVES, ANIMALS, COLORS, hotspot_name
+from repro.errors import ChainError
+
+
+class TestKeypair:
+    def test_deterministic_generation(self):
+        assert Keypair.generate("alice").address == Keypair.generate("alice").address
+
+    def test_different_seeds_different_addresses(self):
+        assert Keypair.generate("a").address != Keypair.generate("b").address
+
+    def test_prefix_in_address(self):
+        assert Keypair.generate("gw", prefix="hs").address.startswith("hs_")
+        assert Keypair.generate("w").address.startswith("wal_")
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ChainError):
+            Keypair.generate("")
+
+    def test_sign_verify_round_trip(self):
+        keypair = Keypair.generate("signer")
+        signature = sign(keypair, "hello")
+        assert verify(keypair.public_key, "hello", signature, keypair.secret)
+
+    def test_verify_rejects_wrong_message(self):
+        keypair = Keypair.generate("signer")
+        signature = sign(keypair, "hello")
+        assert not verify(keypair.public_key, "bye", signature, keypair.secret)
+
+    def test_verify_rejects_wrong_secret(self):
+        keypair = Keypair.generate("signer")
+        other = Keypair.generate("other")
+        signature = sign(keypair, "hello")
+        assert not verify(keypair.public_key, "hello", signature, other.secret)
+
+
+class TestNaming:
+    def test_three_word_format(self):
+        name = hotspot_name("hs_deadbeef")
+        words = name.split(" ")
+        assert len(words) == 3
+        assert words[0] in ADJECTIVES
+        assert words[1] in COLORS
+        assert words[2] in ANIMALS
+
+    def test_deterministic(self):
+        assert hotspot_name("hs_x") == hotspot_name("hs_x")
+
+    def test_varies_with_address(self):
+        names = {hotspot_name(f"hs_{i}") for i in range(200)}
+        assert len(names) > 150  # collisions are rare
+
+    def test_paper_style_names_constructible(self):
+        # The §7.1 pseudonyms must be expressible in the vocabulary.
+        assert "Joyful" in ADJECTIVES and "Pink" in COLORS and "Skunk" in ANIMALS
+        assert "Striped" in ADJECTIVES and "Yellow" in COLORS and "Bird" in ANIMALS

@@ -1,0 +1,282 @@
+"""Ledger state-machine tests."""
+
+import pytest
+
+from repro.chain.ledger import Ledger
+from repro.chain.transactions import (
+    AddGateway,
+    AssertLocation,
+    OuiRegistration,
+    Payment,
+    Rewards,
+    RewardShare,
+    RewardType,
+    StateChannelClose,
+    StateChannelOpen,
+    StateChannelSummary,
+    TokenBurn,
+    TransferHotspot,
+)
+from repro.errors import (
+    InsufficientFunds,
+    StateChannelError,
+    TransactionError,
+)
+
+
+@pytest.fixture()
+def ledger() -> Ledger:
+    return Ledger()
+
+
+class TestAddGateway:
+    def test_registers_hotspot(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+        assert ledger.hotspots["hs_1"].owner == "wal_a"
+        assert ledger.hotspots["hs_1"].added_block == 10
+
+    def test_duplicate_rejected(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+        with pytest.raises(TransactionError):
+            ledger.apply(AddGateway(gateway="hs_1", owner="wal_b"), 11)
+
+    def test_fee_charged(self, ledger):
+        ledger.credit_dc("wal_a", 5_000_000)
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a", fee_dc=4_000_000), 10)
+        assert ledger.wallet("wal_a").dc == 1_000_000
+        assert ledger.total_dc_burned == 4_000_000
+
+    def test_insufficient_fee_rejected(self, ledger):
+        with pytest.raises(InsufficientFunds):
+            ledger.apply(
+                AddGateway(gateway="hs_1", owner="wal_a", fee_dc=100), 10
+            )
+
+
+class TestAssertLocation:
+    def _add(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+
+    def test_first_assert(self, ledger):
+        self._add(ledger)
+        ledger.apply(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-1-2", nonce=1
+        ), 11)
+        record = ledger.hotspots["hs_1"]
+        assert record.location_token == "c-12-1-2"
+        assert record.nonce == 1
+        assert record.last_assert_block == 11
+
+    def test_unknown_gateway_rejected(self, ledger):
+        with pytest.raises(TransactionError):
+            ledger.apply(AssertLocation(
+                gateway="hs_x", owner="wal_a", location_token="c-12-1-2", nonce=1
+            ), 11)
+
+    def test_wrong_owner_rejected(self, ledger):
+        self._add(ledger)
+        with pytest.raises(TransactionError):
+            ledger.apply(AssertLocation(
+                gateway="hs_1", owner="wal_evil", location_token="c-12-1-2", nonce=1
+            ), 11)
+
+    def test_nonce_must_increment(self, ledger):
+        self._add(ledger)
+        ledger.apply(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-1-2", nonce=1
+        ), 11)
+        with pytest.raises(TransactionError):
+            ledger.apply(AssertLocation(
+                gateway="hs_1", owner="wal_a", location_token="c-12-1-3", nonce=3
+            ), 12)
+
+    def test_move_fee_charged(self, ledger):
+        self._add(ledger)
+        ledger.credit_dc("wal_a", 4_000_000)
+        ledger.apply(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-1-2", nonce=1
+        ), 11)
+        ledger.apply(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-1-3",
+            nonce=2, fee_dc=4_000_000,
+        ), 12)
+        assert ledger.wallet("wal_a").dc == 0
+
+
+class TestTransfer:
+    def _setup(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+
+    def test_ownership_moves(self, ledger):
+        self._setup(ledger)
+        ledger.apply(TransferHotspot(
+            gateway="hs_1", seller="wal_a", buyer="wal_b"
+        ), 20)
+        assert ledger.hotspots["hs_1"].owner == "wal_b"
+
+    def test_non_owner_cannot_sell(self, ledger):
+        self._setup(ledger)
+        with pytest.raises(TransactionError):
+            ledger.apply(TransferHotspot(
+                gateway="hs_1", seller="wal_evil", buyer="wal_b"
+            ), 20)
+
+    def test_on_chain_payment_moves_dc(self, ledger):
+        self._setup(ledger)
+        ledger.credit_dc("wal_b", 100_000_000)
+        ledger.apply(TransferHotspot(
+            gateway="hs_1", seller="wal_a", buyer="wal_b", amount_dc=98_900_000
+        ), 20)
+        assert ledger.wallet("wal_a").dc == 98_900_000
+        assert ledger.wallet("wal_b").dc == 1_100_000
+
+    def test_buyer_must_afford(self, ledger):
+        self._setup(ledger)
+        with pytest.raises(InsufficientFunds):
+            ledger.apply(TransferHotspot(
+                gateway="hs_1", seller="wal_a", buyer="wal_b", amount_dc=1
+            ), 20)
+
+    def test_self_transfer_rejected_at_construction(self):
+        with pytest.raises(TransactionError):
+            TransferHotspot(gateway="hs_1", seller="wal_a", buyer="wal_a")
+
+
+class TestStateChannels:
+    def _router(self, ledger):
+        ledger.credit_dc("wal_r", 20_000_000)
+        ledger.apply(OuiRegistration(oui=3, owner="wal_r", fee_dc=10_000_000), 5)
+
+    def test_open_escrows_stake(self, ledger):
+        self._router(ledger)
+        ledger.apply(StateChannelOpen(
+            channel_id="sc1", owner="wal_r", oui=3,
+            amount_dc=1_000, expire_within_blocks=240,
+        ), 10)
+        assert ledger.wallet("wal_r").dc == 10_000_000 - 1_000
+        assert "sc1" in ledger.open_channels
+
+    def test_close_burns_and_refunds(self, ledger):
+        self._router(ledger)
+        ledger.apply(StateChannelOpen(
+            channel_id="sc1", owner="wal_r", oui=3,
+            amount_dc=1_000, expire_within_blocks=240,
+        ), 10)
+        burned_before = ledger.total_dc_burned
+        ledger.apply(StateChannelClose(
+            channel_id="sc1", owner="wal_r", oui=3,
+            summaries=(StateChannelSummary("hs_1", 300, 300),),
+        ), 250)
+        assert ledger.total_dc_burned == burned_before + 300
+        assert ledger.wallet("wal_r").dc == 10_000_000 - 300
+        assert "sc1" not in ledger.open_channels
+
+    def test_overspend_rejected(self, ledger):
+        self._router(ledger)
+        ledger.apply(StateChannelOpen(
+            channel_id="sc1", owner="wal_r", oui=3,
+            amount_dc=100, expire_within_blocks=240,
+        ), 10)
+        with pytest.raises(StateChannelError):
+            ledger.apply(StateChannelClose(
+                channel_id="sc1", owner="wal_r", oui=3,
+                summaries=(StateChannelSummary("hs_1", 200, 200),),
+            ), 250)
+
+    def test_unowned_oui_rejected(self, ledger):
+        self._router(ledger)
+        with pytest.raises(StateChannelError):
+            ledger.apply(StateChannelOpen(
+                channel_id="sc1", owner="wal_other", oui=3,
+                amount_dc=100, expire_within_blocks=240,
+            ), 10)
+
+    def test_expiry_bounds_enforced(self, ledger):
+        self._router(ledger)
+        # Below the 10-block minimum (§5.1 footnote).
+        with pytest.raises(StateChannelError):
+            ledger.apply(StateChannelOpen(
+                channel_id="sc1", owner="wal_r", oui=3,
+                amount_dc=100, expire_within_blocks=5,
+            ), 10)
+        # Above the one-week maximum.
+        with pytest.raises(StateChannelError):
+            ledger.apply(StateChannelOpen(
+                channel_id="sc2", owner="wal_r", oui=3,
+                amount_dc=100, expire_within_blocks=7 * 1440 + 1,
+            ), 10)
+
+    def test_double_close_rejected(self, ledger):
+        self._router(ledger)
+        ledger.apply(StateChannelOpen(
+            channel_id="sc1", owner="wal_r", oui=3,
+            amount_dc=100, expire_within_blocks=240,
+        ), 10)
+        ledger.apply(StateChannelClose(
+            channel_id="sc1", owner="wal_r", oui=3, summaries=(),
+        ), 250)
+        with pytest.raises(StateChannelError):
+            ledger.apply(StateChannelClose(
+                channel_id="sc1", owner="wal_r", oui=3, summaries=(),
+            ), 251)
+
+
+class TestMoneyMovement:
+    def test_payment(self, ledger):
+        ledger.apply(Rewards(
+            epoch_start_block=0, epoch_end_block=29,
+            shares=(RewardShare("wal_a", None, 10_000, RewardType.SECURITY),),
+        ), 30)
+        ledger.apply(Payment(payer="wal_a", payee="wal_b", amount_bones=4_000), 31)
+        assert ledger.wallet("wal_a").hnt_bones == 6_000
+        assert ledger.wallet("wal_b").hnt_bones == 4_000
+
+    def test_payment_insufficient(self, ledger):
+        with pytest.raises(InsufficientFunds):
+            ledger.apply(Payment(payer="wal_a", payee="wal_b", amount_bones=1), 31)
+
+    def test_token_burn_mints_dc_at_oracle_price(self, ledger):
+        ledger.oracle_price_usd = 10.0
+        ledger.apply(Rewards(
+            epoch_start_block=0, epoch_end_block=29,
+            shares=(RewardShare("wal_a", None, 100_000_000, RewardType.SECURITY),),
+        ), 30)
+        ledger.apply(TokenBurn(
+            payer="wal_a", payee="wal_console", amount_bones=100_000_000
+        ), 31)
+        # 1 HNT at $10 → $10 of DC → 1,000,000 DC.
+        assert ledger.wallet("wal_console").dc == 1_000_000
+        assert ledger.wallet("wal_a").hnt_bones == 0
+
+    def test_rewards_mint(self, ledger):
+        ledger.apply(Rewards(
+            epoch_start_block=0, epoch_end_block=29,
+            shares=(
+                RewardShare("wal_a", "hs_1", 500, RewardType.POC_WITNESS),
+                RewardShare("wal_b", None, 300, RewardType.CONSENSUS),
+            ),
+        ), 30)
+        assert ledger.total_hnt_minted_bones == 800
+
+
+class TestQueries:
+    def test_owner_counts(self, ledger):
+        for i in range(3):
+            ledger.apply(AddGateway(gateway=f"hs_{i}", owner="wal_a"), 10)
+        ledger.apply(AddGateway(gateway="hs_9", owner="wal_b"), 10)
+        counts = ledger.owner_counts()
+        assert counts == {"wal_a": 3, "wal_b": 1}
+
+    def test_hotspots_of(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+        assert [r.gateway for r in ledger.hotspots_of("wal_a")] == ["hs_1"]
+        assert ledger.hotspots_of("wal_nobody") == []
+
+    def test_location_of(self, ledger):
+        ledger.apply(AddGateway(gateway="hs_1", owner="wal_a"), 10)
+        assert ledger.location_of("hs_1") is None
+        ledger.apply(AssertLocation(
+            gateway="hs_1", owner="wal_a", location_token="c-12-7-8", nonce=1
+        ), 11)
+        assert ledger.location_of("hs_1") == "c-12-7-8"
+        assert ledger.location_of("hs_unknown") is None

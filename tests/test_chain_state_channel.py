@@ -1,0 +1,100 @@
+"""State-channel runtime (tracker) tests."""
+
+import pytest
+
+from repro.chain.state_channel import PurchaseRecord, StateChannelTracker
+from repro.errors import StateChannelError
+
+
+@pytest.fixture()
+def tracker() -> StateChannelTracker:
+    return StateChannelTracker(
+        channel_id="sc1", owner="wal_r", oui=3,
+        amount_dc=100, open_block=10, expire_block=250,
+    )
+
+
+class TestPurchases:
+    def test_purchase_accumulates(self, tracker):
+        tracker.record_purchase("hs_1", packets=2, dcs=2)
+        tracker.record_purchase("hs_1", packets=1, dcs=1)
+        assert tracker.purchases["hs_1"].packets == 3
+        assert tracker.spent_dc == 3
+        assert tracker.remaining_dc == 97
+
+    def test_stake_ceiling_enforced(self, tracker):
+        tracker.record_purchase("hs_1", packets=100, dcs=100)
+        with pytest.raises(StateChannelError):
+            tracker.record_purchase("hs_2", packets=1, dcs=1)
+
+    def test_can_purchase(self, tracker):
+        assert tracker.can_purchase("hs_1", 100)
+        assert not tracker.can_purchase("hs_1", 101)
+
+    def test_blocklisted_hotspot_refused(self, tracker):
+        tracker.block_hotspot("hs_liar")
+        assert not tracker.can_purchase("hs_liar", 1)
+        with pytest.raises(StateChannelError):
+            tracker.record_purchase("hs_liar")
+
+
+class TestClose:
+    def test_close_summarises_all(self, tracker):
+        tracker.record_purchase("hs_1", 3, 3)
+        tracker.record_purchase("hs_2", 5, 5)
+        close = tracker.build_close()
+        assert close.total_packets == 8
+        assert close.total_dcs == 8
+        assert {s.hotspot for s in close.summaries} == {"hs_1", "hs_2"}
+
+    def test_close_with_omission(self, tracker):
+        tracker.record_purchase("hs_1", 3, 3)
+        tracker.record_purchase("hs_2", 5, 5)
+        close = tracker.build_close(omit={"hs_2"})
+        assert close.total_packets == 3
+
+    def test_amend_within_grace(self, tracker):
+        tracker.record_purchase("hs_1", 3, 3)
+        close = tracker.build_close(omit={"hs_1"})
+        amended = tracker.amend_close(
+            close,
+            demands={"hs_1": PurchaseRecord(packets=3, dcs=3)},
+            demand_block=255,
+            close_block=250,
+            grace_blocks=10,
+        )
+        assert amended.total_packets == 3
+
+    def test_amend_after_grace_rejected(self, tracker):
+        close = tracker.build_close()
+        with pytest.raises(StateChannelError):
+            tracker.amend_close(
+                close,
+                demands={"hs_1": PurchaseRecord(1, 1)},
+                demand_block=261,
+                close_block=250,
+                grace_blocks=10,
+            )
+
+    def test_amend_cannot_exceed_stake(self, tracker):
+        tracker.record_purchase("hs_1", 100, 100)
+        close = tracker.build_close()
+        with pytest.raises(StateChannelError):
+            tracker.amend_close(
+                close,
+                demands={"hs_2": PurchaseRecord(1, 1)},
+                demand_block=251,
+                close_block=250,
+            )
+
+    def test_amend_merges_existing_summary(self, tracker):
+        tracker.record_purchase("hs_1", 3, 3)
+        close = tracker.build_close()
+        amended = tracker.amend_close(
+            close,
+            demands={"hs_1": PurchaseRecord(2, 2)},
+            demand_block=251,
+            close_block=250,
+        )
+        summary = next(s for s in amended.summaries if s.hotspot == "hs_1")
+        assert summary.num_packets == 5

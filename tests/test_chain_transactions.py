@@ -1,0 +1,121 @@
+"""Transaction constructor-validation tests."""
+
+import pytest
+
+from repro.chain.transactions import (
+    AddGateway,
+    AssertLocation,
+    OuiRegistration,
+    Payment,
+    PocReceipts,
+    PocRequest,
+    Rewards,
+    RewardShare,
+    RewardType,
+    StateChannelClose,
+    StateChannelOpen,
+    StateChannelSummary,
+    TokenBurn,
+    TransferHotspot,
+    WitnessReport,
+)
+from repro.errors import TransactionError
+
+
+class TestConstructorValidation:
+    def test_add_gateway_requires_ids(self):
+        with pytest.raises(TransactionError):
+            AddGateway(gateway="", owner="wal_a")
+        with pytest.raises(TransactionError):
+            AddGateway(gateway="hs_1", owner="")
+
+    def test_assert_location_nonce_positive(self):
+        with pytest.raises(TransactionError):
+            AssertLocation(gateway="hs_1", owner="wal_a",
+                           location_token="c-12-1-1", nonce=0)
+
+    def test_assert_location_token_required(self):
+        with pytest.raises(TransactionError):
+            AssertLocation(gateway="hs_1", owner="wal_a",
+                           location_token="", nonce=1)
+
+    def test_transfer_no_negative_amount(self):
+        with pytest.raises(TransactionError):
+            TransferHotspot(gateway="hs_1", seller="wal_a", buyer="wal_b",
+                            amount_dc=-1)
+
+    def test_poc_request_no_self_challenge(self):
+        with pytest.raises(TransactionError):
+            PocRequest(challenger="hs_1", secret_hash="x", challengee="hs_1")
+
+    def test_state_channel_open_validation(self):
+        with pytest.raises(TransactionError):
+            StateChannelOpen(channel_id="sc", owner="wal_r", oui=1,
+                             amount_dc=-1, expire_within_blocks=100)
+        with pytest.raises(TransactionError):
+            StateChannelOpen(channel_id="sc", owner="wal_r", oui=1,
+                             amount_dc=100, expire_within_blocks=0)
+
+    def test_summary_counts_nonnegative(self):
+        with pytest.raises(TransactionError):
+            StateChannelSummary(hotspot="hs_1", num_packets=-1, num_dcs=0)
+
+    def test_payment_validation(self):
+        with pytest.raises(TransactionError):
+            Payment(payer="wal_a", payee="wal_b", amount_bones=0)
+        with pytest.raises(TransactionError):
+            Payment(payer="wal_a", payee="wal_a", amount_bones=10)
+
+    def test_burn_positive(self):
+        with pytest.raises(TransactionError):
+            TokenBurn(payer="wal_a", payee="wal_b", amount_bones=0)
+
+    def test_oui_positive(self):
+        with pytest.raises(TransactionError):
+            OuiRegistration(oui=0, owner="wal_r")
+
+    def test_reward_nonnegative(self):
+        with pytest.raises(TransactionError):
+            RewardShare(account="wal_a", gateway=None, amount_bones=-1,
+                        reward_type=RewardType.SECURITY)
+
+
+class TestDerivedProperties:
+    def test_kind_strings(self):
+        assert AddGateway(gateway="hs_1", owner="wal_a").kind == "add_gateway"
+        assert PocRequest(
+            challenger="hs_1", secret_hash="x", challengee="hs_2"
+        ).kind == "poc_request"
+
+    def test_valid_witness_filter(self):
+        receipts = PocReceipts(
+            challenger="hs_c", challengee="hs_e",
+            challengee_location_token="c-12-1-1",
+            witnesses=(
+                WitnessReport("hs_a", -100.0, 5.0, 904.6, "c-12-2-2", True),
+                WitnessReport("hs_b", -100.0, 5.0, 904.6, "c-12-3-3", False,
+                              "too_close"),
+            ),
+        )
+        assert [w.witness for w in receipts.valid_witnesses] == ["hs_a"]
+
+    def test_close_totals(self):
+        close = StateChannelClose(
+            channel_id="sc", owner="wal_r", oui=1,
+            summaries=(
+                StateChannelSummary("hs_1", 3, 4),
+                StateChannelSummary("hs_2", 5, 6),
+            ),
+        )
+        assert close.total_packets == 8
+        assert close.total_dcs == 10
+
+    def test_rewards_total(self):
+        rewards = Rewards(
+            epoch_start_block=0, epoch_end_block=29,
+            shares=(
+                RewardShare("wal_a", None, 100, RewardType.SECURITY),
+                RewardShare("wal_b", "hs_1", 200, RewardType.POC_WITNESS),
+            ),
+        )
+        assert rewards.total_bones == 300

@@ -1,0 +1,48 @@
+"""CLI entry-point tests (in-process)."""
+
+import json
+
+from repro.chain.serialize import load_chain
+from repro.experiments.__main__ import main as experiments_main
+from repro.simulation.__main__ import main as simulation_main
+
+
+class TestExperimentsCli:
+    def test_runs_selected_experiments(self, capsys):
+        code = experiments_main(["--scenario", "small", "fig02", "fig04"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "fig04" in out
+        assert "paper=" in out and "measured=" in out
+
+    def test_export_and_figures(self, tmp_path, capsys):
+        code = experiments_main([
+            "--scenario", "small", "fig02",
+            "--export", str(tmp_path / "data"),
+            "--figures", str(tmp_path / "figs"),
+        ])
+        assert code == 0
+        payload = json.loads((tmp_path / "data" / "fig02.json").read_text())
+        assert payload["experiment_id"] == "fig02"
+        assert (tmp_path / "figs" / "fig02.svg").exists()
+        assert (tmp_path / "data" / "summary.csv").exists()
+
+    def test_unknown_id_errors(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            experiments_main(["--scenario", "small", "fig99"])
+
+
+class TestSimulationCli:
+    def test_summary_and_dump(self, tmp_path, capsys):
+        dump = tmp_path / "chain.jsonl"
+        code = simulation_main([
+            "--scenario", "small", "--seed", "2021", "--dump", str(dump),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hotspots:" in out and "txns:" in out
+        # The dump replays into a consistent chain.
+        rebuilt = load_chain(dump)
+        assert rebuilt.total_transactions > 0

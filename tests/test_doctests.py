@@ -1,0 +1,28 @@
+"""Docstring examples are executable documentation — keep them honest."""
+
+import doctest
+
+import pytest
+
+import repro.experiments.svg
+import repro.geo.hexgrid
+import repro.geo.spatialindex
+import repro.rng
+
+_MODULES = [
+    repro.rng,
+    repro.geo.hexgrid,
+    repro.geo.spatialindex,
+    repro.experiments.svg,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=[m.__name__ for m in _MODULES]
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    # Modules in this list must actually carry examples.
+    if module is not repro.experiments.svg:
+        assert result.attempted > 0

@@ -1,0 +1,194 @@
+"""Reward engine and price oracle tests."""
+
+import pytest
+
+from repro import units
+from repro.chain.transactions import RewardType
+from repro.economics.oracle import PriceOracle
+from repro.economics.rewards import (
+    EpochActivity,
+    PocEvent,
+    RewardEngine,
+    RewardSplit,
+)
+from repro.errors import SimulationError
+
+
+def _activity(**overrides) -> EpochActivity:
+    activity = EpochActivity(epoch_start_block=0, epoch_end_block=29)
+    for key, value in overrides.items():
+        setattr(activity, key, value)
+    return activity
+
+
+def _poc_event(suffix: str = "", witnesses=2) -> PocEvent:
+    return PocEvent(
+        challenger=f"hs_c{suffix}",
+        challenger_owner=f"wal_c{suffix}",
+        challengee=f"hs_e{suffix}",
+        challengee_owner=f"wal_e{suffix}",
+        witnesses=tuple(
+            (f"hs_w{i}{suffix}", f"wal_w{i}{suffix}") for i in range(witnesses)
+        ),
+    )
+
+
+class TestRewardSplit:
+    def test_default_sums_to_one(self):
+        RewardSplit()  # must not raise
+
+    def test_data_share_is_paper_value(self):
+        # "32.5% of newly minted HNT was divided among hotspots that
+        # ferried data" (§5.3.2).
+        assert RewardSplit().data_transfer == pytest.approx(0.325)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(SimulationError):
+            RewardSplit(securities=0.9)
+
+
+class TestPocRewards:
+    def test_all_roles_paid(self):
+        engine = RewardEngine()
+        rewards = engine.compute(
+            _activity(poc_events=[_poc_event()]), epoch_hnt=100.0,
+            hnt_price_usd=10.0,
+        )
+        types = {s.reward_type for s in rewards.shares}
+        assert RewardType.POC_CHALLENGER in types
+        assert RewardType.POC_CHALLENGEE in types
+        assert RewardType.POC_WITNESS in types
+
+    def test_challenger_reward_fixed_per_challenge(self):
+        engine = RewardEngine()
+        rewards = engine.compute(
+            _activity(poc_events=[_poc_event("a"), _poc_event("b")]),
+            epoch_hnt=100.0, hnt_price_usd=10.0,
+        )
+        challenger_shares = [
+            s.amount_bones for s in rewards.shares
+            if s.reward_type is RewardType.POC_CHALLENGER
+        ]
+        assert len(set(challenger_shares)) == 1  # fixed (§2.3)
+
+    def test_more_witnesses_more_challengee_reward(self):
+        engine = RewardEngine()
+        rewards = engine.compute(
+            _activity(poc_events=[
+                _poc_event("lonely", witnesses=0),
+                _poc_event("popular", witnesses=4),
+            ]),
+            epoch_hnt=100.0, hnt_price_usd=10.0,
+        )
+        by_owner = {
+            s.account: s.amount_bones for s in rewards.shares
+            if s.reward_type is RewardType.POC_CHALLENGEE
+        }
+        assert by_owner["wal_epopular"] > by_owner["wal_elonely"]
+
+    def test_witness_decay_beyond_cap(self):
+        engine = RewardEngine(max_witnesses_rewarded=4)
+        rewards = engine.compute(
+            _activity(poc_events=[_poc_event("x", witnesses=8)]),
+            epoch_hnt=100.0, hnt_price_usd=10.0,
+        )
+        witness_shares = sorted(
+            s.amount_bones for s in rewards.shares
+            if s.reward_type is RewardType.POC_WITNESS
+        )
+        # Later witnesses get the decayed (quarter) unit.
+        assert witness_shares[0] < witness_shares[-1]
+
+    def test_total_never_exceeds_emission(self):
+        engine = RewardEngine()
+        activity = _activity(
+            poc_events=[_poc_event(str(i)) for i in range(5)],
+            data_packets={("hs_d", "wal_d"): 1000},
+            data_dcs={("hs_d", "wal_d"): 1000},
+            consensus_members=["wal_m1", "wal_m2"],
+            security_holders=["wal_helium"],
+        )
+        rewards = engine.compute(activity, epoch_hnt=100.0, hnt_price_usd=10.0)
+        assert rewards.total_bones <= units.hnt_to_bones(100.0)
+
+
+class TestHip10:
+    def test_pre_hip10_pro_rata_enables_arbitrage(self):
+        engine = RewardEngine(hip10_cap=False)
+        # Spammer ferries 99% of packets but they are worth almost no DC.
+        activity = _activity(
+            data_packets={("hs_spam", "wal_spam"): 99_000,
+                          ("hs_real", "wal_real"): 1_000},
+            data_dcs={("hs_spam", "wal_spam"): 99_000,
+                      ("hs_real", "wal_real"): 1_000},
+        )
+        rewards = engine.compute(activity, epoch_hnt=100.0, hnt_price_usd=10.0)
+        spam = sum(s.amount_bones for s in rewards.shares
+                   if s.account == "wal_spam")
+        # Pro-rata: spammer takes ~99% of the 32.5 HNT data pool.
+        assert units.bones_to_hnt(spam) > 30.0
+        # The DC they burned cost only 99,000 × $0.00001 = $0.99, the HNT
+        # they earned is worth ~$320: the §5.3.2 arbitrage.
+        dc_cost_usd = units.dc_to_usd(99_000)
+        hnt_value_usd = units.bones_to_hnt(spam) * 10.0
+        assert hnt_value_usd > 100 * dc_cost_usd
+
+    def test_post_hip10_kills_arbitrage(self):
+        engine = RewardEngine(hip10_cap=True)
+        activity = _activity(
+            data_packets={("hs_spam", "wal_spam"): 99_000},
+            data_dcs={("hs_spam", "wal_spam"): 99_000},
+            poc_events=[_poc_event()],
+        )
+        rewards = engine.compute(activity, epoch_hnt=100.0, hnt_price_usd=10.0)
+        spam = sum(s.amount_bones for s in rewards.shares
+                   if s.account == "wal_spam"
+                   and s.reward_type is RewardType.DATA_TRANSFER)
+        hnt_value_usd = units.bones_to_hnt(spam) * 10.0
+        dc_cost_usd = units.dc_to_usd(99_000)
+        # Reward capped at DC value: no profit margin left.
+        assert hnt_value_usd <= dc_cost_usd * 1.001
+
+    def test_hip10_surplus_returns_to_witnesses(self):
+        engine = RewardEngine(hip10_cap=True)
+        activity = _activity(
+            data_packets={("hs_spam", "wal_spam"): 99_000},
+            data_dcs={("hs_spam", "wal_spam"): 99_000},
+            poc_events=[_poc_event()],
+        )
+        rewards = engine.compute(activity, epoch_hnt=100.0, hnt_price_usd=10.0)
+        witness_total = sum(
+            s.amount_bones for s in rewards.shares
+            if s.reward_type is RewardType.POC_WITNESS
+        )
+        # Witness pool (21.24) plus nearly the whole data pool (32.5).
+        assert units.bones_to_hnt(witness_total) > 40.0
+
+
+class TestOracle:
+    def test_deterministic(self, rng):
+        import numpy as np
+
+        a = PriceOracle(np.random.default_rng(1)).series(100)
+        b = PriceOracle(np.random.default_rng(1)).series(100)
+        assert a == b
+
+    def test_bounds_respected(self, rng):
+        oracle = PriceOracle(rng, cap_usd=20.0, floor_usd=0.05)
+        series = oracle.series(700)
+        assert all(0.05 <= p <= 20.0 for p in series)
+
+    def test_drifts_upward(self, rng):
+        oracle = PriceOracle(rng)
+        series = oracle.series(667)
+        assert series[-1] > series[0]
+
+    def test_negative_day_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            PriceOracle(rng).price_on_day(-1)
+
+    def test_bad_config_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            PriceOracle(rng, initial_price_usd=0.0)
+        with pytest.raises(SimulationError):
+            PriceOracle(rng, floor_usd=5.0, cap_usd=1.0)

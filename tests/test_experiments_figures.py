@@ -1,0 +1,89 @@
+"""SVG chart and figure-rendering tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.figures import FIGURE_RENDERERS, render_figures
+from repro.experiments.svg import Chart, SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_render_is_valid_svg(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5)
+        canvas.rect(1, 1, 3, 3)
+        canvas.text(2, 2, "hi & <bye>")
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "&amp;" in svg and "&lt;bye&gt;" in svg  # escaped
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(AnalysisError):
+            SvgCanvas(0, 10)
+
+
+class TestChart:
+    def test_plot_before_domain_rejected(self):
+        chart = Chart()
+        with pytest.raises(AnalysisError):
+            chart.cdf([1.0, 2.0])
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(AnalysisError):
+            Chart().set_domain(1.0, 1.0, 0.0, 1.0)
+
+    def test_cdf_monotone_and_bounded(self):
+        chart = Chart()
+        chart.set_domain(0.0, 10.0, 0.0, 1.0)
+        chart.cdf([1.0, 2.0, 5.0, 9.0])
+        svg = chart.render()
+        assert "polyline" in svg
+
+    def test_cdf_decimation(self):
+        chart = Chart()
+        chart.set_domain(0.0, 100_000.0, 0.0, 1.0)
+        chart.cdf(list(range(1, 50_000)), max_points=500)
+        svg = chart.render()
+        # Decimated CDF stays compact.
+        assert len(svg) < 40_000
+
+    def test_log_scale_positions(self):
+        chart = Chart(log_x=True)
+        chart.set_domain(1.0, 1000.0, 0.0, 1.0)
+        # In log space 10 → one third, 100 → two thirds of the width.
+        x1, x10, x100, x1000 = (chart._sx(v) for v in (1, 10, 100, 1000))
+        assert x10 - x1 == pytest.approx(x100 - x10, rel=0.01)
+        assert x100 - x10 == pytest.approx(x1000 - x100, rel=0.01)
+
+    def test_series_length_mismatch_rejected(self):
+        chart = Chart()
+        chart.set_domain(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            chart.series([1.0, 2.0], [1.0])
+
+    def test_legend_and_labels_rendered(self):
+        chart = Chart(title="T", x_label="X", y_label="Y")
+        chart.set_domain(0.0, 1.0, 0.0, 1.0)
+        chart.series([0.0, 1.0], [0.0, 1.0], label="mine")
+        svg = chart.render()
+        for needle in ("T", "X", "Y", "mine"):
+            assert needle in svg
+
+
+class TestFigureRendering:
+    def test_all_figures_render(self, small_result, tmp_path):
+        written = render_figures(small_result, tmp_path)
+        assert len(written) >= len(FIGURE_RENDERERS)
+        for path in written:
+            content = path.read_text()
+            assert content.startswith("<svg")
+            assert content.rstrip().endswith("</svg>")
+
+    def test_subset_rendering(self, small_result, tmp_path):
+        written = render_figures(small_result, tmp_path, ["fig02"])
+        assert [p.name for p in written] == ["fig02.svg"]
+
+    def test_unknown_figure_skipped(self, small_result, tmp_path):
+        assert render_figures(small_result, tmp_path, ["fig99"]) == []

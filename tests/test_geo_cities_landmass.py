@@ -1,0 +1,96 @@
+"""City database and landmass model tests."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.cities import CityDatabase, SEED_CITIES
+from repro.geo.geodesy import LatLon
+from repro.geo.landmass import CONTIGUOUS_US, contiguous_us
+
+
+class TestCityDatabase:
+    def test_paper_cities_present(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        names = {c.name for c in db.cities}
+        # Every city the paper names must exist for the archetypes.
+        for required in ("Chicago", "Stonington", "Denver", "Los Angeles",
+                        "San Diego", "New York", "Brooklyn", "San Francisco",
+                        "Spokane", "Mesa", "Palma", "Rome"):
+            assert required in names
+
+    def test_procedural_towns_generated(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        assert len(db.cities) > len(SEED_CITIES) * 10
+
+    def test_population_weighted_sampling(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        rng = hub.stream("sample")
+        draws = [db.sample_city(rng, country="US") for _ in range(300)]
+        # Big metros should dominate over tiny towns.
+        big = sum(1 for c in draws if c.population > 400_000)
+        assert big > len(draws) * 0.3
+
+    def test_exclude_us(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        rng = hub.stream("sample")
+        for _ in range(50):
+            assert not db.sample_city(rng, exclude_us=True).is_us
+
+    def test_country_restriction(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        rng = hub.stream("sample")
+        for _ in range(20):
+            assert db.sample_city(rng, country="DE").country == "DE"
+
+    def test_unknown_country_raises(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        with pytest.raises(GeoError):
+            db.sample_city(hub.stream("s"), country="XX")
+
+    def test_scatter_stays_near_city(self, hub):
+        db = CityDatabase(hub.stream("c"))
+        rng = hub.stream("scatter")
+        city = next(c for c in db.cities if c.name == "Denver")
+        for _ in range(50):
+            location = db.sample_location_in_city(rng, city)
+            assert city.location.distance_km(location) <= 3.1 * city.scatter_radius_km()
+
+    def test_deterministic_given_stream(self, hub):
+        db1 = CityDatabase(type(hub)(5).stream("c"))
+        db2 = CityDatabase(type(hub)(5).stream("c"))
+        assert [c.name for c in db1.cities] == [c.name for c in db2.cities]
+
+
+class TestLandmass:
+    def test_area_plausible(self):
+        # Contiguous US is ~8.1 M km² incl. water; simplified boundary
+        # should land within 10 %.
+        assert CONTIGUOUS_US.area_km2 == pytest.approx(8.1e6, rel=0.10)
+
+    def test_contains_interior_cities(self):
+        for lat, lon in ((39.74, -104.99), (41.88, -87.63), (35.0, -98.0)):
+            assert CONTIGUOUS_US.contains(LatLon(lat, lon))
+
+    def test_excludes_exterior(self):
+        # Hawaii, London, mid-Atlantic, Mexico City.
+        for lat, lon in ((21.3, -157.8), (51.5, -0.13), (30.0, -50.0),
+                         (19.43, -99.13)):
+            assert not CONTIGUOUS_US.contains(LatLon(lat, lon))
+
+    def test_sampling_uniformity(self, rng):
+        points = CONTIGUOUS_US.sample_points(rng, 500)
+        assert len(points) == 500
+        assert all(CONTIGUOUS_US.contains(p) for p in points)
+        # East and west halves should both be populated.
+        east = sum(1 for p in points if p.lon > -98.0)
+        assert 0.2 < east / 500 < 0.8
+
+    def test_sample_zero(self, rng):
+        assert CONTIGUOUS_US.sample_points(rng, 0) == []
+
+    def test_sample_negative_rejected(self, rng):
+        with pytest.raises(GeoError):
+            CONTIGUOUS_US.sample_points(rng, -1)
+
+    def test_fresh_instance_matches_shared(self):
+        assert contiguous_us().area_km2 == CONTIGUOUS_US.area_km2

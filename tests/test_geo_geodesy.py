@@ -1,0 +1,121 @@
+"""Geodesy tests against known distances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.geodesy import (
+    LatLon,
+    destination,
+    haversine_km,
+    haversine_km_many,
+    initial_bearing_deg,
+    local_project_km,
+    local_unproject_km,
+)
+
+# Well-known city pairs with reference great-circle distances (km).
+_KNOWN = [
+    ((40.7128, -74.0060), (34.0522, -118.2437), 3936.0),   # NYC–LA
+    ((51.5074, -0.1278), (48.8566, 2.3522), 344.0),        # London–Paris
+    ((32.7157, -117.1611), (32.8801, -117.2340), 19.5),    # SD–UCSD
+]
+
+
+class TestHaversine:
+    @pytest.mark.parametrize("a,b,expected", _KNOWN)
+    def test_known_distances(self, a, b, expected):
+        measured = haversine_km(a[0], a[1], b[0], b[1])
+        assert measured == pytest.approx(expected, rel=0.01)
+
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_symmetry(self):
+        d1 = haversine_km(10, 20, -30, 40)
+        d2 = haversine_km(-30, 40, 10, 20)
+        assert d1 == pytest.approx(d2)
+
+    def test_vectorised_matches_scalar(self):
+        lats1 = np.array([40.7128, 51.5074])
+        lons1 = np.array([-74.0060, -0.1278])
+        lats2 = np.array([34.0522, 48.8566])
+        lons2 = np.array([-118.2437, 2.3522])
+        many = haversine_km_many(lats1, lons1, lats2, lons2)
+        for i in range(2):
+            single = haversine_km(lats1[i], lons1[i], lats2[i], lons2[i])
+            assert many[i] == pytest.approx(single)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(20_015.0, rel=0.01)
+
+
+class TestLatLon:
+    def test_validation(self):
+        with pytest.raises(GeoError):
+            LatLon(91.0, 0.0)
+        with pytest.raises(GeoError):
+            LatLon(0.0, 181.0)
+
+    def test_null_island_detection(self):
+        assert LatLon(0.0, 0.0).is_null_island()
+        assert LatLon(0.005, 0.005).is_null_island()
+        assert not LatLon(1.0, 1.0).is_null_island()
+
+    def test_distance_method(self):
+        a = LatLon(40.7128, -74.0060)
+        b = LatLon(34.0522, -118.2437)
+        assert a.distance_km(b) == pytest.approx(3936.0, rel=0.01)
+
+
+class TestDestination:
+    def test_round_trip_distance(self):
+        origin = LatLon(32.7, -117.1)
+        for bearing in (0.0, 45.0, 123.0, 270.0):
+            point = destination(origin, bearing, 50.0)
+            assert origin.distance_km(point) == pytest.approx(50.0, rel=1e-6)
+
+    def test_north_increases_latitude(self):
+        origin = LatLon(10.0, 10.0)
+        north = destination(origin, 0.0, 100.0)
+        assert north.lat > origin.lat
+        assert north.lon == pytest.approx(origin.lon, abs=1e-9)
+
+    def test_bearing_consistency(self):
+        origin = LatLon(32.7, -117.1)
+        point = destination(origin, 60.0, 200.0)
+        assert initial_bearing_deg(
+            origin.lat, origin.lon, point.lat, point.lon
+        ) == pytest.approx(60.0, abs=0.5)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(GeoError):
+            destination(LatLon(0, 1), 0.0, -1.0)
+
+    def test_longitude_normalised(self):
+        near_dateline = LatLon(0.0, 179.9)
+        point = destination(near_dateline, 90.0, 50.0)
+        assert -180.0 <= point.lon <= 180.0
+
+
+class TestLocalProjection:
+    def test_round_trip(self):
+        origin = LatLon(32.7, -117.1)
+        points = [LatLon(32.8, -117.0), LatLon(32.6, -117.3)]
+        projected = local_project_km(points, origin)
+        recovered = local_unproject_km(projected, origin)
+        for original, back in zip(points, recovered):
+            assert original.distance_km(back) < 0.001
+
+    def test_distance_preservation(self):
+        origin = LatLon(32.7, -117.1)
+        a = LatLon(32.75, -117.15)
+        b = LatLon(32.72, -117.05)
+        (xa, ya), (xb, yb) = local_project_km([a, b], origin)
+        planar = ((xa - xb) ** 2 + (ya - yb) ** 2) ** 0.5
+        assert planar == pytest.approx(a.distance_km(b), rel=0.01)
+
+    def test_pole_unproject_rejected(self):
+        with pytest.raises(GeoError):
+            local_unproject_km([(1.0, 1.0)], LatLon(90.0, 0.0))

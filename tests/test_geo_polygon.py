@@ -1,0 +1,116 @@
+"""Polygon, hull and area tests."""
+
+import math
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.geodesy import LatLon, destination
+from repro.geo.polygon import Polygon, convex_hull, disk_area_km2
+
+
+def _square(center: LatLon, half_km: float) -> Polygon:
+    """An axis-aligned square of side 2·half_km around center."""
+    north = destination(center, 0, half_km).lat - center.lat
+    east = destination(center, 90, half_km).lon - center.lon
+    return Polygon((
+        LatLon(center.lat - north, center.lon - east),
+        LatLon(center.lat - north, center.lon + east),
+        LatLon(center.lat + north, center.lon + east),
+        LatLon(center.lat + north, center.lon - east),
+    ))
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeoError):
+            Polygon((LatLon(0, 1), LatLon(1, 1)))
+
+    def test_contains_center(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        assert square.contains(LatLon(35.0, -100.0))
+
+    def test_excludes_outside(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        assert not square.contains(LatLon(36.0, -100.0))
+        assert not square.contains(LatLon(35.0, -98.0))
+
+    def test_bbox_prefilter(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        south, west, north, east = square.bbox
+        assert south < 35.0 < north
+        assert west < -100.0 < east
+
+    def test_area_of_square(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        assert square.area_km2() == pytest.approx(400.0, rel=0.02)
+
+    def test_area_latitude_invariance(self):
+        # The same physical square should have the same area anywhere.
+        low = _square(LatLon(5.0, 0.0), 10.0).area_km2()
+        high = _square(LatLon(55.0, 0.0), 10.0).area_km2()
+        assert low == pytest.approx(high, rel=0.02)
+
+    def test_centroid_of_square(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        centroid = square.centroid()
+        assert centroid.distance_km(LatLon(35.0, -100.0)) < 0.5
+
+    def test_max_radius(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        # Half-diagonal of a 20 km square ≈ 14.1 km.
+        assert square.max_radius_km() == pytest.approx(14.14, rel=0.05)
+
+
+class TestConvexHull:
+    def test_hull_of_square_plus_interior(self):
+        center = LatLon(35.0, -100.0)
+        square = _square(center, 10.0)
+        points = list(square.vertices) + [center]
+        hull = convex_hull(points)
+        assert len(hull.vertices) == 4
+        assert hull.contains(center)
+
+    def test_hull_area_matches_square(self):
+        square = _square(LatLon(35.0, -100.0), 10.0)
+        hull = convex_hull(list(square.vertices))
+        assert hull.area_km2() == pytest.approx(square.area_km2(), rel=0.02)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(GeoError):
+            convex_hull([LatLon(0, 1), LatLon(0, 2)])
+        # Collinear points have no 2-D hull.
+        with pytest.raises(GeoError):
+            convex_hull([LatLon(0, 1), LatLon(0, 2), LatLon(0, 3)])
+
+    def test_duplicates_collapsed(self):
+        points = [LatLon(0, 1), LatLon(0, 1), LatLon(1, 1), LatLon(1, 2)]
+        hull = convex_hull(points)
+        assert len(hull.vertices) == 3
+
+    def test_hull_contains_all_inputs(self, rng):
+        center = LatLon(40.0, -90.0)
+        points = [
+            destination(center, float(rng.uniform(0, 360)), float(rng.uniform(0, 30)))
+            for _ in range(40)
+        ]
+        hull = convex_hull(points)
+        for point in points:
+            # Tiny shrink toward centroid to dodge boundary float noise.
+            inner = LatLon(
+                point.lat + (hull.centroid().lat - point.lat) * 1e-6,
+                point.lon + (hull.centroid().lon - point.lon) * 1e-6,
+            )
+            assert hull.contains(inner)
+
+
+class TestDiskArea:
+    def test_small_disk_is_planar(self):
+        assert disk_area_km2(0.3) == pytest.approx(math.pi * 0.09, rel=1e-4)
+
+    def test_monotone(self):
+        assert disk_area_km2(10) < disk_area_km2(20)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeoError):
+            disk_area_km2(-1.0)

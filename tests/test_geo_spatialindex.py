@@ -1,0 +1,75 @@
+"""Spatial index correctness tests (brute force comparison)."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.geodesy import LatLon, destination
+from repro.geo.spatialindex import SpatialIndex
+
+
+def _random_points(rng, n, center=LatLon(40.0, -100.0), spread_km=300.0):
+    return [
+        destination(center, float(rng.uniform(0, 360)),
+                    float(rng.uniform(0, spread_km)))
+        for _ in range(n)
+    ]
+
+
+class TestSpatialIndex:
+    def test_within_radius_matches_brute_force(self, rng):
+        points = _random_points(rng, 300)
+        index = SpatialIndex()
+        for i, point in enumerate(points):
+            index.insert(point, i)
+        query = LatLon(40.5, -100.5)
+        for radius in (10.0, 50.0, 200.0):
+            expected = {
+                i for i, p in enumerate(points)
+                if query.distance_km(p) <= radius
+            }
+            got = {item for _, item in index.within_radius(query, radius)}
+            assert got == expected
+
+    def test_empty_index(self):
+        index = SpatialIndex()
+        assert index.within_radius(LatLon(0, 1), 100.0) == []
+        assert len(index) == 0
+
+    def test_count_within_radius(self, rng):
+        index = SpatialIndex()
+        center = LatLon(40.0, -100.0)
+        for i in range(10):
+            index.insert(destination(center, 36.0 * i, 1.0), i)
+        assert index.count_within_radius(center, 2.0) == 10
+        assert index.count_within_radius(center, 0.5) == 0
+
+    def test_nearest(self, rng):
+        points = _random_points(rng, 100)
+        index = SpatialIndex()
+        for i, point in enumerate(points):
+            index.insert(point, i)
+        query = LatLon(40.2, -100.2)
+        _, nearest = index.nearest(query)
+        best = min(range(len(points)), key=lambda i: query.distance_km(points[i]))
+        assert nearest == best
+
+    def test_nearest_raises_when_empty_region(self):
+        index = SpatialIndex()
+        index.insert(LatLon(0.0, 0.0), "far")
+        with pytest.raises(GeoError):
+            index.nearest(LatLon(60.0, 100.0), max_radius_km=10.0)
+
+    def test_negative_radius_rejected(self):
+        index = SpatialIndex()
+        with pytest.raises(GeoError):
+            index.within_radius(LatLon(0, 1), -1.0)
+
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(GeoError):
+            SpatialIndex(cell_deg=0.0)
+
+    def test_insert_many(self, rng):
+        points = _random_points(rng, 50)
+        index = SpatialIndex()
+        index.insert_many((p, i) for i, p in enumerate(points))
+        assert len(index) == 50

@@ -1,0 +1,99 @@
+"""Device credentials, session keys and MAC frame tests."""
+
+import pytest
+
+from repro.errors import JoinError, LoraWanError
+from repro.lorawan.keys import DeviceCredentials, SessionKeys
+from repro.lorawan.mac import (
+    AckOutcome,
+    DownlinkFrame,
+    RX1_DELAY_S,
+    RX2_DELAY_S,
+    UplinkFrame,
+)
+from repro.radio.lora import SpreadingFactor
+
+
+class TestCredentials:
+    def test_deterministic(self):
+        a = DeviceCredentials.generate("sensor-1")
+        b = DeviceCredentials.generate("sensor-1")
+        assert a == b
+
+    def test_distinct_devices(self):
+        assert (DeviceCredentials.generate("a").dev_eui
+                != DeviceCredentials.generate("b").dev_eui)
+
+    def test_field_lengths(self):
+        creds = DeviceCredentials.generate("x")
+        assert len(creds.dev_eui) == 16
+        assert len(creds.app_eui) == 16
+        assert len(creds.app_key) == 32
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(JoinError):
+            DeviceCredentials.generate("")
+
+
+class TestSessionKeys:
+    def test_derivation_depends_on_nonce(self):
+        creds = DeviceCredentials.generate("x")
+        s1 = SessionKeys.derive(creds, 1)
+        s2 = SessionKeys.derive(creds, 2)
+        assert s1.dev_addr != s2.dev_addr
+
+    def test_nwk_and_app_keys_differ(self):
+        session = SessionKeys.derive(DeviceCredentials.generate("x"), 1)
+        assert session.nwk_s_key != session.app_s_key
+
+
+class TestUplinkFrame:
+    def _frame(self, **overrides):
+        defaults = dict(
+            dev_addr="abcd0123", fcnt=0, payload=b"hello",
+            confirmed=True, freq_mhz=904.6,
+            sf=SpreadingFactor.SF9, sent_at_s=0.0,
+        )
+        defaults.update(overrides)
+        return UplinkFrame(**defaults)
+
+    def test_frame_id_dedup_key(self):
+        assert self._frame(fcnt=7).frame_id == "abcd0123:7"
+
+    def test_negative_fcnt_rejected(self):
+        with pytest.raises(LoraWanError):
+            self._frame(fcnt=-1)
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(LoraWanError):
+            self._frame(payload=b"x" * 243)
+
+
+class TestDownlinkWindows:
+    def test_rx1_window(self):
+        downlink = DownlinkFrame("d", 0, "hs_1", scheduled_at_s=1.02)
+        assert downlink.window(uplink_sent_at_s=0.0) == 1
+
+    def test_rx2_window(self):
+        downlink = DownlinkFrame("d", 0, "hs_1", scheduled_at_s=2.05)
+        assert downlink.window(uplink_sent_at_s=0.0) == 2
+
+    def test_missed_window(self):
+        downlink = DownlinkFrame("d", 0, "hs_1", scheduled_at_s=3.5)
+        assert downlink.window(uplink_sent_at_s=0.0) is None
+
+    def test_window_constants_match_lorawan(self):
+        # "two acknowledgment windows, at precisely 1 s and 2 s" (§5.2).
+        assert RX1_DELAY_S == 1.0
+        assert RX2_DELAY_S == 2.0
+
+
+class TestAckOutcome:
+    @pytest.mark.parametrize("acked,cloud,expected", [
+        (True, True, AckOutcome.CORRECT_ACK),
+        (False, False, AckOutcome.CORRECT_NACK),
+        (True, False, AckOutcome.INCORRECT_ACK),
+        (False, True, AckOutcome.INCORRECT_NACK),
+    ])
+    def test_classification(self, acked, cloud, expected):
+        assert AckOutcome.classify(acked, cloud) is expected

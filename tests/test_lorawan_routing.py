@@ -1,0 +1,94 @@
+"""OUI devaddr-routing tests (the Figure 1 lookup)."""
+
+import pytest
+
+from repro.errors import LoraWanError
+from repro.lorawan.keys import DeviceCredentials
+from repro.lorawan.router import HeliumRouter
+from repro.lorawan.routing import RouterFrontend, RoutingTable, SLAB_SIZE
+
+
+class TestRoutingTable:
+    def test_slabs_are_disjoint_and_ordered(self):
+        table = RoutingTable()
+        slabs = [table.register_oui(oui) for oui in (1, 2, 3)]
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.end == b.start
+        assert slabs[0].start == 0
+
+    def test_route_by_first_byte(self):
+        table = RoutingTable()
+        table.register_oui(1)
+        table.register_oui(2)
+        # First slab covers first-byte 0..SLAB_SIZE.
+        assert table.route("00abcdef") == 1
+        assert table.route(f"{SLAB_SIZE:02x}abcdef") == 2
+        assert table.route("ffabcdef") is None  # unallocated space
+
+    def test_duplicate_oui_rejected(self):
+        table = RoutingTable()
+        table.register_oui(1)
+        with pytest.raises(LoraWanError):
+            table.register_oui(1)
+
+    def test_space_exhaustion(self):
+        table = RoutingTable()
+        for oui in range(256 // SLAB_SIZE):
+            table.register_oui(oui + 1)
+        with pytest.raises(LoraWanError):
+            table.register_oui(999)
+
+    def test_malformed_devaddr_unrouteable(self):
+        table = RoutingTable()
+        table.register_oui(1)
+        assert table.route("zz") is None
+        assert table.route("") is None
+
+
+class TestRouterFrontend:
+    def _frontend(self):
+        frontend = RouterFrontend()
+        console = HeliumRouter("wal_console", oui=1)
+        third = HeliumRouter("wal_third", oui=5)
+        frontend.add_router(console)
+        frontend.add_router(third)
+        return frontend, console, third
+
+    def test_join_rehomes_into_slab(self):
+        frontend, console, third = self._frontend()
+        creds = DeviceCredentials.generate("dev-a")
+        console.register_device(creds)
+        session = frontend.join(console, creds)
+        # The devaddr now resolves to the Console's OUI...
+        assert frontend.router_for(session.dev_addr) is console
+        # ...and the router recognises the rehomed session.
+        assert console.knows_device(session.dev_addr)
+
+    def test_devices_route_to_their_own_router(self):
+        frontend, console, third = self._frontend()
+        creds_a = DeviceCredentials.generate("dev-a")
+        creds_b = DeviceCredentials.generate("dev-b")
+        console.register_device(creds_a)
+        third.register_device(creds_b)
+        session_a = frontend.join(console, creds_a)
+        session_b = frontend.join(third, creds_b)
+        assert frontend.router_for(session_a.dev_addr).oui == 1
+        assert frontend.router_for(session_b.dev_addr).oui == 5
+
+    def test_unrouteable_devaddr_rejected(self):
+        frontend, _, _ = self._frontend()
+        with pytest.raises(LoraWanError):
+            frontend.router_for("ffffffff")
+
+    def test_duplicate_router_rejected(self):
+        frontend, console, _ = self._frontend()
+        with pytest.raises(LoraWanError):
+            frontend.add_router(HeliumRouter("wal_other", oui=1))
+
+    def test_unregistered_router_join_rejected(self):
+        frontend, _, _ = self._frontend()
+        stray = HeliumRouter("wal_stray", oui=9)
+        creds = DeviceCredentials.generate("dev-x")
+        stray.register_device(creds)
+        with pytest.raises(LoraWanError):
+            frontend.join(stray, creds)

@@ -1,0 +1,101 @@
+"""AS universe and backhaul assignment tests."""
+
+import pytest
+
+from repro.errors import P2pError
+from repro.geo.cities import CityDatabase
+from repro.p2p.backhaul import AccessType, AsUniverse, assign_backhaul
+from repro.rng import RngHub
+
+
+@pytest.fixture()
+def universe(hub) -> AsUniverse:
+    return AsUniverse(hub.stream("isps"), tail_isps=100)
+
+
+@pytest.fixture()
+def cities(hub) -> CityDatabase:
+    return CityDatabase(hub.stream("cities"))
+
+
+class TestAsUniverse:
+    def test_paper_majors_present(self, universe):
+        for org in ("Spectrum", "Comcast", "Verizon", "Cox", "Sky UK",
+                    "Telefonica", "TELUS", "Google Fiber"):
+            assert any(isp.name == org for isp in universe.majors)
+
+    def test_cloud_providers_present(self, universe):
+        names = {isp.name for isp in universe.clouds}
+        assert names == {"Digital Ocean", "Amazon"}
+
+    def test_no_duplicate_asns(self, hub):
+        AsUniverse(hub.stream("a"), tail_isps=200)  # must not raise
+
+    def test_org_lookup(self, universe):
+        assert universe.org_for_asn(7922) == "Comcast"
+        with pytest.raises(P2pError):
+            universe.org_for_asn(99_999_999)
+
+    def test_ip_annotation_round_trip(self, universe):
+        spectrum = next(i for i in universe.majors if i.name == "Spectrum")
+        ip = f"{spectrum.prefix}.12.34"
+        assert universe.asn_for_ip(ip) == spectrum.asn
+
+    def test_unknown_prefix_returns_none(self, universe):
+        assert universe.asn_for_ip("203.0.113.7") is None
+
+
+class TestCityMarkets:
+    def test_market_is_deterministic(self, universe, cities):
+        city = cities.us_cities()[0]
+        first = universe.market_for_city(city)
+        second = universe.market_for_city(city)
+        assert [i.asn for i in first[0]] == [i.asn for i in second[0]]
+
+    def test_small_towns_often_single_provider(self, universe, cities):
+        small = [c for c in cities.cities if c.population < 20_000][:120]
+        single = sum(
+            1 for c in small if len(universe.market_for_city(c)[0]) == 1
+        )
+        assert single > len(small) * 0.5
+
+    def test_metros_have_multiple_providers(self, universe, cities):
+        big = [c for c in cities.us_cities() if c.population >= 500_000][:20]
+        provider_counts = []
+        for city in big:
+            providers, weights = universe.market_for_city(city)
+            provider_counts.append(len(providers))
+            assert weights.sum() == pytest.approx(1.0)
+        # Markets are territorial, so a metro can be unlucky — but big
+        # cities average several providers.
+        assert sum(provider_counts) / len(provider_counts) >= 3.0
+        assert max(provider_counts) >= 4
+
+    def test_market_matches_country(self, universe, cities):
+        city = next(c for c in cities.cities if c.country == "DE")
+        providers, _ = universe.market_for_city(city)
+        assert all(p.country == "DE" for p in providers)
+
+
+class TestAssignment:
+    def test_assignment_fields(self, universe, cities, rng):
+        city = cities.us_cities()[0]
+        assignment = assign_backhaul(universe, city, rng)
+        assert assignment.asn == assignment.isp.asn
+        assert assignment.ip.startswith(assignment.isp.prefix + ".")
+        assert assignment.has_public_ip == (not assignment.behind_nat)
+
+    def test_cloud_assignment(self, universe, cities, rng):
+        city = cities.us_cities()[0]
+        assignment = assign_backhaul(universe, city, rng, cloud=True)
+        assert assignment.isp.access_type is AccessType.CLOUD
+        assert not assignment.behind_nat  # cloud hosts are public
+
+    def test_nat_rate_tracks_isp(self, universe, cities, rng):
+        city = cities.us_cities()[0]
+        assignments = [
+            assign_backhaul(universe, city, rng) for _ in range(400)
+        ]
+        nat_fraction = sum(a.behind_nat for a in assignments) / len(assignments)
+        # Residential ISPs have 45–75 % NAT probability.
+        assert 0.3 < nat_fraction < 0.85

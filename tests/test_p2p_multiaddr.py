@@ -1,0 +1,77 @@
+"""Multiaddr parsing tests for the two §6.2 peerbook formats."""
+
+import pytest
+
+from repro.errors import MultiaddrError
+from repro.p2p.multiaddr import (
+    HELIUM_PORT,
+    format_ip4,
+    format_relay,
+    parse_multiaddr,
+)
+
+
+class TestDirectFormat:
+    def test_round_trip(self):
+        raw = format_ip4("73.12.9.200", 44158)
+        parsed = parse_multiaddr(raw)
+        assert not parsed.is_relayed
+        assert parsed.ip == "73.12.9.200"
+        assert parsed.port == 44158
+
+    def test_helium_port_default(self):
+        # "They attempt to use a unique port, 44158" (§9.1).
+        assert HELIUM_PORT == 44158
+        assert format_ip4("1.2.3.4").endswith("/tcp/44158")
+
+    def test_paper_example_parses(self):
+        parsed = parse_multiaddr("/ip4/35.166.211.46/tcp/2154")
+        assert parsed.ip == "35.166.211.46"
+        assert parsed.port == 2154
+
+    def test_bad_ip_rejected(self):
+        for bad in ("1.2.3", "256.1.1.1", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(MultiaddrError):
+                format_ip4(bad)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(MultiaddrError):
+            format_ip4("1.2.3.4", 0)
+        with pytest.raises(MultiaddrError):
+            format_ip4("1.2.3.4", 70000)
+        with pytest.raises(MultiaddrError):
+            parse_multiaddr("/ip4/1.2.3.4/tcp/99999")
+
+
+class TestRelayFormat:
+    def test_round_trip(self):
+        raw = format_relay("relayhash", "peerhash")
+        assert raw == "/p2p/relayhash/p2p-circuit/p2p/peerhash"
+        parsed = parse_multiaddr(raw)
+        assert parsed.is_relayed
+        assert parsed.relay_hash == "relayhash"
+        assert parsed.peer_hash == "peerhash"
+
+    def test_empty_hash_rejected(self):
+        with pytest.raises(MultiaddrError):
+            format_relay("", "peer")
+        with pytest.raises(MultiaddrError):
+            parse_multiaddr("/p2p//p2p-circuit/p2p/x")
+
+    def test_slash_in_hash_rejected(self):
+        with pytest.raises(MultiaddrError):
+            format_relay("a/b", "peer")
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("raw", [
+        "",
+        "ip4/1.2.3.4/tcp/1",
+        "/ip6/::1/tcp/1",
+        "/p2p/x/p2p/y",
+        "/ip4/1.2.3.4/udp/1",
+        "/ip4/1.2.3.4/tcp/abc",
+    ])
+    def test_rejected(self, raw):
+        with pytest.raises(MultiaddrError):
+            parse_multiaddr(raw)

@@ -1,0 +1,135 @@
+"""Peerbook and relay-fabric tests."""
+
+import pytest
+
+from repro.errors import P2pError
+from repro.geo.geodesy import LatLon, destination
+from repro.p2p.peerbook import Peerbook
+from repro.p2p.relay import RelayCandidate, RelayFabric, randomized_assignment_trial
+
+
+def _candidates(rng, n_public=20, n_nat=30):
+    center = LatLon(40.0, -100.0)
+    out = []
+    for i in range(n_public + n_nat):
+        location = destination(center, float(rng.uniform(0, 360)),
+                               float(rng.uniform(0, 2000)))
+        out.append(RelayCandidate(
+            peer=f"hs_{i}", location=location,
+            has_public_ip=(i < n_public),
+        ))
+    return out
+
+
+class TestPeerbook:
+    def test_direct_entry(self):
+        book = Peerbook()
+        book.add_direct("hs_1", "10.0.0.1")
+        entry = book.entry("hs_1")
+        assert not entry.is_relayed
+        assert entry.relay_peer is None
+
+    def test_relayed_entry(self):
+        book = Peerbook()
+        book.add_direct("hs_relay", "10.0.0.1")
+        book.add_relayed("hs_nat", "hs_relay")
+        entry = book.entry("hs_nat")
+        assert entry.is_relayed
+        assert entry.relay_peer == "hs_relay"
+
+    def test_relay_must_be_direct(self):
+        book = Peerbook()
+        with pytest.raises(P2pError):
+            book.add_relayed("hs_nat", "hs_ghost")
+        book.add_direct("hs_relay", "10.0.0.1")
+        book.add_relayed("hs_nat", "hs_relay")
+        with pytest.raises(P2pError):
+            book.add_relayed("hs_nat2", "hs_nat")  # relayed can't relay
+
+    def test_relayed_fraction(self):
+        book = Peerbook()
+        book.add_direct("hs_a", "10.0.0.1")
+        book.add_relayed("hs_b", "hs_a")
+        book.add_empty("hs_offline")
+        # Empty entries are excluded from the §6.2 denominator.
+        assert book.relayed_fraction() == pytest.approx(0.5)
+
+    def test_relay_load(self):
+        book = Peerbook()
+        book.add_direct("hs_r", "10.0.0.1")
+        for i in range(3):
+            book.add_relayed(f"hs_{i}", "hs_r")
+        assert book.relay_load() == {"hs_r": 3}
+        assert book.relay_pairs() == [("hs_r", f"hs_{i}") for i in range(3)]
+
+    def test_unknown_peer_raises(self):
+        with pytest.raises(P2pError):
+            Peerbook().entry("hs_missing")
+
+    def test_empty_book_fraction_raises(self):
+        with pytest.raises(P2pError):
+            Peerbook().relayed_fraction()
+
+
+class TestRelayFabric:
+    def test_random_policy_builds_complete_book(self, rng):
+        candidates = _candidates(rng)
+        fabric = RelayFabric(policy="random")
+        book = fabric.build_peerbook(candidates, rng)
+        assert len(book) == len(candidates)
+        assert book.relayed_fraction() == pytest.approx(30 / 50)
+
+    def test_every_nat_peer_gets_a_public_relay(self, rng):
+        candidates = _candidates(rng)
+        publics = {c.peer for c in candidates if c.has_public_ip}
+        book = RelayFabric().build_peerbook(candidates, rng)
+        for relay, _ in book.relay_pairs():
+            assert relay in publics
+
+    def test_nearest_policy_shortens_distances(self, rng):
+        candidates = _candidates(rng, n_public=40, n_nat=60)
+        locations = {c.peer: c.location for c in candidates}
+        random_book = RelayFabric("random").build_peerbook(candidates, rng)
+        nearest_book = RelayFabric("nearest", nearest_k=1).build_peerbook(
+            candidates, rng
+        )
+
+        def median_distance(book):
+            distances = sorted(
+                locations[r].distance_km(locations[p])
+                for r, p in book.relay_pairs()
+            )
+            return distances[len(distances) // 2]
+
+        assert median_distance(nearest_book) < median_distance(random_book)
+
+    def test_offline_peers_get_empty_entries(self, rng):
+        from dataclasses import replace
+
+        candidates = _candidates(rng)
+        candidates[25] = replace(candidates[25], online=False)
+        book = RelayFabric().build_peerbook(candidates, rng)
+        assert book.entry(candidates[25].peer).listen_addrs == []
+
+    def test_no_publics_raises(self, rng):
+        candidates = [
+            RelayCandidate("hs_1", LatLon(0, 1), has_public_ip=False)
+        ]
+        with pytest.raises(P2pError):
+            RelayFabric().build_peerbook(candidates, rng)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(P2pError):
+            RelayFabric(policy="quantum")
+
+    def test_randomized_trial_matches_pool_scale(self, rng):
+        candidates = _candidates(rng)
+        locations = {c.peer: c.location for c in candidates}
+        book = RelayFabric().build_peerbook(candidates, rng)
+        pairs = [
+            (locations[r], locations[p]) for r, p in book.relay_pairs()
+        ]
+        relay_pool = [r for r, _ in pairs]
+        trial = randomized_assignment_trial(pairs, relay_pool, rng)
+        assert len(trial) == len(pairs)
+        assert all(d >= 0 for d in trial)

@@ -1,0 +1,148 @@
+"""PoC challenge simulation tests."""
+
+import pytest
+
+from repro.errors import PocError
+from repro.geo.geodesy import LatLon, destination
+from repro.poc.challenge import PocParticipant, run_challenge
+from repro.poc.cheats import GossipClique, RssiLiar, SilentMover
+from repro.poc.engine import PocEngine
+from repro.radio.propagation import Environment
+
+
+def _participant(name, center, bearing=0.0, distance=0.0, **kwargs):
+    location = destination(center, bearing, distance) if distance else center
+    return PocParticipant(
+        gateway=f"hs_{name}",
+        owner=f"wal_{name}",
+        asserted_location=location,
+        actual_location=location,
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def cluster():
+    center = LatLon(32.75, -117.15)
+    participants = [_participant("0", center)]
+    for i in range(1, 8):
+        participants.append(_participant(str(i), center, 45.0 * i, 1.0 + 0.3 * i))
+    return participants
+
+
+class TestRunChallenge:
+    def test_nearby_hotspots_witness(self, cluster, rng):
+        outcome = run_challenge(
+            challenger=cluster[1],
+            challengee=cluster[0],
+            candidates=cluster,
+            rng=rng,
+        )
+        assert outcome.request.challengee == cluster[0].gateway
+        assert len(outcome.receipts.witnesses) >= 3
+        # Challengee never witnesses itself.
+        witnesses = {w.witness for w in outcome.receipts.witnesses}
+        assert cluster[0].gateway not in witnesses
+
+    def test_offline_hotspots_do_not_witness(self, cluster, rng):
+        cluster[3].online = False
+        outcome = run_challenge(cluster[1], cluster[0], cluster, rng)
+        witnesses = {w.witness for w in outcome.receipts.witnesses}
+        assert cluster[3].gateway not in witnesses
+
+    def test_event_mirrors_valid_witnesses(self, cluster, rng):
+        outcome = run_challenge(cluster[1], cluster[0], cluster, rng)
+        assert len(outcome.event.witnesses) == len(outcome.receipts.valid_witnesses)
+
+    def test_distant_hotspot_never_witnesses(self, cluster, rng):
+        far = _participant("far", LatLon(40.7, -74.0))
+        outcome = run_challenge(cluster[1], cluster[0], cluster + [far], rng)
+        witnesses = {w.witness for w in outcome.receipts.witnesses}
+        assert far.gateway not in witnesses
+
+    def test_rssi_liar_inflates(self, cluster, rng):
+        cluster[2].cheat = RssiLiar(inflation_db=25.0, absurd_probability=0.0)
+        honest_rssis = []
+        liar_rssis = []
+        for _ in range(30):
+            outcome = run_challenge(cluster[1], cluster[0], cluster, rng)
+            for witness in outcome.receipts.witnesses:
+                if witness.witness == cluster[2].gateway:
+                    liar_rssis.append(witness.rssi_dbm)
+                else:
+                    honest_rssis.append(witness.rssi_dbm)
+        assert liar_rssis and honest_rssis
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(liar_rssis) > mean(honest_rssis) + 10.0
+
+    def test_gossip_clique_witnesses_out_of_range(self, cluster, rng):
+        clique = GossipClique(clique_id=1)
+        remote = _participant("remote", LatLon(40.7, -74.0), cheat=clique)
+        cluster[0].cheat = clique
+        clique.members.update({cluster[0].gateway, remote.gateway})
+        valid_fabrications = 0
+        for _ in range(20):
+            outcome = run_challenge(
+                cluster[1], cluster[0], cluster + [remote], rng
+            )
+            for witness in outcome.receipts.valid_witnesses:
+                if witness.witness == remote.gateway:
+                    valid_fabrications += 1
+        # Forged from the public bound ⇒ passes validity (§7.2).
+        assert valid_fabrications >= 15
+
+    def test_silent_mover_geometry(self, rng):
+        center = LatLon(32.75, -117.15)
+        nyc = LatLon(40.7, -74.0)
+        mover = PocParticipant(
+            gateway="hs_mover", owner="wal_m",
+            asserted_location=center,     # lies: still claims San Diego
+            actual_location=nyc,          # physically in New York
+            cheat=SilentMover(),
+        )
+        assert mover.is_silent_mover
+        challengee = _participant("nyc", nyc, 90.0, 2.0)
+        challenger = _participant("nyc2", nyc, 180.0, 3.0)
+        outcome = run_challenge(
+            challenger, challengee, [challenger, mover], rng
+        )
+        # The mover physically hears NYC challenges...
+        reported = {w.witness for w in outcome.receipts.witnesses}
+        assert "hs_mover" in reported
+
+
+class TestPocEngine:
+    def test_requires_participants(self):
+        with pytest.raises(PocError):
+            PocEngine([])
+
+    def test_round_produces_outcomes(self, cluster, rng):
+        engine = PocEngine(cluster)
+        outcomes = engine.run_round(10, rng)
+        assert len(outcomes) == 10
+        for outcome in outcomes:
+            assert outcome.request.challenger != outcome.request.challengee
+
+    def test_duplicate_registration_rejected(self, cluster):
+        engine = PocEngine(cluster)
+        with pytest.raises(PocError):
+            engine.add_participant(cluster[0])
+
+    def test_add_participant_joins_index(self, cluster, rng):
+        engine = PocEngine(cluster)
+        newcomer = _participant("new", LatLon(32.75, -117.15), 10.0, 0.8)
+        engine.add_participant(newcomer)
+        candidates = engine.candidates_for(cluster[0])
+        assert any(c.gateway == newcomer.gateway for c in candidates)
+
+    def test_negative_round_rejected(self, cluster, rng):
+        engine = PocEngine(cluster)
+        with pytest.raises(PocError):
+            engine.run_round(-1, rng)
+
+    def test_needs_two_online(self, cluster, rng):
+        for participant in cluster[1:]:
+            participant.online = False
+        engine = PocEngine(cluster)
+        with pytest.raises(PocError):
+            engine.run_one(rng)

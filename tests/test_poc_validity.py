@@ -1,0 +1,103 @@
+"""Witness-validity heuristics tests (§8.2.1's five criteria)."""
+
+import pytest
+
+from repro.geo.geodesy import LatLon, destination
+from repro.geo.hexgrid import HexGrid
+from repro.poc.validity import InvalidReason, WitnessValidityChecker
+
+
+@pytest.fixture()
+def checker() -> WitnessValidityChecker:
+    return WitnessValidityChecker()
+
+
+def _check(checker, witness_location, rssi=-100.0, channel=0, freq=904.6,
+           challengee=LatLon(32.75, -117.15)):
+    return checker.check(
+        challengee_location=challengee,
+        witness_location=witness_location,
+        witness_cell=HexGrid.encode_cell(witness_location),
+        rssi_dbm=rssi,
+        freq_mhz=freq,
+        channel_index=channel,
+    )
+
+
+class TestCriteria:
+    def test_honest_witness_valid(self, checker):
+        witness = destination(LatLon(32.75, -117.15), 90.0, 2.0)
+        verdict = _check(checker, witness)
+        assert verdict.is_valid
+
+    def test_too_close_rejected(self, checker):
+        # HIP 15: "hotspots within 300 meters of each other cannot act
+        # as a witness for one another".
+        witness = destination(LatLon(32.75, -117.15), 90.0, 0.1)
+        verdict = _check(checker, witness)
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.TOO_CLOSE
+
+    def test_exactly_at_boundary_valid(self, checker):
+        witness = destination(LatLon(32.75, -117.15), 90.0, 0.31)
+        assert _check(checker, witness).is_valid
+
+    def test_rssi_too_high_rejected(self, checker):
+        witness = destination(LatLon(32.75, -117.15), 90.0, 50.0)
+        verdict = _check(checker, witness, rssi=-20.0)
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.RSSI_TOO_HIGH
+
+    def test_absurd_rssi_rejected_at_any_distance(self, checker):
+        # "some witnesses claim an RSSI as high as 1,041,313,293 dBm".
+        witness = destination(LatLon(32.75, -117.15), 90.0, 5.0)
+        verdict = _check(checker, witness, rssi=1_041_313_293.0)
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.RSSI_TOO_HIGH
+
+    def test_rssi_too_low_rejected(self, checker):
+        witness = destination(LatLon(32.75, -117.15), 90.0, 5.0)
+        verdict = _check(checker, witness, rssi=-150.0)
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.RSSI_TOO_LOW
+
+    def test_wrong_channel_rejected(self, checker):
+        witness = destination(LatLon(32.75, -117.15), 90.0, 5.0)
+        verdict = _check(checker, witness, channel=-1, freq=870.0)
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.WRONG_CHANNEL
+
+    def test_pentagon_distortion_rejected(self, checker):
+        # A witness asserted near an icosahedron vertex.
+        witness = LatLon(26.57, 36.0)
+        challengee = destination(witness, 90.0, 5.0)
+        verdict = checker.check(
+            challengee_location=challengee,
+            witness_location=witness,
+            witness_cell=HexGrid.encode_cell(witness, 8),
+            rssi_dbm=-100.0,
+            freq_mhz=904.6,
+            channel_index=0,
+        )
+        assert not verdict.is_valid
+        assert verdict.reason is InvalidReason.PENTAGON_DISTORTION
+
+
+class TestHeuristicGaps:
+    """The §7.2 takeaway: the heuristics are public and defeatable."""
+
+    def test_bound_is_public_and_loose(self, checker):
+        # An informed cheater queries the bound and reports just under it.
+        distance = 40.0
+        bound = checker.max_plausible_rssi_dbm(distance)
+        witness = destination(LatLon(32.75, -117.15), 0.0, distance)
+        verdict = _check(checker, witness, rssi=bound - 1.0)
+        assert verdict.is_valid  # forged, plausible, accepted
+
+    def test_bound_capped_at_legal_eirp(self, checker):
+        assert checker.max_plausible_rssi_dbm(0.0) == pytest.approx(36.0)
+        assert checker.max_plausible_rssi_dbm(0.001) <= 36.0
+
+    def test_bound_decreases_with_distance(self, checker):
+        assert (checker.max_plausible_rssi_dbm(1.0)
+                > checker.max_plausible_rssi_dbm(50.0))

@@ -1,0 +1,114 @@
+"""Property-based ledger invariants under random transaction sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.transactions import (
+    AddGateway,
+    AssertLocation,
+    Payment,
+    Rewards,
+    RewardShare,
+    RewardType,
+    TransferHotspot,
+)
+from repro.errors import ReproError
+
+_OWNERS = [f"wal_{i}" for i in range(6)]
+_GATEWAYS = [f"hs_{i}" for i in range(8)]
+
+# One abstract action: (kind, params...) drawn from small id pools.
+_action = st.one_of(
+    st.tuples(st.just("add"), st.sampled_from(_GATEWAYS),
+              st.sampled_from(_OWNERS)),
+    st.tuples(st.just("assert"), st.sampled_from(_GATEWAYS),
+              st.integers(min_value=-20, max_value=40),
+              st.integers(min_value=-20, max_value=40)),
+    st.tuples(st.just("transfer"), st.sampled_from(_GATEWAYS),
+              st.sampled_from(_OWNERS)),
+    st.tuples(st.just("reward"), st.sampled_from(_OWNERS),
+              st.integers(min_value=1, max_value=10 ** 10)),
+    st.tuples(st.just("pay"), st.sampled_from(_OWNERS),
+              st.sampled_from(_OWNERS),
+              st.integers(min_value=1, max_value=10 ** 10)),
+)
+
+
+def _attempt(chain: Blockchain, action) -> None:
+    """Translate an abstract action into a transaction; mint if valid."""
+    kind = action[0]
+    ledger = chain.ledger
+    try:
+        if kind == "add":
+            chain.submit(AddGateway(gateway=action[1], owner=action[2]))
+        elif kind == "assert":
+            record = ledger.hotspots.get(action[1])
+            owner = record.owner if record else _OWNERS[0]
+            nonce = (record.nonce + 1) if record else 1
+            chain.submit(AssertLocation(
+                gateway=action[1], owner=owner,
+                location_token=f"c-12-{action[2]}-{action[3]}", nonce=nonce,
+            ))
+        elif kind == "transfer":
+            record = ledger.hotspots.get(action[1])
+            seller = record.owner if record else _OWNERS[0]
+            chain.submit(TransferHotspot(
+                gateway=action[1], seller=seller, buyer=action[2],
+            ))
+        elif kind == "reward":
+            chain.submit(Rewards(
+                epoch_start_block=0, epoch_end_block=1,
+                shares=(RewardShare(action[1], None, action[2],
+                                    RewardType.SECURITY),),
+            ))
+        elif kind == "pay":
+            chain.submit(Payment(
+                payer=action[1], payee=action[2], amount_bones=action[3],
+            ))
+        chain.mint_block()
+    except ReproError:
+        chain.drop_pending()  # invalid action: ledger must be untouched
+
+
+class TestLedgerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_action, min_size=1, max_size=60))
+    def test_invariants_hold_under_any_sequence(self, actions):
+        chain = Blockchain()
+        for action in actions:
+            _attempt(chain, action)
+        ledger = chain.ledger
+        # 1. No wallet ever goes negative.
+        for wallet in ledger.wallets.values():
+            assert wallet.hnt_bones >= 0
+            assert wallet.dc >= 0
+        # 2. HNT conservation: total balances ≤ total minted.
+        total_balance = sum(w.hnt_bones for w in ledger.wallets.values())
+        assert total_balance <= ledger.total_hnt_minted_bones
+        # 3. Every hotspot has exactly one owner, and nonces count asserts.
+        asserts_seen = {}
+        for _, txn in chain.iter_transactions(AssertLocation):
+            asserts_seen[txn.gateway] = asserts_seen.get(txn.gateway, 0) + 1
+        for gateway, record in ledger.hotspots.items():
+            assert record.owner
+            assert record.nonce == asserts_seen.get(gateway, 0)
+        # 4. Applied-transaction tally matches the chain contents.
+        assert chain.total_transactions == sum(
+            len(block) for block in chain.blocks
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_action, min_size=1, max_size=40))
+    def test_rejected_actions_leave_no_trace(self, actions):
+        chain = Blockchain()
+        for action in actions:
+            counts_before = dict(chain.ledger.txn_counts)
+            height_before = chain.height
+            try:
+                _attempt(chain, action)
+            except ReproError:  # pragma: no cover - _attempt swallows
+                pass
+            # Either the chain advanced with the new txn applied, or
+            # nothing changed at all.
+            if chain.height == height_before:
+                assert dict(chain.ledger.txn_counts) == counts_before

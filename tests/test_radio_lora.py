@@ -1,0 +1,101 @@
+"""LoRa modulation model tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.radio.lora import (
+    Bandwidth,
+    CodingRate,
+    EU868,
+    LoRaParams,
+    SpreadingFactor,
+    US915,
+    airtime_ms,
+    max_payload_bytes,
+    plan_for_country,
+    sensitivity_dbm,
+)
+
+
+class TestSensitivity:
+    def test_sf12_125k_near_datasheet(self):
+        # SX1276 datasheet: about −137 dBm at SF12/125 kHz.
+        assert sensitivity_dbm(SpreadingFactor.SF12) == pytest.approx(-137, abs=1.5)
+
+    def test_sf7_125k_near_datasheet(self):
+        assert sensitivity_dbm(SpreadingFactor.SF7) == pytest.approx(-124.5, abs=1.5)
+
+    def test_monotone_in_sf(self):
+        values = [sensitivity_dbm(sf) for sf in SpreadingFactor]
+        assert values == sorted(values, reverse=True)
+
+    def test_wider_bandwidth_less_sensitive(self):
+        narrow = sensitivity_dbm(SpreadingFactor.SF9, Bandwidth.BW125)
+        wide = sensitivity_dbm(SpreadingFactor.SF9, Bandwidth.BW500)
+        assert wide > narrow
+
+
+class TestAirtime:
+    def test_sf7_reference_value(self):
+        # 51-byte payload, SF7/125 kHz, CR4/5, 8-symbol preamble ≈ 100-120 ms.
+        t = airtime_ms(51, LoRaParams(sf=SpreadingFactor.SF7))
+        assert 90 < t < 130
+
+    def test_airtime_grows_with_sf(self):
+        times = [
+            airtime_ms(24, LoRaParams(sf=sf)) for sf in SpreadingFactor
+        ]
+        assert times == sorted(times)
+
+    def test_airtime_grows_with_payload(self):
+        small = airtime_ms(10, LoRaParams())
+        big = airtime_ms(100, LoRaParams())
+        assert big > small
+
+    def test_low_data_rate_optimize_kicks_in(self):
+        assert not LoRaParams(sf=SpreadingFactor.SF10).low_data_rate_optimize
+        assert LoRaParams(sf=SpreadingFactor.SF11).low_data_rate_optimize
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ReproError):
+            airtime_ms(-1)
+
+    def test_zero_payload_is_preamble_plus_header(self):
+        t = airtime_ms(0, LoRaParams(sf=SpreadingFactor.SF7))
+        assert t > 0
+
+
+class TestChannelPlans:
+    def test_us915_has_eight_channels(self):
+        assert len(US915.uplink_mhz) == 8
+
+    def test_channel_lookup(self):
+        freq = US915.uplink_mhz[3]
+        assert US915.channel_index(freq) == 3
+
+    def test_off_plan_frequency_is_minus_one(self):
+        # The "wrong channel (impossible)" PoC validity input.
+        assert US915.channel_index(870.0) == -1
+        assert EU868.channel_index(904.6) == -1
+
+    def test_random_channel_on_plan(self, rng):
+        for _ in range(20):
+            freq = US915.random_channel(rng)
+            assert US915.channel_index(freq) >= 0
+
+    def test_plan_for_country(self):
+        assert plan_for_country("US") is US915
+        assert plan_for_country("DE") is EU868
+        assert plan_for_country("BR") is US915
+
+    def test_eu_duty_cycle(self):
+        assert EU868.duty_cycle == pytest.approx(0.01)
+        assert US915.duty_cycle == pytest.approx(1.0)
+
+
+class TestPayloadLimits:
+    def test_sf7_largest(self):
+        assert max_payload_bytes(SpreadingFactor.SF7) == 242
+
+    def test_sf10_smallest_us(self):
+        assert max_payload_bytes(SpreadingFactor.SF10) == 11

@@ -1,0 +1,122 @@
+"""Propagation model tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.radio.propagation import (
+    Environment,
+    FSPL_SENSITIVITY_DBM,
+    LinkBudget,
+    PropagationModel,
+    environment_for_density,
+    fspl_db,
+    fspl_range_growth_m,
+    fspl_range_km,
+)
+
+
+class TestFspl:
+    def test_reference_value(self):
+        # FSPL at 1 km / 915 MHz ≈ 91.66 dB.
+        assert fspl_db(1.0, 915.0) == pytest.approx(91.66, abs=0.1)
+
+    def test_inverse_square_law(self):
+        # Doubling distance adds 6.02 dB.
+        delta = fspl_db(2.0, 915.0) - fspl_db(1.0, 915.0)
+        assert delta == pytest.approx(6.02, abs=0.01)
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            fspl_db(0.0)
+        with pytest.raises(ReproError):
+            fspl_db(1.0, -1.0)
+
+    def test_range_round_trip(self):
+        range_km = fspl_range_km(27.0, -134.0)
+        loss = fspl_db(range_km)
+        assert 27.0 - loss == pytest.approx(-134.0, abs=0.01)
+
+
+class TestRadiusGrowth:
+    def test_paper_median_gives_twenty_meters(self):
+        # "At the median −108 dBm, the RSSI step adds only an additional
+        # 20 m of coverage range" (§8.2.1), with s = −134 dBm.
+        assert fspl_range_growth_m(-108.0) == pytest.approx(20.0, rel=0.01)
+
+    def test_growth_monotone_in_rssi(self):
+        weak = fspl_range_growth_m(-130.0)
+        strong = fspl_range_growth_m(-90.0)
+        assert strong > weak
+
+    def test_sensitivity_constant_matches_st_board(self):
+        assert FSPL_SENSITIVITY_DBM == -134.0
+
+
+class TestPropagationModel:
+    def test_rssi_decreases_with_distance(self):
+        model = PropagationModel(Environment.SUBURBAN)
+        assert model.mean_rssi_dbm(0.5) > model.mean_rssi_dbm(5.0)
+
+    def test_urban_lossier_than_rural(self):
+        urban = PropagationModel(Environment.URBAN).mean_rssi_dbm(2.0)
+        rural = PropagationModel(Environment.RURAL).mean_rssi_dbm(2.0)
+        assert urban < rural
+
+    def test_over_water_longest_range(self):
+        ranges = {
+            env: PropagationModel(env).max_range_km()
+            for env in (Environment.URBAN, Environment.SUBURBAN,
+                        Environment.RURAL, Environment.OVER_WATER)
+        }
+        assert ranges[Environment.OVER_WATER] > ranges[Environment.RURAL]
+        assert ranges[Environment.RURAL] > ranges[Environment.URBAN]
+
+    def test_over_water_supports_paper_footnote_links(self):
+        # "hotspots ... that witness successfully at ranges of 60-110 km
+        # across Lake Michigan" — with a high-gain antenna.
+        model = PropagationModel(
+            Environment.OVER_WATER, LinkBudget(antenna_gain_dbi=8.0)
+        )
+        assert model.max_range_km(sensitivity_dbm=-139.0) > 60.0
+
+    def test_reception_probability_bounds_and_monotone(self):
+        model = PropagationModel(Environment.SUBURBAN)
+        probs = [model.reception_probability(d) for d in (0.1, 1.0, 10.0, 50.0)]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_shadowing_statistics(self, rng):
+        model = PropagationModel(Environment.SUBURBAN)
+        samples = [model.sample_rssi_dbm(2.0, rng) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.mean_rssi_dbm(2.0), abs=0.5)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert math.sqrt(var) == pytest.approx(
+            Environment.SUBURBAN.shadowing_sigma_db, rel=0.1
+        )
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ReproError):
+            PropagationModel().mean_path_loss_db(0.0)
+
+    def test_max_range_honours_margin(self):
+        model = PropagationModel(Environment.SUBURBAN)
+        assert model.max_range_km(margin_db=10.0) < model.max_range_km()
+
+    def test_packet_received_bernoulli(self, rng):
+        model = PropagationModel(Environment.SUBURBAN)
+        # Close in: nearly always received.
+        close = sum(model.packet_received(0.2, rng) for _ in range(200))
+        assert close > 190
+        # Far out: nearly never.
+        far = sum(model.packet_received(500.0, rng) for _ in range(200))
+        assert far < 10
+
+
+class TestEnvironmentForDensity:
+    def test_thresholds(self):
+        assert environment_for_density(100) is Environment.URBAN
+        assert environment_for_density(20) is Environment.SUBURBAN
+        assert environment_for_density(2) is Environment.RURAL

@@ -1,0 +1,54 @@
+"""RngHub determinism tests."""
+
+import pytest
+
+from repro.rng import RngHub, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRngHub:
+    def test_same_seed_same_draws(self):
+        a = RngHub(7).stream("moves").random(5)
+        b = RngHub(7).stream("moves").random(5)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        hub = RngHub(7)
+        first = hub.stream("a").random(5)
+        # Drawing from another stream must not perturb the first.
+        hub2 = RngHub(7)
+        hub2.stream("b").random(100)
+        second = hub2.stream("a").random(5)
+        assert (first == second).all()
+
+    def test_stream_caching(self):
+        hub = RngHub(1)
+        assert hub.stream("x") is hub.stream("x")
+
+    def test_fork_independence(self):
+        hub = RngHub(5)
+        child = hub.fork("phase2")
+        assert child.seed != hub.seed
+        a = hub.stream("s").random(3)
+        b = child.stream("s").random(3)
+        assert not (a == b).all()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngHub("42")  # type: ignore[arg-type]
+
+    def test_names_lists_created_streams(self):
+        hub = RngHub(3)
+        hub.stream("zeta")
+        hub.stream("alpha")
+        assert list(hub.names()) == ["alpha", "zeta"]

@@ -1,0 +1,75 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPower:
+    def test_dbm_to_mw_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_dbm_to_mw_30_dbm_is_one_watt(self):
+        assert units.dbm_to_mw(30.0) == pytest.approx(1000.0)
+
+    def test_mw_to_dbm_round_trip(self):
+        for dbm in (-134.0, -30.0, 0.0, 27.0, 36.0):
+            assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-5.0)
+
+
+class TestMoney:
+    def test_dc_price_is_paper_value(self):
+        # "$0.00001 USD per 1 DC" (§2.4)
+        assert units.dc_to_usd(1) == pytest.approx(0.00001)
+
+    def test_assert_location_fee_is_ten_dollars(self):
+        # "1,000,000 DC fee ($10 USD)" (§3)
+        assert units.dc_to_usd(1_000_000) == pytest.approx(10.0)
+
+    def test_usd_to_dc_round_trip(self):
+        assert units.usd_to_dc(10.0) == 1_000_000
+
+    def test_usd_to_dc_rounds_down(self):
+        assert units.usd_to_dc(0.000019) == 1
+
+    def test_hnt_bones_round_trip(self):
+        assert units.bones_to_hnt(units.hnt_to_bones(12.345)) == pytest.approx(12.345)
+
+    def test_one_hnt_is_1e8_bones(self):
+        assert units.hnt_to_bones(1.0) == 100_000_000
+
+
+class TestTime:
+    def test_block_time_is_sixty_seconds(self):
+        # "New blocks are minted every 60 s" (§3)
+        assert units.BLOCK_TIME_S == 60
+        assert units.BLOCKS_PER_DAY == 1440
+
+    def test_block_to_time_round_trip(self):
+        for height in (0, 1, 1440, 999_999):
+            t = units.block_to_unix_time(height)
+            assert units.unix_time_to_block(t) == height
+
+    def test_genesis_is_2019_07_29(self):
+        import datetime
+
+        genesis = datetime.datetime.fromtimestamp(
+            units.GENESIS_UNIX_TIME, tz=datetime.timezone.utc
+        )
+        assert (genesis.year, genesis.month, genesis.day) == (2019, 7, 29)
+
+    def test_blocks_between(self):
+        assert units.blocks_between(days=1) == 1440
+        assert units.blocks_between(hours=2) == 120
+        assert units.blocks_between(minutes=90) == 90
+
+    def test_pre_genesis_time_clamps_to_zero(self):
+        assert units.unix_time_to_block(0) == 0
