@@ -30,7 +30,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError, GeoError
-from repro.geo.geodesy import LatLon, destination
+from repro.geo.geodesy import (
+    LatLon,
+    destination,
+    destination_many,
+    haversine_km_many,
+)
 from repro.geo.landmass import Landmass
 from repro.geo.polygon import Polygon, convex_hull, disk_area_km2
 from repro.radio.propagation import FSPL_SENSITIVITY_DBM, fspl_range_growth_m
@@ -123,6 +128,36 @@ class Shape:
         """A uniform point inside the shape."""
         raise NotImplementedError
 
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``n`` uniform interior points as parallel lat/lon arrays.
+
+        Subclasses override with batch draws that consume the RNG stream
+        bitwise-identically to ``n`` sequential :meth:`sample` calls;
+        this fallback just loops.
+        """
+        lats = np.empty(n)
+        lons = np.empty(n)
+        for i in range(n):
+            point = self.sample(rng)
+            lats[i] = point.lat
+            lons[i] = point.lon
+        return lats, lons
+
+    def contains_many(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`contains` over parallel lat/lon arrays."""
+        return np.fromiter(
+            (
+                self.contains(LatLon(float(lat), float(lon)))
+                for lat, lon in zip(lats, lons)
+            ),
+            dtype=bool,
+            count=len(lats),
+        )
+
     @property
     def centroid(self) -> LatLon:
         raise NotImplementedError
@@ -198,6 +233,27 @@ class Disk(Shape):
         radius = self.radius_km * math.sqrt(float(rng.random()))
         return destination(self.center, float(rng.uniform(0, 360)), radius)
 
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # One draw of 2n uniforms consumes the stream exactly like n
+        # sequential (radius, bearing) scalar draws: uniform(0, 360) is
+        # bitwise 360 * random().
+        u = rng.random(2 * n)
+        radii = self.radius_km * np.sqrt(u[0::2])
+        bearings = 360.0 * u[1::2]
+        return destination_many(
+            self.center.lat, self.center.lon, bearings, radii
+        )
+
+    def contains_many(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> np.ndarray:
+        distances = haversine_km_many(
+            self.center.lat, self.center.lon, lats, lons
+        )
+        return distances <= self.radius_km
+
     @property
     def centroid(self) -> LatLon:
         return self.center
@@ -216,6 +272,14 @@ class HullShape(Shape):
         self._extent = polygon.max_radius_km()
         self._area = polygon.area_km2()
         self._triangles = self._triangulate()
+        # Parallel arrays over the fan triangles for batch sampling.
+        self._tri_b = np.array(
+            [(b.lat, b.lon) for _, b, _, _ in self._triangles]
+        ).reshape(len(self._triangles), 2)
+        self._tri_c = np.array(
+            [(c.lat, c.lon) for _, _, c, _ in self._triangles]
+        ).reshape(len(self._triangles), 2)
+        self._tri_cum = np.cumsum([t[3] for t in self._triangles])
 
     def _triangulate(self) -> List[Tuple[LatLon, LatLon, LatLon, float]]:
         vertices = self.polygon.vertices
@@ -253,6 +317,42 @@ class HullShape(Shape):
         lat = a.lat + u * (b.lat - a.lat) + v * (c.lat - a.lat)
         lon = a.lon + u * (b.lon - a.lon) + v * (c.lon - a.lon)
         return LatLon(lat, lon)
+
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Stream-compatible with n sequential sample() calls: each point
+        # consumes (roll, u, v), so one draw of 3n uniforms sliced by
+        # stride matches the scalar path bitwise.
+        total = float(self._tri_cum[-1]) if len(self._triangles) else 0.0
+        if total <= 0:
+            return (
+                np.full(n, self._centroid.lat),
+                np.full(n, self._centroid.lon),
+            )
+        draws = rng.random(3 * n)
+        rolls = draws[0::3] * total
+        chosen = np.minimum(
+            np.searchsorted(self._tri_cum, rolls, side="left"),
+            len(self._triangles) - 1,
+        )
+        u, v = draws[1::3], draws[2::3]
+        reflect = u + v > 1.0
+        u = np.where(reflect, 1.0 - u, u)
+        v = np.where(reflect, 1.0 - v, v)
+        anchor = self._triangles[0][0]
+        b_lat = self._tri_b[chosen, 0]
+        b_lon = self._tri_b[chosen, 1]
+        c_lat = self._tri_c[chosen, 0]
+        c_lon = self._tri_c[chosen, 1]
+        lats = anchor.lat + u * (b_lat - anchor.lat) + v * (c_lat - anchor.lat)
+        lons = anchor.lon + u * (b_lon - anchor.lon) + v * (c_lon - anchor.lon)
+        return lats, lons
+
+    def contains_many(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> np.ndarray:
+        return self.polygon.contains_many(lats, lons)
 
     @property
     def centroid(self) -> LatLon:
@@ -330,6 +430,57 @@ class CoverageModel:
         """Whether the model predicts coverage at ``point``."""
         return bool(self.covering_shapes(point))
 
+    def first_covering_many(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`first_covering` over parallel lat/lon arrays.
+
+        Points are routed to their grid bin's candidate shapes, then the
+        candidate shapes are swept in ascending index order — one batch
+        ``contains_many`` per shape over every point still unresolved in
+        that shape's bins, retiring points as soon as a cover is found.
+        Returns the covering shape index per point, −1 when uncovered.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        owners = np.full(lats.shape, -1, dtype=np.int64)
+        if not self.shapes or lats.size == 0:
+            return owners
+        bin_deg = self._index.bin_deg
+        lat_bins = np.floor(lats / bin_deg).astype(np.int64)
+        lon_bins = np.floor(lons / bin_deg).astype(np.int64)
+        combined = np.stack([lat_bins, lon_bins], axis=1)
+        uniq, inverse, counts = np.unique(
+            combined, axis=0, return_inverse=True, return_counts=True
+        )
+        order = np.argsort(inverse, kind="stable")
+        groups = np.split(order, np.cumsum(counts)[:-1])
+        # Invert bin→candidates into shape→points so each shape is
+        # tested once, over one large batch.
+        shape_points: Dict[int, List[np.ndarray]] = {}
+        for g, group in enumerate(groups):
+            candidates = self._index._bins.get(
+                (int(uniq[g, 0]), int(uniq[g, 1]))
+            )
+            if not candidates:
+                continue
+            for shape_index in candidates:
+                shape_points.setdefault(shape_index, []).append(group)
+        unowned = np.ones(lats.shape, dtype=bool)
+        for shape_index in sorted(shape_points):
+            pts = np.concatenate(shape_points[shape_index])
+            pts = pts[unowned[pts]]
+            if pts.size == 0:
+                continue
+            hit = self.shapes[shape_index].contains_many(
+                lats[pts], lons[pts]
+            )
+            if hit.any():
+                covered = pts[hit]
+                owners[covered] = shape_index
+                unowned[covered] = False
+        return owners
+
     # -- union area ----------------------------------------------------------
 
     def union_area_km2(
@@ -341,7 +492,45 @@ class CoverageModel:
         *lowest-index* covering shape; the shape's area times its
         credited fraction contributes to the union. Summed over shapes
         this is exactly the area of the union, in expectation.
+
+        Each shape's samples are drawn in one batch (stream-compatible
+        with the scalar reference); ownership for every sample across
+        all shapes is then resolved with one batched first-covering
+        query.
         """
+        n_shapes = len(self.shapes)
+        if n_shapes == 0:
+            return 0.0, {}
+        lat_parts = []
+        lon_parts = []
+        for shape in self.shapes:
+            lats, lons = shape.sample_many(rng, samples_per_shape)
+            lat_parts.append(lats)
+            lon_parts.append(lons)
+        all_lats = np.concatenate(lat_parts)
+        all_lons = np.concatenate(lon_parts)
+        owners = self.first_covering_many(all_lats, all_lons)
+        source = np.repeat(np.arange(n_shapes), samples_per_shape)
+        credited_mask = (owners == -1) | (owners == source)
+        credited = np.bincount(
+            source[credited_mask], minlength=n_shapes
+        )
+        total = 0.0
+        by_tag: Dict[str, float] = {}
+        for i, shape in enumerate(self.shapes):
+            contribution = (
+                shape.area_km2() * int(credited[i]) / samples_per_shape
+            )
+            total += contribution
+            tag = self.tags[i]
+            by_tag[tag] = by_tag.get(tag, 0.0) + contribution
+        return total, by_tag
+
+    def union_area_km2_reference(
+        self, rng: np.random.Generator, samples_per_shape: int = 24
+    ) -> Tuple[float, Dict[str, float]]:
+        """Scalar reference for :meth:`union_area_km2` (property tests,
+        benchmark baseline). Consumes the RNG stream identically."""
         total = 0.0
         by_tag: Dict[str, float] = {}
         for i, shape in enumerate(self.shapes):
@@ -366,9 +555,80 @@ class CoverageModel:
     ) -> CoverageEstimate:
         """Fraction of ``landmass`` covered, with overseas area excluded.
 
-        Shapes centred outside the landmass bounding box are skipped;
-        samples landing off-landmass are not credited.
+        Shapes centred outside the landmass are skipped (consuming no
+        randomness); samples landing off-landmass are not credited. The
+        centroid gate, the landmass mask over every sample, and the
+        first-covering ownership query each run as one batched pass.
         """
+        n_shapes = len(self.shapes)
+        total = 0.0
+        by_tag: Dict[str, float] = {}
+        if n_shapes == 0:
+            fraction = 0.0
+        else:
+            cen_lats = np.fromiter(
+                (s.centroid.lat for s in self.shapes),
+                dtype=float,
+                count=n_shapes,
+            )
+            cen_lons = np.fromiter(
+                (s.centroid.lon for s in self.shapes),
+                dtype=float,
+                count=n_shapes,
+            )
+            kept = np.flatnonzero(landmass.contains_many(cen_lats, cen_lons))
+            lat_parts = []
+            lon_parts = []
+            for i in kept:
+                lats, lons = self.shapes[i].sample_many(
+                    rng, samples_per_shape
+                )
+                lat_parts.append(lats)
+                lon_parts.append(lons)
+            if lat_parts:
+                all_lats = np.concatenate(lat_parts)
+                all_lons = np.concatenate(lon_parts)
+                source = np.repeat(kept, samples_per_shape)
+                on_land = landmass.contains_many(all_lats, all_lons)
+                owners = self.first_covering_many(
+                    all_lats[on_land], all_lons[on_land]
+                )
+                land_source = source[on_land]
+                credited_mask = (owners == -1) | (owners == land_source)
+                credited = np.bincount(
+                    land_source[credited_mask], minlength=n_shapes
+                )
+                for i in kept:
+                    contribution = (
+                        self.shapes[i].area_km2()
+                        * int(credited[i])
+                        / samples_per_shape
+                    )
+                    total += contribution
+                    tag = self.tags[i]
+                    by_tag[tag] = by_tag.get(tag, 0.0) + contribution
+            fraction = total / landmass.area_km2
+        descaled = None
+        if scale_factor is not None and scale_factor > 0:
+            descaled = min(fraction / scale_factor, 1.0)
+        return CoverageEstimate(
+            model=self.name,
+            n_shapes=len(self.shapes),
+            union_area_km2=total,
+            landmass_fraction=fraction,
+            descaled_fraction=descaled,
+            breakdown_km2=by_tag,
+        )
+
+    def landmass_fraction_reference(
+        self,
+        landmass: Landmass,
+        rng: np.random.Generator,
+        samples_per_shape: int = 24,
+        scale_factor: Optional[float] = None,
+    ) -> CoverageEstimate:
+        """Scalar reference for :meth:`landmass_fraction` (property
+        tests, benchmark baseline). Consumes the RNG stream identically."""
         total = 0.0
         by_tag: Dict[str, float] = {}
         for i, shape in enumerate(self.shapes):

@@ -2,13 +2,29 @@
 
 Building the paper scenario takes ~30 s; every bench and example wants
 the same chain. ``get_result`` memoises one result per (scenario, seed)
-within the process.
+within the process, and additionally keeps a persistent on-disk cache so
+a *fresh* process reloads the scenario in seconds instead of
+re-simulating.
+
+The disk cache lives under ``$XDG_CACHE_HOME/repro-scenarios`` (or
+``~/.cache/repro-scenarios``). The ``REPRO_SCENARIO_CACHE`` environment
+variable overrides it: set it to a directory to relocate the cache, or
+to ``0`` / ``off`` to disable persistence entirely. Entries are keyed by
+scenario name, seed, a hash of every scenario knob, and the snapshot
+schema version, so stale entries are never mistaken for current ones.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+import shutil
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Tuple
 
+from repro.errors import ReproError
+from repro.experiments import snapshot
 from repro.simulation import (
     SimulationEngine,
     SimulationResult,
@@ -16,7 +32,7 @@ from repro.simulation import (
     small_scenario,
 )
 
-__all__ = ["get_result"]
+__all__ = ["get_result", "scenario_cache_dir"]
 
 _CACHE: Dict[Tuple[str, int], SimulationResult] = {}
 
@@ -24,6 +40,68 @@ _BUILDERS = {
     "paper": paper_scenario,
     "small": small_scenario,
 }
+
+_ENV_VAR = "REPRO_SCENARIO_CACHE"
+_OFF_VALUES = {"0", "off", "none", "false"}
+
+
+def scenario_cache_dir() -> Optional[Path]:
+    """The persistent cache root, or ``None`` when caching is disabled."""
+    override = os.environ.get(_ENV_VAR)
+    if override is not None:
+        if override.strip().lower() in _OFF_VALUES:
+            return None
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-scenarios"
+
+
+def _entry_dir(scenario: str, config) -> Optional[Path]:
+    root = scenario_cache_dir()
+    if root is None:
+        return None
+    digest = snapshot.config_digest(config)[:12]
+    return root / (
+        f"{scenario}-seed{config.seed}-{digest}-v{snapshot.SCHEMA_VERSION}"
+    )
+
+
+def _load_from_disk(entry: Path) -> Optional[SimulationResult]:
+    if not (entry / "meta.json").exists():
+        return None
+    try:
+        return snapshot.load_result(entry)
+    except (ReproError, OSError, KeyError, ValueError, TypeError) as exc:
+        warnings.warn(
+            f"ignoring unreadable scenario cache entry {entry}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        # Remove the bad entry so the rebuilt result can replace it.
+        shutil.rmtree(entry, ignore_errors=True)
+        return None
+
+
+def _save_to_disk(result: SimulationResult, entry: Path) -> None:
+    try:
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=entry.name + ".tmp-", dir=entry.parent)
+        )
+        snapshot.save_result(result, tmp)
+        # Atomic publish: another process either sees the whole entry or
+        # none of it. If someone beat us to it, keep theirs.
+        try:
+            os.rename(tmp, entry)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+    except OSError as exc:
+        warnings.warn(
+            f"could not persist scenario cache entry {entry}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
@@ -37,6 +115,12 @@ def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
                 f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
             )
         config = builder(seed=seed)
-        cached = SimulationEngine(config).run()
+        entry = _entry_dir(scenario, config)
+        if entry is not None:
+            cached = _load_from_disk(entry)
+        if cached is None:
+            cached = SimulationEngine(config).run()
+            if entry is not None:
+                _save_to_disk(cached, entry)
         _CACHE[key] = cached
     return cached

@@ -1,0 +1,344 @@
+"""Persistent scenario snapshots: save/load a full SimulationResult.
+
+Building the paper scenario takes tens of seconds; analyses, benchmarks
+and examples all want the same result. This module serialises everything
+a :class:`~repro.simulation.engine.SimulationResult` carries — chain,
+world ground truth, peerbook, oracle prices, growth log — so a second
+process can reload it in a few seconds instead of re-simulating.
+
+Design notes:
+
+* The chain is stored as the standard JSONL dump
+  (:func:`repro.chain.serialize.dump_chain`) and reloaded with
+  ``validate=False``: transactions still replay through the ledger (the
+  folded state is identical) but parent hashes are trusted from the
+  dump, which is what makes warm loads fast.
+* The world is *reconstructed*, not pickled: cities and the AS universe
+  are deterministic functions of the scenario seed (named RNG streams),
+  so the snapshot stores only per-hotspot/owner facts and resolves
+  cities by name and ISPs by ASN against the regenerated universe.
+* Gossip cliques are shared objects in the live world; the snapshot
+  stores one member set per ``clique_id`` and restores one shared
+  instance per clique.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.chain.serialize import dump_chain, load_chain
+from repro.chain.varmap import ChainVars
+from repro.economics.oracle import PriceOracle
+from repro.errors import SimulationError
+from repro.geo.geodesy import LatLon
+from repro.p2p.backhaul import BackhaulAssignment
+from repro.p2p.peerbook import Peerbook, PeerEntry
+from repro.poc.cheats import CheatStrategy, GossipClique, RssiLiar, SilentMover
+from repro.radio.propagation import Environment
+from repro.rng import RngHub
+from repro.simulation.engine import GrowthLogRow, SimulationResult
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.world import SimHotspot, SimOwner, World
+
+__all__ = ["SCHEMA_VERSION", "config_digest", "save_result", "load_result"]
+
+#: Bump when the snapshot layout (or anything it implicitly depends on,
+#: like reconstruction semantics) changes incompatibly. Old cache
+#: entries are simply ignored.
+SCHEMA_VERSION = 1
+
+_CHAIN_FILE = "chain.jsonl"
+_SNAPSHOT_FILE = "snapshot.json"
+_META_FILE = "meta.json"
+
+#: ScenarioConfig fields declared as tuples (JSON round-trips them as
+#: lists, so they need re-tupling on load).
+_TUPLE_FIELDS = ("mining_pools", "commercial_fleets", "gossip_cliques")
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """Stable hash of every scenario knob (cache-key ingredient)."""
+    import hashlib
+
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(payload: Dict[str, Any]) -> ScenarioConfig:
+    fields = dict(payload)
+    for name in _TUPLE_FIELDS:
+        if name in fields:
+            fields[name] = tuple(tuple(item) for item in fields[name])
+    return ScenarioConfig(**fields)
+
+
+def _latlon_out(point: Optional[LatLon]) -> Optional[List[float]]:
+    if point is None:
+        return None
+    return [point.lat, point.lon]
+
+
+def _latlon_in(value: Optional[List[float]]) -> Optional[LatLon]:
+    if value is None:
+        return None
+    return LatLon(float(value[0]), float(value[1]))
+
+
+def _cheat_out(cheat: Optional[CheatStrategy]) -> Optional[Dict[str, Any]]:
+    if cheat is None:
+        return None
+    if isinstance(cheat, GossipClique):
+        return {"type": "gossip_clique", "clique_id": cheat.clique_id}
+    if isinstance(cheat, RssiLiar):
+        return {
+            "type": "rssi_liar",
+            "inflation_db": cheat.inflation_db,
+            "absurd_probability": cheat.absurd_probability,
+            "absurd_value_dbm": cheat.absurd_value_dbm,
+        }
+    if isinstance(cheat, SilentMover):
+        return {
+            "type": "silent_mover",
+            "moved_from_token": cheat.moved_from_token,
+            "moved_to_description": cheat.moved_to_description,
+        }
+    raise SimulationError(f"unknown cheat strategy: {type(cheat).__name__}")
+
+
+def _cheat_in(
+    payload: Optional[Dict[str, Any]],
+    cliques: Dict[int, GossipClique],
+) -> Optional[CheatStrategy]:
+    if payload is None:
+        return None
+    kind = payload.get("type")
+    if kind == "gossip_clique":
+        return cliques[int(payload["clique_id"])]
+    if kind == "rssi_liar":
+        return RssiLiar(
+            inflation_db=float(payload["inflation_db"]),
+            absurd_probability=float(payload["absurd_probability"]),
+            absurd_value_dbm=float(payload["absurd_value_dbm"]),
+        )
+    if kind == "silent_mover":
+        return SilentMover(
+            moved_from_token=payload.get("moved_from_token", ""),
+            moved_to_description=payload.get("moved_to_description", ""),
+        )
+    raise SimulationError(f"unknown cheat strategy in snapshot: {kind!r}")
+
+
+def save_result(result: SimulationResult, directory: Union[str, Path]) -> None:
+    """Write ``result`` into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    dump_chain(result.chain, directory / _CHAIN_FILE)
+
+    cliques: Dict[int, List[str]] = {}
+    hotspots: List[Dict[str, Any]] = []
+    for hotspot in result.world.hotspots.values():
+        if isinstance(hotspot.cheat, GossipClique):
+            cliques.setdefault(
+                hotspot.cheat.clique_id, sorted(hotspot.cheat.members)
+            )
+        backhaul = hotspot.backhaul
+        hotspots.append({
+            "gateway": hotspot.gateway,
+            "owner": hotspot.owner,
+            "city": [hotspot.city.name, hotspot.city.country],
+            "actual": _latlon_out(hotspot.actual_location),
+            "asserted": _latlon_out(hotspot.asserted_location),
+            "environment": hotspot.environment.name,
+            "gain": hotspot.antenna_gain_dbi,
+            "backhaul": (
+                None
+                if backhaul is None
+                else [backhaul.isp.asn, backhaul.ip, backhaul.behind_nat]
+            ),
+            "is_validator": hotspot.is_validator,
+            "online": hotspot.online,
+            "added_day": hotspot.added_day,
+            "added_block": hotspot.added_block,
+            "ferries_data": hotspot.ferries_data,
+            "assert_nonce": hotspot.assert_nonce,
+            "move_days": hotspot.move_days,
+            "transfer_days": hotspot.transfer_days,
+            "cheat": _cheat_out(hotspot.cheat),
+        })
+
+    owners = [
+        {
+            "wallet": owner.wallet,
+            "archetype": owner.archetype,
+            "home_city": (
+                None
+                if owner.home_city is None
+                else [owner.home_city.name, owner.home_city.country]
+            ),
+            "hotspot_count": owner.hotspot_count,
+            "encashes": owner.encashes,
+            "runs_devices": owner.runs_devices,
+        }
+        for owner in result.world.owners.values()
+    ]
+
+    snapshot = {
+        "config": _config_to_dict(result.config),
+        "keypair_seq": result.world._keypair_seq,
+        "cliques": {str(cid): members for cid, members in cliques.items()},
+        "hotspots": hotspots,
+        "owners": owners,
+        "peerbook": [
+            [entry.peer, entry.listen_addrs] for entry in result.peerbook
+        ],
+        "oracle_prices": list(result.oracle._prices),
+        "growth_log": [dataclasses.asdict(row) for row in result.growth_log],
+        "console_owner": result.console_owner,
+        "oui_owners": {
+            str(oui): owner for oui, owner in result.oui_owners.items()
+        },
+        "spammer_owners": result.spammer_owners,
+    }
+    with open(directory / _SNAPSHOT_FILE, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, separators=(",", ":"))
+
+    meta = {
+        "schema": SCHEMA_VERSION,
+        "seed": result.config.seed,
+        "config_digest": config_digest(result.config),
+    }
+    with open(directory / _META_FILE, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_result(directory: Union[str, Path]) -> SimulationResult:
+    """Reload a :func:`save_result` snapshot.
+
+    Raises:
+        SimulationError: when the directory is not a compatible snapshot.
+    """
+    directory = Path(directory)
+    try:
+        with open(directory / _META_FILE, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SimulationError(f"unreadable snapshot meta: {exc}") from exc
+    if meta.get("schema") != SCHEMA_VERSION:
+        raise SimulationError(
+            f"snapshot schema {meta.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    try:
+        with open(directory / _SNAPSHOT_FILE, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SimulationError(f"unreadable snapshot: {exc}") from exc
+
+    config = _config_from_dict(snapshot["config"])
+    hub = RngHub(config.seed)
+
+    chain = load_chain(
+        directory / _CHAIN_FILE, vars=ChainVars(), validate=False
+    )
+
+    world = World(
+        rng_cities=hub.stream("cities"),
+        rng_isps=hub.stream("isps"),
+        tail_isps=config.tail_isps,
+        city_radius_scale=math.sqrt(config.scale_factor),
+    )
+    world._keypair_seq = int(snapshot["keypair_seq"])
+    city_by_key = {
+        (city.name, city.country): city for city in world.cities.cities
+    }
+
+    for payload in snapshot["owners"]:
+        home = payload["home_city"]
+        owner = SimOwner(
+            wallet=payload["wallet"],
+            archetype=payload["archetype"],
+            home_city=(
+                None if home is None else city_by_key[(home[0], home[1])]
+            ),
+            hotspot_count=int(payload["hotspot_count"]),
+            encashes=bool(payload["encashes"]),
+            runs_devices=bool(payload["runs_devices"]),
+        )
+        world.owners[owner.wallet] = owner
+
+    cliques = {
+        int(cid): GossipClique(clique_id=int(cid), members=set(members))
+        for cid, members in snapshot.get("cliques", {}).items()
+    }
+
+    for payload in snapshot["hotspots"]:
+        backhaul = payload["backhaul"]
+        city_key = (payload["city"][0], payload["city"][1])
+        hotspot = SimHotspot(
+            gateway=payload["gateway"],
+            owner=payload["owner"],
+            city=city_by_key[city_key],
+            actual_location=_latlon_in(payload["actual"]),
+            asserted_location=_latlon_in(payload["asserted"]),
+            environment=Environment[payload["environment"]],
+            antenna_gain_dbi=float(payload["gain"]),
+            backhaul=(
+                None
+                if backhaul is None
+                else BackhaulAssignment(
+                    isp=world.isps.isp(int(backhaul[0])),
+                    ip=backhaul[1],
+                    behind_nat=bool(backhaul[2]),
+                )
+            ),
+            is_validator=bool(payload["is_validator"]),
+            online=bool(payload["online"]),
+            added_day=int(payload["added_day"]),
+            added_block=int(payload["added_block"]),
+            ferries_data=bool(payload["ferries_data"]),
+            assert_nonce=int(payload["assert_nonce"]),
+            move_days=[int(d) for d in payload["move_days"]],
+            transfer_days=[int(d) for d in payload["transfer_days"]],
+            cheat=_cheat_in(payload["cheat"], cliques),
+        )
+        world.hotspots[hotspot.gateway] = hotspot
+    world.rebuild_index()
+
+    peerbook = Peerbook()
+    for peer, addrs in snapshot["peerbook"]:
+        peerbook._entries[peer] = PeerEntry(peer, list(addrs))
+
+    oracle = PriceOracle(hub.stream("oracle"))
+    prices = [float(p) for p in snapshot["oracle_prices"]]
+    if len(prices) > 1:
+        # Fast-forward the stream past the draws the saved walk already
+        # consumed, so extending the walk later matches a fresh run.
+        oracle._rng.normal(0.0, oracle.volatility, size=len(prices) - 1)
+    oracle._prices = prices
+
+    growth_log = [GrowthLogRow(**row) for row in snapshot["growth_log"]]
+
+    return SimulationResult(
+        config=config,
+        chain=chain,
+        world=world,
+        peerbook=peerbook,
+        oracle=oracle,
+        growth_log=growth_log,
+        console_owner=snapshot["console_owner"],
+        oui_owners={
+            int(oui): owner
+            for oui, owner in snapshot["oui_owners"].items()
+        },
+        spammer_owners=list(snapshot.get("spammer_owners", [])),
+    )

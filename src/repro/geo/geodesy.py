@@ -24,6 +24,8 @@ __all__ = [
     "haversine_km_many",
     "initial_bearing_deg",
     "destination",
+    "destination_many",
+    "latlon_arrays",
     "local_project_km",
     "local_unproject_km",
 ]
@@ -92,6 +94,44 @@ def haversine_km_many(
     dlam = np.radians(np.asarray(lon2) - np.asarray(lon1))
     a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
     return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def latlon_arrays(points: Iterable[LatLon]) -> Tuple[np.ndarray, np.ndarray]:
+    """Split an iterable of :class:`LatLon` into (lat, lon) float arrays."""
+    pts = list(points)
+    lats = np.fromiter((p.lat for p in pts), dtype=float, count=len(pts))
+    lons = np.fromiter((p.lon for p in pts), dtype=float, count=len(pts))
+    return lats, lons
+
+
+def destination_many(
+    lat: np.ndarray,
+    lon: np.ndarray,
+    bearing_deg_: np.ndarray,
+    distance_km: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`destination` (broadcasts like numpy).
+
+    Raises:
+        GeoError: when any distance is negative.
+    """
+    delta = np.asarray(distance_km, dtype=float) / EARTH_RADIUS_KM
+    if np.any(delta < 0):
+        raise GeoError("distances must be non-negative")
+    theta = np.radians(np.asarray(bearing_deg_, dtype=float))
+    phi1 = np.radians(np.asarray(lat, dtype=float))
+    lam1 = np.radians(np.asarray(lon, dtype=float))
+    sin_phi2 = (
+        np.sin(phi1) * np.cos(delta)
+        + np.cos(phi1) * np.sin(delta) * np.cos(theta)
+    )
+    phi2 = np.arcsin(np.clip(sin_phi2, -1.0, 1.0))
+    lam2 = lam1 + np.arctan2(
+        np.sin(theta) * np.sin(delta) * np.cos(phi1),
+        np.cos(delta) - np.sin(phi1) * sin_phi2,
+    )
+    out_lon = (np.degrees(lam2) + 540.0) % 360.0 - 180.0
+    return np.degrees(phi2), out_lon
 
 
 def initial_bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:

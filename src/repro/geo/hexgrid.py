@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import GeoError
@@ -38,6 +39,8 @@ __all__ = [
     "ResolutionInfo",
     "HexCell",
     "HexGrid",
+    "encode_cell_reference",
+    "pentagon_distorted_reference",
 ]
 
 MIN_RESOLUTION: int = 0
@@ -291,13 +294,57 @@ class HexCell:
         H3 places 12 pentagons per resolution at icosahedron vertices;
         distance computations across them are distorted, and PoC witness
         validation rejects "pentagonally distorted" witnesses (§8.2.1).
+
+        Cells are value objects, so the answer is memoised per cell —
+        witness validation asks this for the same asserted cells on
+        every challenge.
         """
-        center = self.center()
-        threshold_km = max(5.0 * self.edge_km, 1.0)
-        for lat, lon in _ICOSA_VERTICES:
-            if center.distance_km(LatLon(lat, lon)) <= threshold_km:
-                return True
-        return False
+        return _pentagon_distorted(self)
+
+
+def pentagon_distorted_reference(cell: HexCell) -> bool:
+    """Uncached twin of :meth:`HexCell.is_pentagon_distorted`.
+
+    Recomputes the icosahedron-vertex proximity test every call, exactly
+    as the pre-memoisation implementation did — kept so the scalar
+    benchmark baselines pay the original cost and the property tests can
+    pin the memo to the ground truth.
+    """
+    center = cell.center()
+    threshold_km = max(5.0 * cell.edge_km, 1.0)
+    for lat, lon in _ICOSA_VERTICES:
+        if center.distance_km(LatLon(lat, lon)) <= threshold_km:
+            return True
+    return False
+
+
+_pentagon_distorted = lru_cache(maxsize=65536)(pentagon_distorted_reference)
+
+
+def encode_cell_reference(
+    point: LatLon, resolution: int = HOTSPOT_RESOLUTION
+) -> HexCell:
+    """Uncached twin of :meth:`HexGrid.encode_cell`.
+
+    Runs the axial-rounding math on every call, as the pre-memoisation
+    implementation did. :class:`LatLon` and :class:`HexCell` are both
+    frozen value objects, so the public path can memoise point→cell —
+    the PoC engine encodes the same asserted locations on every
+    challenge — while this twin keeps the original cost for the scalar
+    benchmark baselines and pins the memo in the property tests.
+    """
+    _check_resolution(resolution)
+    validate_lat_lon(point.lat, point.lon)
+    size = RESOLUTION_TABLE[resolution].edge_km
+    x_km = point.lon * _KM_PER_DEG
+    y_km = point.lat * _KM_PER_DEG
+    qf = (math.sqrt(3.0) / 3.0 * x_km - y_km / 3.0) / size
+    rf = (2.0 / 3.0 * y_km) / size
+    q, r = _cube_round(qf, rf)
+    return HexCell(resolution, q, r)
+
+
+_encode_cell = lru_cache(maxsize=1 << 17)(encode_cell_reference)
 
 
 def _split_signed(body: str) -> Tuple[str, str, str]:
@@ -328,16 +375,8 @@ class HexGrid:
 
     @staticmethod
     def encode_cell(point: LatLon, resolution: int = HOTSPOT_RESOLUTION) -> HexCell:
-        """The cell containing ``point`` at ``resolution``."""
-        _check_resolution(resolution)
-        validate_lat_lon(point.lat, point.lon)
-        size = RESOLUTION_TABLE[resolution].edge_km
-        x_km = point.lon * _KM_PER_DEG
-        y_km = point.lat * _KM_PER_DEG
-        qf = (math.sqrt(3.0) / 3.0 * x_km - y_km / 3.0) / size
-        rf = (2.0 / 3.0 * y_km) / size
-        q, r = _cube_round(qf, rf)
-        return HexCell(resolution, q, r)
+        """The cell containing ``point`` at ``resolution`` (memoised)."""
+        return _encode_cell(point, resolution)
 
     @staticmethod
     def decode_center(cell: HexCell) -> LatLon:

@@ -102,6 +102,10 @@ class Landmass:
         """True when ``point`` lies on the landmass."""
         return self.boundary.contains(point)
 
+    def contains_many(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over parallel lat/lon arrays."""
+        return self.boundary.contains_many(lats, lons)
+
     def bbox(self) -> Tuple[float, float, float, float]:
         """Bounding box as ``(south, west, north, east)``."""
         return self.boundary.bbox

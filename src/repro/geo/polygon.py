@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GeoError
 from repro.geo.geodesy import EARTH_RADIUS_KM, LatLon, local_project_km
 
@@ -72,6 +74,39 @@ class Polygon:
                 elif x == x_cross:
                     return True
         return inside
+
+    def contains_many(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over parallel lat/lon arrays.
+
+        Applies the same ray-casting rule (boundary counts as inside) to
+        every point in one pass over the edges, so the per-point cost is
+        a handful of numpy operations instead of a Python loop over the
+        ring.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        south, west, north, east = self._bbox
+        in_bbox = (
+            (south <= lats) & (lats <= north) & (west <= lons) & (lons <= east)
+        )
+        inside = np.zeros(lats.shape, dtype=bool)
+        if not in_bbox.any():
+            return inside
+        x, y = lons, lats
+        on_edge = np.zeros(lats.shape, dtype=bool)
+        n = len(self.vertices)
+        for i in range(n):
+            x1, y1 = self.vertices[i].lon, self.vertices[i].lat
+            x2, y2 = self.vertices[(i + 1) % n].lon, self.vertices[(i + 1) % n].lat
+            if y1 == y2:
+                continue  # horizontal edge never satisfies the crossing rule
+            crosses = (y1 > y) != (y2 > y)
+            if not crosses.any():
+                continue
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            inside ^= crosses & (x < x_cross)
+            on_edge |= crosses & (x == x_cross)
+        return (inside | on_edge) & in_bbox
 
     def area_km2(self) -> float:
         """Spherical polygon area (Chamberlain–Duquette approximation).

@@ -16,14 +16,24 @@ import numpy as np
 from repro.chain.crypto import Address
 from repro.chain.transactions import PocReceipts, PocRequest, WitnessReport
 from repro.economics.rewards import PocEvent
-from repro.geo.geodesy import LatLon
-from repro.geo.hexgrid import HexCell, HexGrid
+from repro.geo.geodesy import LatLon, haversine_km_many, latlon_arrays
+from repro.geo.hexgrid import HexCell, HexGrid, encode_cell_reference
 from repro.poc.cheats import CheatStrategy
 from repro.poc.validity import WitnessValidityChecker
 from repro.radio.lora import ChannelPlan, US915
-from repro.radio.propagation import Environment, LinkBudget, PropagationModel
+from repro.radio.propagation import (
+    Environment,
+    LinkBudget,
+    PropagationModel,
+    sample_link_rssi_dbm_many,
+)
 
-__all__ = ["PocParticipant", "ChallengeOutcome", "run_challenge"]
+__all__ = [
+    "PocParticipant",
+    "ChallengeOutcome",
+    "run_challenge",
+    "run_challenge_reference",
+]
 
 #: Hotspots beyond this actual distance are never candidate witnesses
 #: (generously above the 60–110 km over-water receptions the paper notes).
@@ -56,11 +66,29 @@ class PocParticipant:
     antenna_gain_dbi: float = 1.2
     online: bool = True
     cheat: Optional[CheatStrategy] = None
+    #: Memoised (location, cell, token, pentagon) for the asserted spot;
+    #: every challenge in a simulation re-derives these for the same few
+    #: thousand locations, so they are computed once per assertion.
+    _cell_cache: Optional[Tuple[LatLon, HexCell, str, bool]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _poc_cell(self) -> Tuple[LatLon, HexCell, str, bool]:
+        """(location, cell, token, pentagon-distorted) for the asserted
+        location, recomputed only when the assertion changes (identity
+        check: re-asserting installs a new ``LatLon`` object)."""
+        cache = self._cell_cache
+        loc = self.asserted_location
+        if cache is None or cache[0] is not loc:
+            cell = HexGrid.encode_cell(loc)
+            cache = (loc, cell, cell.token, cell.is_pentagon_distorted())
+            self._cell_cache = cache
+        return cache
 
     @property
     def asserted_cell(self) -> HexCell:
         """Asserted location as a res-12 hex cell."""
-        return HexGrid.encode_cell(self.asserted_location)
+        return self._poc_cell()[1]
 
     @property
     def is_silent_mover(self) -> bool:
@@ -96,6 +124,15 @@ def _link_environment(a: Environment, b: Environment) -> Environment:
     return max(a, b, key=lambda env: env.path_loss_exponent)
 
 
+#: Effective environment per endpoint pair, precomputed over the whole
+#: (tiny) environment product and indexed by :attr:`Environment.index` so
+#: the per-witness hot path is two list subscripts, not enum hashing.
+_LINK_ENV = [
+    [_link_environment(a, b) for b in sorted(Environment, key=lambda e: e.index)]
+    for a in sorted(Environment, key=lambda e: e.index)
+]
+
+
 def run_challenge(
     challenger: PocParticipant,
     challengee: PocParticipant,
@@ -103,8 +140,21 @@ def run_challenge(
     rng: np.random.Generator,
     checker: Optional[WitnessValidityChecker] = None,
     plan: ChannelPlan = US915,
+    distances_km: Optional[Sequence[float]] = None,
 ) -> ChallengeOutcome:
     """Simulate one challenge and produce its chain transactions.
+
+    The hot path is vectorised: challengee→candidate distances (actual
+    and asserted), the per-link RSSI samples with their shadowing draws,
+    the demod-floor cut and the chain validity checks all run as single
+    batch operations over the candidate set. Randomness is consumed in
+    three fixed phases — (1) one batched shadowing draw covering the
+    in-range candidates in candidate order, (2) per-candidate cheat
+    forgery draws in candidate order, (3) one batched SNR draw covering
+    the filed reports in report order — and
+    :func:`run_challenge_reference` replays exactly that order with
+    scalar arithmetic, so both implementations are stream-compatible and
+    property-testable against each other.
 
     Args:
         challenger: the hotspot that constructed the challenge.
@@ -114,6 +164,11 @@ def run_challenge(
         rng: random stream.
         checker: validity heuristics (defaults to chain defaults).
         plan: regional channel plan for the transmission.
+        distances_km: optional challengee→candidate *actual* distances
+            aligned with ``candidates``. The spatial index already
+            computed these during candidate selection; passing them
+            skips one haversine pass. Omit when any candidate (e.g. an
+            appended gossip-clique member) lacks a precomputed distance.
     """
     if checker is None:
         checker = WitnessValidityChecker()
@@ -123,19 +178,255 @@ def run_challenge(
         f"{challenger.gateway}:{challengee.gateway}:{rng.integers(1 << 30)}".encode()
     ).hexdigest()
 
+    if distances_km is None:
+        eligible = [
+            c
+            for c in candidates
+            if c.gateway != challengee.gateway and c.online
+        ]
+        provided_km: Optional[np.ndarray] = None
+    else:
+        eligible = []
+        keep_idx: List[int] = []
+        for i, c in enumerate(candidates):
+            if c.gateway != challengee.gateway and c.online:
+                eligible.append(c)
+                keep_idx.append(i)
+        provided_km = np.asarray(distances_km, dtype=float)[keep_idx]
+    n = len(eligible)
+
     reports: List[WitnessReport] = []
     event_witnesses: List[Tuple[Address, Address]] = []
     actual_distances: List[Tuple[Address, float]] = []
 
-    for candidate in candidates:
-        if candidate.gateway == challengee.gateway or not candidate.online:
-            continue
+    if n > 0:
+        if provided_km is None:
+            act_lats, act_lons = latlon_arrays(
+                c.actual_location for c in eligible
+            )
+            actual_km = haversine_km_many(
+                challengee.actual_location.lat,
+                challengee.actual_location.lon,
+                act_lats,
+                act_lons,
+            )
+        else:
+            actual_km = provided_km
+        in_range = (actual_km <= WITNESS_QUERY_RADIUS_KM) & (actual_km > 1e-4)
+        in_range_pos = np.flatnonzero(in_range).tolist()
+
+        # Asserted distances feed cheat forgery (any eligible candidate)
+        # and the validity checks (filed reports only) — so the full pass
+        # is deferred to the rare challenge that actually has a cheater.
+        has_cheat = any(c.cheat is not None for c in eligible)
+        asserted_km: Optional[np.ndarray] = None
+        if has_cheat:
+            ass_lats, ass_lons = latlon_arrays(
+                c.asserted_location for c in eligible
+            )
+            asserted_km = haversine_km_many(
+                challengee.asserted_location.lat,
+                challengee.asserted_location.lon,
+                ass_lats,
+                ass_lons,
+            )
+
+        # Phase 1: one batched link sample (mean path loss + shadowing)
+        # for every in-range candidate, in candidate order.
+        env_row = _LINK_ENV[challengee.environment.index]
+        link_envs = []
+        gain_list: List[float] = []
+        for pos in in_range_pos:
+            candidate = eligible[pos]
+            link_envs.append(env_row[candidate.environment.index])
+            gain_list.append(candidate.antenna_gain_dbi)
+        sampled = sample_link_rssi_dbm_many(
+            actual_km[in_range_pos], link_envs, gain_list, rng
+        )
+        sampled_list = sampled.tolist()
+
+        # Phase 2: cheat forgery draws, per candidate in candidate order.
+        # Honest-only challenges (the common case) touch just the
+        # in-range candidates; out-of-range honest candidates can never
+        # report, so the per-candidate ``honest`` scratch list is only
+        # materialised when a cheater needs to see the full fleet.
+        reporting: List[int] = []
+        reported_vals: List[float] = []
+        if has_cheat:
+            assert asserted_km is not None
+            honest: List[Optional[float]] = [None] * n
+            for j, rssi in enumerate(sampled_list):
+                if rssi >= DEMOD_FLOOR_DBM:
+                    honest[in_range_pos[j]] = rssi
+            asserted_list = asserted_km.tolist()
+            for pos, candidate in enumerate(eligible):
+                honest_rssi = honest[pos]
+                reported: Optional[float]
+                if candidate.cheat is not None:
+                    fabricate = (
+                        honest_rssi is None
+                        and candidate.cheat.witnesses_out_of_range(
+                            challengee.gateway
+                        )
+                    )
+                    if honest_rssi is None and not fabricate:
+                        continue
+                    reported = candidate.cheat.forge_rssi(
+                        honest_rssi, asserted_list[pos], checker, rng
+                    )
+                    if reported is None:
+                        continue
+                else:
+                    if honest_rssi is None:
+                        continue
+                    reported = honest_rssi
+                reporting.append(pos)
+                reported_vals.append(reported)
+        else:
+            for j, rssi in enumerate(sampled_list):
+                if rssi >= DEMOD_FLOOR_DBM:
+                    reporting.append(in_range_pos[j])
+                    reported_vals.append(rssi)
+
+        # Batched validity verdicts over the filed reports. Without a
+        # cheater the asserted distances were never computed, so one
+        # haversine pass covers just the reports.
+        if asserted_km is not None:
+            report_km = (
+                asserted_km[reporting] if reporting else np.empty(0)
+            )
+        elif reporting:
+            rep_coords = np.array(
+                [
+                    (
+                        eligible[i].asserted_location.lat,
+                        eligible[i].asserted_location.lon,
+                    )
+                    for i in reporting
+                ],
+                dtype=float,
+            )
+            report_km = haversine_km_many(
+                challengee.asserted_location.lat,
+                challengee.asserted_location.lon,
+                rep_coords[:, 0],
+                rep_coords[:, 1],
+            )
+        else:
+            report_km = np.empty(0)
+        # (cell, token, pentagon) are memoised per assertion on the
+        # participant, so repeat witnesses cost three tuple loads here.
+        infos = [eligible[i]._poc_cell() for i in reporting]
+        verdicts = checker.check_many(
+            challengee_location=challengee.asserted_location,
+            witness_locations=[
+                eligible[i].asserted_location for i in reporting
+            ],
+            witness_cells=[info[1] for info in infos],
+            rssi_dbm=np.asarray(reported_vals, dtype=float),
+            freq_mhz=freq_mhz,
+            channel_indices=[channel_index] * len(reporting),
+            distances_km=report_km,
+            pentagon_flags=[info[3] for info in infos],
+        )
+
+        # Phase 3: one batched SNR draw covering the reports in order.
+        snrs = rng.normal(5.0, 4.0, size=len(reporting)).tolist()
+        actual_list = actual_km.tolist()
+        for j, pos in enumerate(reporting):
+            candidate = eligible[pos]
+            verdict = verdicts[j]
+            reports.append(WitnessReport(
+                witness=candidate.gateway,
+                rssi_dbm=reported_vals[j],
+                snr_db=snrs[j],
+                frequency_mhz=freq_mhz,
+                reported_location_token=infos[j][2],
+                is_valid=verdict.is_valid,
+                invalid_reason=(
+                    verdict.reason.value
+                    if verdict.reason is not None
+                    else None
+                ),
+            ))
+            actual_distances.append((candidate.gateway, actual_list[pos]))
+            if verdict.is_valid:
+                event_witnesses.append((candidate.gateway, candidate.owner))
+
+    request = PocRequest(
+        challenger=challenger.gateway,
+        secret_hash=secret_hash,
+        challengee=challengee.gateway,
+    )
+    receipts = PocReceipts(
+        challenger=challenger.gateway,
+        challengee=challengee.gateway,
+        challengee_location_token=challengee._poc_cell()[2],
+        witnesses=tuple(reports),
+        frequency_mhz=freq_mhz,
+    )
+    event = PocEvent(
+        challenger=challenger.gateway,
+        challenger_owner=challenger.owner,
+        challengee=challengee.gateway,
+        challengee_owner=challengee.owner,
+        witnesses=tuple(event_witnesses),
+    )
+    return ChallengeOutcome(
+        request=request,
+        receipts=receipts,
+        event=event,
+        witness_actual_distances=actual_distances,
+    )
+
+
+def run_challenge_reference(
+    challenger: PocParticipant,
+    challengee: PocParticipant,
+    candidates: Sequence[PocParticipant],
+    rng: np.random.Generator,
+    checker: Optional[WitnessValidityChecker] = None,
+    plan: ChannelPlan = US915,
+) -> ChallengeOutcome:
+    """Scalar reference implementation of :func:`run_challenge`.
+
+    Pure-Python arithmetic, one candidate at a time, consuming the RNG
+    in the same three phases as the vectorised path (sequential scalar
+    draws from a numpy ``Generator`` are bitwise identical to one batch
+    draw of the same length). Kept as the oracle for the property tests
+    and as the baseline the performance benchmarks measure speedups
+    against — so it deliberately replays the pre-vectorisation costs
+    too: uncached cell encoding, the uncached pentagon test (via
+    :meth:`WitnessValidityChecker.check`), and one
+    :class:`PropagationModel` per link.
+    """
+    if checker is None:
+        checker = WitnessValidityChecker()
+    freq_mhz = plan.random_channel(rng)
+    channel_index = plan.channel_index(freq_mhz)
+    secret_hash = hashlib.sha256(
+        f"{challenger.gateway}:{challengee.gateway}:{rng.integers(1 << 30)}".encode()
+    ).hexdigest()
+
+    eligible = [
+        c
+        for c in candidates
+        if c.gateway != challengee.gateway and c.online
+    ]
+
+    # Phase 1: sample every in-range link, in candidate order.
+    honest_rssi_by_pos: List[Optional[float]] = []
+    actual_km_by_pos: List[float] = []
+    for candidate in eligible:
         actual_km = challengee.actual_location.distance_km(
             candidate.actual_location
         )
+        actual_km_by_pos.append(actual_km)
         honest_rssi: Optional[float] = None
         if actual_km <= WITNESS_QUERY_RADIUS_KM and actual_km > 1e-4:
-            env = _link_environment(challengee.environment, candidate.environment)
+            env = _link_environment(
+                challengee.environment, candidate.environment
+            )
             model = PropagationModel(
                 env,
                 LinkBudget(antenna_gain_dbi=candidate.antenna_gain_dbi),
@@ -143,14 +434,21 @@ def run_challenge(
             rssi = model.sample_rssi_dbm(actual_km, rng)
             if rssi >= DEMOD_FLOOR_DBM:
                 honest_rssi = rssi
+        honest_rssi_by_pos.append(honest_rssi)
 
+    # Phase 2: cheat forgery draws, in candidate order.
+    reporting: List[int] = []
+    reported_vals: List[float] = []
+    for pos, candidate in enumerate(eligible):
+        honest_rssi = honest_rssi_by_pos[pos]
         asserted_km = challengee.asserted_location.distance_km(
             candidate.asserted_location
         )
         reported: Optional[float]
         if candidate.cheat is not None:
-            fabricate = honest_rssi is None and candidate.cheat.witnesses_out_of_range(
-                challengee.gateway
+            fabricate = (
+                honest_rssi is None
+                and candidate.cheat.witnesses_out_of_range(challengee.gateway)
             )
             if honest_rssi is None and not fabricate:
                 continue
@@ -163,27 +461,45 @@ def run_challenge(
             if honest_rssi is None:
                 continue
             reported = honest_rssi
+        reporting.append(pos)
+        reported_vals.append(reported)
 
-        verdict = checker.check(
+    verdicts = []
+    cells = []
+    for j, pos in enumerate(reporting):
+        candidate = eligible[pos]
+        # The pre-vectorisation code encoded the cell separately for the
+        # validity check and again for the report token; replay both.
+        cell = encode_cell_reference(candidate.asserted_location)
+        cells.append(encode_cell_reference(candidate.asserted_location))
+        verdicts.append(checker.check(
             challengee_location=challengee.asserted_location,
             witness_location=candidate.asserted_location,
-            witness_cell=candidate.asserted_cell,
-            rssi_dbm=reported,
+            witness_cell=cell,
+            rssi_dbm=reported_vals[j],
             freq_mhz=freq_mhz,
             channel_index=channel_index,
-        )
+        ))
+
+    # Phase 3: SNR draws, in report order.
+    reports: List[WitnessReport] = []
+    event_witnesses: List[Tuple[Address, Address]] = []
+    actual_distances: List[Tuple[Address, float]] = []
+    for j, pos in enumerate(reporting):
+        candidate = eligible[pos]
+        verdict = verdicts[j]
         reports.append(WitnessReport(
             witness=candidate.gateway,
-            rssi_dbm=reported,
+            rssi_dbm=reported_vals[j],
             snr_db=float(rng.normal(5.0, 4.0)),
             frequency_mhz=freq_mhz,
-            reported_location_token=candidate.asserted_cell.token,
+            reported_location_token=cells[j].token,
             is_valid=verdict.is_valid,
             invalid_reason=(
                 verdict.reason.value if verdict.reason is not None else None
             ),
         ))
-        actual_distances.append((candidate.gateway, actual_km))
+        actual_distances.append((candidate.gateway, actual_km_by_pos[pos]))
         if verdict.is_valid:
             event_witnesses.append((candidate.gateway, candidate.owner))
 
@@ -195,7 +511,9 @@ def run_challenge(
     receipts = PocReceipts(
         challenger=challenger.gateway,
         challengee=challengee.gateway,
-        challengee_location_token=challengee.asserted_cell.token,
+        challengee_location_token=encode_cell_reference(
+            challengee.asserted_location
+        ).token,
         witnesses=tuple(reports),
         frequency_mhz=freq_mhz,
     )

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.geo.geodesy import LatLon
-from repro.geo.hexgrid import HexCell
+import numpy as np
+
+from repro.geo.geodesy import LatLon, haversine_km_many
+from repro.geo.hexgrid import HexCell, pentagon_distorted_reference
 from repro.radio.lora import MAX_EIRP_DBM_US
-from repro.radio.propagation import fspl_db
+from repro.radio.propagation import fspl_db, fspl_db_many
 
 __all__ = ["InvalidReason", "ValidityVerdict", "WitnessValidityChecker"]
 
@@ -46,6 +48,15 @@ class ValidityVerdict:
 
     is_valid: bool
     reason: Optional[InvalidReason] = None
+
+
+# Verdicts are frozen value objects drawn from a six-element space, so the
+# batched checker hands out shared instances instead of constructing one
+# dataclass per report (the constructor shows up in the PoC hot path).
+_VALID_VERDICT = ValidityVerdict(True)
+_INVALID_VERDICTS = {
+    reason: ValidityVerdict(False, reason) for reason in InvalidReason
+}
 
 
 class WitnessValidityChecker:
@@ -86,6 +97,12 @@ class WitnessValidityChecker:
     ) -> ValidityVerdict:
         """Judge one witness report.
 
+        This is the scalar reference twin of :meth:`check_many`: it
+        replays the pre-vectorisation implementation — including the
+        uncached pentagon test — one report at a time, so the property
+        tests and benchmark baselines measure against the original cost
+        and semantics.
+
         Args:
             challengee_location: challengee's *asserted* location.
             witness_location: witness's *asserted* location.
@@ -97,7 +114,7 @@ class WitnessValidityChecker:
         """
         if channel_index < 0:
             return ValidityVerdict(False, InvalidReason.WRONG_CHANNEL)
-        if witness_cell.is_pentagon_distorted():
+        if pentagon_distorted_reference(witness_cell):
             return ValidityVerdict(False, InvalidReason.PENTAGON_DISTORTION)
         distance_km = challengee_location.distance_km(witness_location)
         if distance_km < self.min_distance_km:
@@ -126,3 +143,95 @@ class WitnessValidityChecker:
             self.eirp_dbm - fspl_db(distance_km, freq_mhz) + self.rssi_margin_db,
             MAX_EIRP_DBM_US,
         )
+
+    def max_plausible_rssi_dbm_many(
+        self, distances_km: np.ndarray, freq_mhz: float = 904.6
+    ) -> np.ndarray:
+        """Vectorised :meth:`max_plausible_rssi_dbm` over a distance array."""
+        d = np.asarray(distances_km, dtype=float)
+        # A zero distance clamps to a subnormal-adjacent epsilon instead
+        # of branching on a mask: its free-space bound explodes upward and
+        # the EIRP ceiling takes over, exactly as the scalar branch does,
+        # while positive distances (anything ≥ 1e-300 km) pass unchanged.
+        bound = (
+            self.eirp_dbm
+            - fspl_db_many(np.maximum(d, 1e-300), freq_mhz)
+            + self.rssi_margin_db
+        )
+        return np.minimum(bound, MAX_EIRP_DBM_US)
+
+    def check_many(
+        self,
+        challengee_location: LatLon,
+        witness_locations: Sequence[LatLon],
+        witness_cells: Sequence[HexCell],
+        rssi_dbm: np.ndarray,
+        freq_mhz: float,
+        channel_indices: Sequence[int],
+        distances_km: Optional[np.ndarray] = None,
+        pentagon_flags: Optional[Sequence[bool]] = None,
+    ) -> List[ValidityVerdict]:
+        """Judge a batch of witness reports against one challengee.
+
+        Vectorised twin of :meth:`check`: the distance, floor and free-
+        space-bound comparisons run as array operations, and the verdicts
+        come back in input order with the exact check-priority of the
+        scalar path (wrong channel, then pentagon, then distance, then
+        RSSI floor, then RSSI ceiling).
+
+        Args:
+            distances_km: optional precomputed challengee→witness
+                distances (e.g. from the spatial index); computed via one
+                haversine pass when omitted.
+            pentagon_flags: optional precomputed pentagon-distortion flag
+                per cell (callers that memoise cells per participant pass
+                these along); derived from ``witness_cells`` when omitted.
+        """
+        n = len(witness_locations)
+        if n == 0:
+            return []
+        if distances_km is None:
+            lats = np.fromiter(
+                (p.lat for p in witness_locations), dtype=float, count=n
+            )
+            lons = np.fromiter(
+                (p.lon for p in witness_locations), dtype=float, count=n
+            )
+            distances_km = haversine_km_many(
+                challengee_location.lat, challengee_location.lon, lats, lons
+            )
+        else:
+            distances_km = np.asarray(distances_km, dtype=float)
+        rssi = np.asarray(rssi_dbm, dtype=float)
+        too_close = distances_km < self.min_distance_km
+        too_low = rssi < self.rssi_floor_dbm
+        too_high = rssi > self.max_plausible_rssi_dbm_many(
+            distances_km, freq_mhz
+        )
+        # Plain lists from here on: per-element indexing of numpy bool
+        # arrays costs more than the comparisons themselves at witness
+        # batch sizes (~10 reports).
+        ok = (~(too_close | too_low | too_high)).tolist()
+        too_close = too_close.tolist()
+        too_low = too_low.tolist()
+        if pentagon_flags is None:
+            pentagon_flags = [
+                cell.is_pentagon_distorted() for cell in witness_cells
+            ]
+        verdicts: List[ValidityVerdict] = []
+        for i in range(n):
+            if channel_indices[i] < 0:
+                verdicts.append(_INVALID_VERDICTS[InvalidReason.WRONG_CHANNEL])
+            elif pentagon_flags[i]:
+                verdicts.append(
+                    _INVALID_VERDICTS[InvalidReason.PENTAGON_DISTORTION]
+                )
+            elif ok[i]:
+                verdicts.append(_VALID_VERDICT)
+            elif too_close[i]:
+                verdicts.append(_INVALID_VERDICTS[InvalidReason.TOO_CLOSE])
+            elif too_low[i]:
+                verdicts.append(_INVALID_VERDICTS[InvalidReason.RSSI_TOO_LOW])
+            else:
+                verdicts.append(_INVALID_VERDICTS[InvalidReason.RSSI_TOO_HIGH])
+        return verdicts

@@ -540,7 +540,7 @@ class SimulationEngine:
             challengee = challenger
             while challengee.gateway == challenger.gateway:
                 challengee = online[int(rng.integers(len(online)))]
-            candidates = self._candidates_for(challengee, rng)
+            candidates, candidate_km = self._candidates_for(challengee, rng)
             plan = plan_for_country(
                 self.world.hotspots[challengee.gateway].city.country
             )
@@ -551,6 +551,7 @@ class SimulationEngine:
                 rng=rng,
                 checker=self.checker,
                 plan=plan,
+                distances_km=candidate_km,
             )
             block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY))
             # Challenges involving hotspots deployed today must land
@@ -566,34 +567,57 @@ class SimulationEngine:
 
     def _candidates_for(
         self, challengee: PocParticipant, rng: np.random.Generator
-    ) -> List[PocParticipant]:
-        nearby = self.world.index.within_radius(
+    ) -> Tuple[List[PocParticipant], Optional[np.ndarray]]:
+        """Capped nearest-first witness candidates, with their distances.
+
+        Returns the candidate list plus the challengee→candidate actual
+        distances already computed by the spatial index (``None`` when
+        gossip-clique members were appended without one), which
+        :func:`run_challenge` accepts to skip its own haversine pass.
+        """
+        nearby, distances = self.world.index.within_radius_distances(
             challengee.actual_location, 120.0
         )
-        candidates: List[Tuple[float, PocParticipant]] = []
-        for point, hotspot in nearby:
-            participant = self._participants.get(hotspot.gateway)
-            if participant is not None and participant.online:
-                candidates.append(
-                    (challengee.actual_location.distance_km(point), participant)
-                )
         # Nearest-first cap: every in-range hotspot witnesses on the real
         # network, and the close ones dominate both counts and the RSSI
         # distribution — random subsampling would bias toward mid-range.
-        candidates.sort(key=lambda pair: pair[0])
+        # The stable argsort runs before the online filter (filtering
+        # preserves relative order among equal distances, so the kept set
+        # is unchanged) so the walk stops as soon as the cap is filled.
         cap = self.config.max_witness_candidates
-        kept = [participant for _, participant in candidates[:cap]]
+        participants = self._participants
+        distance_list = distances.tolist()
+        kept: List[PocParticipant] = []
+        kept_km: Optional[List[float]] = []
+        for i in np.argsort(distances, kind="stable").tolist():
+            point, hotspot = nearby[i]
+            participant = participants.get(hotspot.gateway)
+            if participant is not None and participant.online:
+                kept.append(participant)
+                if kept_km is not None:
+                    # The index may lag a silent mover's relocation until
+                    # the next rebuild; its distance would then describe
+                    # the stale point, so hand none to the physics.
+                    if point is participant.actual_location:
+                        kept_km.append(distance_list[i])
+                    else:
+                        kept_km = None
+                if len(kept) >= cap:
+                    break
         if isinstance(challengee.cheat, GossipClique):
             present = {c.gateway for c in kept}
             for member in challengee.cheat.members:
-                participant = self._participants.get(member)
+                participant = participants.get(member)
                 if (
                     participant is not None
                     and participant.online
                     and member not in present
                 ):
                     kept.append(participant)
-        return kept
+                    kept_km = None
+        if kept_km is None:
+            return kept, None
+        return kept, np.asarray(kept_km, dtype=float)
 
     # ----------------------------------------------------------------- traffic --
 

@@ -73,3 +73,51 @@ class TestSpatialIndex:
         index = SpatialIndex()
         index.insert_many((p, i) for i, p in enumerate(points))
         assert len(index) == 50
+
+    def test_reference_matches_vectorised(self, rng):
+        points = _random_points(rng, 200)
+        index = SpatialIndex()
+        for i, point in enumerate(points):
+            index.insert(point, i)
+        for radius in (10.0, 80.0, 250.0):
+            query = LatLon(40.3, -100.7)
+            fast = {item for _, item in index.within_radius(query, radius)}
+            ref = {
+                item
+                for _, item in index.within_radius_reference(query, radius)
+            }
+            assert fast == ref
+
+    def test_antimeridian_neighbours_found(self, rng):
+        # Points scattered across the date line: a query on one side must
+        # still find neighbours on the other (lon bins wrap modulo 360°).
+        points = _random_points(rng, 200, center=LatLon(52.0, 179.9),
+                                spread_km=120.0)
+        index = SpatialIndex()
+        for i, point in enumerate(points):
+            index.insert(point, i)
+        # Points land on both sides of ±180°.
+        assert any(p.lon > 150.0 for p in points)
+        assert any(p.lon < -150.0 for p in points)
+        for query in (LatLon(52.0, 179.95), LatLon(52.0, -179.95)):
+            for radius in (25.0, 80.0, 150.0):
+                expected = {
+                    i for i, p in enumerate(points)
+                    if query.distance_km(p) <= radius
+                }
+                got = {item for _, item in index.within_radius(query, radius)}
+                assert got == expected
+                assert expected, "test must exercise non-empty neighbourhoods"
+
+    def test_antimeridian_nearest(self, rng):
+        index = SpatialIndex()
+        west = LatLon(10.0, 179.8)   # just west of the line
+        east = LatLon(10.0, -179.9)  # just east of the line
+        index.insert(west, "west")
+        index.insert(east, "east")
+        query = LatLon(10.0, -179.99)
+        _, item = index.nearest(query)
+        assert item == "east"
+        # Both sit within a small radius of the query despite the lon sign flip.
+        got = {item for _, item in index.within_radius(query, 50.0)}
+        assert got == {"west", "east"}
