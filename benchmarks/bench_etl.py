@@ -1,0 +1,135 @@
+"""ETL benchmarks: ingest throughput and store-vs-in-memory query latency.
+
+Measures what the new subsystem trades: a one-off ingest cost (blocks/s
+into SQLite) buys indexed page queries that need no chain object in
+memory. Records ingest throughput plus hotspot-page and witness-list
+lookup latency for both backends in ``BENCH_etl.json`` (repo root), so
+the numbers travel with the repo like ``BENCH_perf.json`` does.
+
+Run with ``REPRO_BENCH_SCENARIO=paper`` for the committed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.core.explorer import Explorer
+from repro.etl import EtlStore, ingest_chain
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_etl.json"
+_summary = {
+    "scenario": os.environ.get("REPRO_BENCH_SCENARIO", "small"),
+    "ingest": {},
+    "query_latency_us": {},
+}
+
+_N_QUERIES = 300
+
+
+def _record() -> None:
+    _RESULTS_PATH.write_text(json.dumps(_summary, indent=2) + "\n")
+
+
+def _fresh_store(result) -> EtlStore:
+    store = EtlStore()
+    ingest_chain(result.chain, store)
+    return store
+
+
+def _sample_gateways(result, n=_N_QUERIES):
+    gateways = list(result.chain.ledger.hotspots)
+    picker = random.Random(7)
+    return [picker.choice(gateways) for _ in range(n)]
+
+
+def test_bench_ingest_throughput(benchmark, result):
+    chain = result.chain
+
+    def _ingest():
+        store = EtlStore()
+        ingest_chain(chain, store)
+        return store
+
+    store = benchmark.pedantic(_ingest, rounds=1, iterations=1)
+    assert store.checkpoint_height == chain.height
+
+    t0 = time.perf_counter()
+    _fresh_store(result)
+    elapsed = time.perf_counter() - t0
+    blocks = len(chain.blocks)
+    _summary["ingest"] = {
+        "blocks": blocks,
+        "transactions": chain.total_transactions,
+        "seconds": round(elapsed, 3),
+        "blocks_per_s": round(blocks / elapsed, 1),
+        "transactions_per_s": round(chain.total_transactions / elapsed, 1),
+    }
+    _record()
+    assert blocks / elapsed > 50  # generous floor; ~3k blocks/s typical
+
+
+def test_bench_resume_is_cheap(result):
+    store = _fresh_store(result)
+    t0 = time.perf_counter()
+    report = ingest_chain(result.chain, store)
+    elapsed = time.perf_counter() - t0
+    assert report.up_to_date
+    _summary["ingest"]["noop_resume_ms"] = round(elapsed * 1000, 2)
+    _record()
+
+
+def _time_queries(fn, keys) -> float:
+    """Mean per-query latency in microseconds."""
+    t0 = time.perf_counter()
+    for key in keys:
+        fn(key)
+    return (time.perf_counter() - t0) / len(keys) * 1e6
+
+
+def test_bench_hotspot_page_latency(benchmark, result):
+    store = _fresh_store(result)
+    in_memory = Explorer(result.chain)
+    from_store = Explorer.from_store(store)
+    gateways = _sample_gateways(result)
+
+    benchmark.pedantic(
+        lambda: [from_store.hotspot(g) for g in gateways[:50]],
+        rounds=1, iterations=1,
+    )
+
+    _summary["query_latency_us"]["hotspot_page"] = {
+        "in_memory": round(_time_queries(in_memory.hotspot, gateways), 1),
+        "etl_store": round(_time_queries(from_store.hotspot, gateways), 1),
+    }
+    _record()
+    sample = gateways[0]
+    assert in_memory.hotspot(sample) == from_store.hotspot(sample)
+
+
+def test_bench_witness_list_latency(benchmark, result):
+    store = _fresh_store(result)
+    in_memory = Explorer(result.chain)
+    gateways = _sample_gateways(result)
+
+    def _store_lookup(gateway):
+        return store.witness_events(gateway, direction="witnessing", limit=25)
+
+    def _memory_lookup(gateway):
+        return in_memory.hotspot(gateway).recent_witnesses
+
+    benchmark.pedantic(
+        lambda: [_store_lookup(g) for g in gateways[:50]],
+        rounds=1, iterations=1,
+    )
+
+    _summary["query_latency_us"]["witness_list"] = {
+        "in_memory": round(_time_queries(_memory_lookup, gateways), 1),
+        "etl_store": round(_time_queries(_store_lookup, gateways), 1),
+    }
+    _record()
+    sample = gateways[0]
+    assert _store_lookup(sample) == _memory_lookup(sample)

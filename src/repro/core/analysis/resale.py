@@ -1,15 +1,34 @@
-"""Resale-market analyses (§4.3.3, Figure 7)."""
+"""Resale-market analyses (§4.3.3, Figure 7).
+
+Every public function accepts either a live :class:`Blockchain` or an
+:class:`repro.etl.store.EtlStore`; both backends produce identical
+numbers (asserted by parity tests).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple, Union
 
 from repro import units
 from repro.chain.blockchain import Blockchain
 from repro.chain.crypto import Address
 from repro.chain.transactions import TransferHotspot
 from repro.errors import AnalysisError
+
+#: Either analysis backend: the in-memory chain or the ETL store.
+ChainSource = Union[Blockchain, "EtlStore"]  # noqa: F821 - duck-typed
+
+
+def _transfer_rows(
+    chain: ChainSource,
+) -> Iterator[Tuple[int, Address, Address, Address, int]]:
+    """``(height, gateway, seller, buyer, amount_dc)`` in chain order."""
+    if isinstance(chain, Blockchain):
+        for height, txn in chain.iter_transactions(TransferHotspot):
+            yield height, txn.gateway, txn.seller, txn.buyer, txn.amount_dc
+    else:
+        yield from chain.transfer_rows()
 
 __all__ = ["ResaleStats", "resale_stats", "transfers_over_time", "top_traders"]
 
@@ -26,15 +45,15 @@ class ResaleStats:
     zero_dc_fraction: float
 
 
-def resale_stats(chain: Blockchain) -> ResaleStats:
+def resale_stats(chain: ChainSource) -> ResaleStats:
     """Transfer counts, repeat-transfer distribution, 0-DC share."""
     per_hotspot: Dict[Address, int] = {}
     zero_dc = 0
     total = 0
-    for _, txn in chain.iter_transactions(TransferHotspot):
-        per_hotspot[txn.gateway] = per_hotspot.get(txn.gateway, 0) + 1
+    for _, gateway, _, _, amount_dc in _transfer_rows(chain):
+        per_hotspot[gateway] = per_hotspot.get(gateway, 0) + 1
         total += 1
-        if txn.amount_dc == 0:
+        if amount_dc == 0:
             zero_dc += 1
     if total == 0:
         raise AnalysisError("no transfer_hotspot transactions on chain")
@@ -42,7 +61,11 @@ def resale_stats(chain: Blockchain) -> ResaleStats:
     for count in per_hotspot.values():
         histogram[count] = histogram.get(count, 0) + 1
     transferred = len(per_hotspot)
-    fleet = chain.ledger.hotspot_count
+    fleet = (
+        chain.ledger.hotspot_count
+        if isinstance(chain, Blockchain)
+        else chain.hotspot_count
+    )
     return ResaleStats(
         total_transfers=total,
         hotspots_transferred=transferred,
@@ -56,11 +79,11 @@ def resale_stats(chain: Blockchain) -> ResaleStats:
 
 
 def transfers_over_time(
-    chain: Blockchain, bucket_days: int = 30
+    chain: ChainSource, bucket_days: int = 30
 ) -> List[Tuple[int, int]]:
     """Figure 7c: (bucket start day, transfer count) time series."""
     buckets: Dict[int, int] = {}
-    for height, _ in chain.iter_transactions(TransferHotspot):
+    for height, _, _, _, _ in _transfer_rows(chain):
         day = height // units.BLOCKS_PER_DAY
         bucket = (day // bucket_days) * bucket_days
         buckets[bucket] = buckets.get(bucket, 0) + 1
@@ -81,13 +104,13 @@ class TraderActivity:
         return self.bought + self.sold
 
 
-def top_traders(chain: Blockchain, top_n: int = 200) -> List[TraderActivity]:
+def top_traders(chain: ChainSource, top_n: int = 200) -> List[TraderActivity]:
     """Figure 7b: the most active transfer participants."""
     bought: Dict[Address, int] = {}
     sold: Dict[Address, int] = {}
-    for _, txn in chain.iter_transactions(TransferHotspot):
-        bought[txn.buyer] = bought.get(txn.buyer, 0) + 1
-        sold[txn.seller] = sold.get(txn.seller, 0) + 1
+    for _, _, seller, buyer, _ in _transfer_rows(chain):
+        bought[buyer] = bought.get(buyer, 0) + 1
+        sold[seller] = sold.get(seller, 0) + 1
     owners = set(bought) | set(sold)
     activity = [
         TraderActivity(owner=o, bought=bought.get(o, 0), sold=sold.get(o, 0))

@@ -1,9 +1,16 @@
-"""Witness-distribution analyses (§8.2.1; Figures 13 and 14)."""
+"""Witness-distribution analyses (§8.2.1; Figures 13 and 14).
+
+Every public function accepts either a live :class:`Blockchain` or an
+:class:`repro.etl.store.EtlStore` — the persisted ETL replica — and
+produces identical numbers from both (asserted by parity tests). The
+store path reads precomputed distance/validity columns via indexed SQL
+instead of re-deriving hex-cell geometry per receipt.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -11,6 +18,9 @@ from repro.chain.blockchain import Blockchain
 from repro.chain.transactions import PocReceipts
 from repro.errors import AnalysisError
 from repro.geo.hexgrid import HexCell
+
+#: Either analysis backend: the in-memory chain or the ETL store.
+ChainSource = Union[Blockchain, "EtlStore"]  # noqa: F821 - duck-typed
 
 __all__ = [
     "WitnessDistanceStats",
@@ -36,23 +46,30 @@ class WitnessDistanceStats:
 
 
 def witness_distance_cdf(
-    chain: Blockchain,
+    chain: ChainSource,
     start_height: int = 0,
     end_height: Optional[int] = None,
 ) -> WitnessDistanceStats:
     """Distance CDF of all valid witnesses over a block window."""
-    distances: List[float] = []
-    for _, receipt in chain.iter_transactions(
-        PocReceipts, start_height=start_height, end_height=end_height
-    ):
-        challengee = HexCell.from_token(receipt.challengee_location_token).center()
-        for report in receipt.witnesses:
-            if not report.is_valid:
-                continue
-            witness = HexCell.from_token(report.reported_location_token).center()
-            if witness.is_null_island() or challengee.is_null_island():
-                continue
-            distances.append(challengee.distance_km(witness))
+    if isinstance(chain, Blockchain):
+        distances: List[float] = []
+        for _, receipt in chain.iter_transactions(
+            PocReceipts, start_height=start_height, end_height=end_height
+        ):
+            challengee = HexCell.from_token(
+                receipt.challengee_location_token
+            ).center()
+            for report in receipt.witnesses:
+                if not report.is_valid:
+                    continue
+                witness = HexCell.from_token(
+                    report.reported_location_token
+                ).center()
+                if witness.is_null_island() or challengee.is_null_island():
+                    continue
+                distances.append(challengee.distance_km(witness))
+    else:
+        distances = chain.witness_distances(start_height, end_height)
     if not distances:
         raise AnalysisError("no valid witnesses in the requested window")
     array = np.sort(np.array(distances))
@@ -77,7 +94,7 @@ class WitnessRssiStats:
 
 
 def witness_rssi_cdf(
-    chain: Blockchain,
+    chain: ChainSource,
     start_height: int = 0,
     end_height: Optional[int] = None,
     valid_only: bool = True,
@@ -88,14 +105,17 @@ def witness_rssi_cdf(
     2021-05-22) of PoC receipts; pass the matching block bounds to
     reproduce that slice.
     """
-    rssis: List[float] = []
-    for _, receipt in chain.iter_transactions(
-        PocReceipts, start_height=start_height, end_height=end_height
-    ):
-        for report in receipt.witnesses:
-            if valid_only and not report.is_valid:
-                continue
-            rssis.append(report.rssi_dbm)
+    if isinstance(chain, Blockchain):
+        rssis: List[float] = []
+        for _, receipt in chain.iter_transactions(
+            PocReceipts, start_height=start_height, end_height=end_height
+        ):
+            for report in receipt.witnesses:
+                if valid_only and not report.is_valid:
+                    continue
+                rssis.append(report.rssi_dbm)
+    else:
+        rssis = chain.witness_rssis(start_height, end_height, valid_only)
     if not rssis:
         raise AnalysisError("no witness reports in the requested window")
     array = np.sort(np.array(rssis))
@@ -118,15 +138,18 @@ class WitnessCountStats:
     max_witnesses: int
 
 
-def witnesses_per_challenge(chain: Blockchain) -> WitnessCountStats:
+def witnesses_per_challenge(chain: ChainSource) -> WitnessCountStats:
     """Distribution of valid-witness counts across challenges.
 
     The zero-witness fraction is the §2.3 sparse-deployment population:
     hotspots that "can only earn PoC rewards for challenge construction".
     """
-    counts: List[int] = []
-    for _, receipt in chain.iter_transactions(PocReceipts):
-        counts.append(len(receipt.valid_witnesses))
+    if isinstance(chain, Blockchain):
+        counts: List[int] = []
+        for _, receipt in chain.iter_transactions(PocReceipts):
+            counts.append(len(receipt.valid_witnesses))
+    else:
+        counts = chain.receipt_valid_witness_counts()
     if not counts:
         raise AnalysisError("no PoC receipts on chain")
     histogram: dict = {}
@@ -142,16 +165,19 @@ def witnesses_per_challenge(chain: Blockchain) -> WitnessCountStats:
     )
 
 
-def validity_breakdown(chain: Blockchain) -> dict:
+def validity_breakdown(chain: ChainSource) -> dict:
     """Counts of witness reports by validity outcome/reason."""
-    breakdown = {"valid": 0}
-    for _, receipt in chain.iter_transactions(PocReceipts):
-        for report in receipt.witnesses:
-            if report.is_valid:
-                breakdown["valid"] += 1
-            else:
-                reason = report.invalid_reason or "unspecified"
-                breakdown[reason] = breakdown.get(reason, 0) + 1
+    if isinstance(chain, Blockchain):
+        breakdown = {"valid": 0}
+        for _, receipt in chain.iter_transactions(PocReceipts):
+            for report in receipt.witnesses:
+                if report.is_valid:
+                    breakdown["valid"] += 1
+                else:
+                    reason = report.invalid_reason or "unspecified"
+                    breakdown[reason] = breakdown.get(reason, 0) + 1
+    else:
+        breakdown = chain.witness_validity_breakdown()
     if sum(breakdown.values()) == 0:
         raise AnalysisError("no witness reports on chain")
     return breakdown

@@ -14,7 +14,7 @@ paper can be retraced interactively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import units
 from repro.chain.blockchain import Blockchain
@@ -78,13 +78,33 @@ class OwnerPage:
 class Explorer:
     """Indexes a chain once; answers page queries in O(1)-ish.
 
+    Two interchangeable backends answer the same queries with identical
+    pages (parity is property-tested):
+
+    * ``Explorer(chain)`` walks the in-memory object graph once and
+      indexes it, as always;
+    * ``Explorer(store=etl_store)`` (or :meth:`from_store`) delegates
+      page queries to a :class:`repro.etl.store.EtlStore`, the
+      persisted DeWi-style replica — no chain object needed.
+
     Args:
-        chain: the chain to explore.
+        chain: the chain to explore (in-memory backend).
         recent_limit: witness events retained per hotspot page.
+        store: an ETL store to query instead of a chain.
     """
 
-    def __init__(self, chain: Blockchain, recent_limit: int = 25) -> None:
+    def __init__(
+        self,
+        chain: Optional[Blockchain] = None,
+        recent_limit: int = 25,
+        store=None,
+    ) -> None:
+        if (chain is None) == (store is None):
+            raise AnalysisError(
+                "Explorer needs exactly one backend: a chain or a store"
+            )
         self.chain = chain
+        self.store = store
         self.recent_limit = recent_limit
         self._name_index: Dict[str, Address] = {}
         self._rewards: Dict[Address, int] = {}
@@ -92,7 +112,16 @@ class Explorer:
         self._transfers: Dict[Address, int] = {}
         self._witnessing: Dict[Address, List[WitnessEvent]] = {}
         self._witnessed_by: Dict[Address, List[WitnessEvent]] = {}
-        self._build_indexes()
+        if chain is not None:
+            self._build_indexes()
+        else:
+            for gateway, name, _ in store.hotspot_rows():
+                self._name_index[name.lower()] = gateway
+
+    @classmethod
+    def from_store(cls, store, recent_limit: int = 25) -> "Explorer":
+        """An explorer answering from an ETL store instead of a chain."""
+        return cls(recent_limit=recent_limit, store=store)
 
     def _build_indexes(self) -> None:
         for gateway in self.chain.ledger.hotspots:
@@ -159,6 +188,11 @@ class Explorer:
 
     def hotspot(self, gateway: Address) -> HotspotPage:
         """The explorer page for a hotspot address."""
+        if self.store is not None:
+            page = self.store.query_hotspot_page(gateway, self.recent_limit)
+            if page is None:
+                raise AnalysisError(f"unknown hotspot: {gateway}")
+            return page
         record = self.chain.ledger.hotspots.get(gateway)
         if record is None:
             raise AnalysisError(f"unknown hotspot: {gateway}")
@@ -189,6 +223,11 @@ class Explorer:
 
     def owner(self, wallet: Address) -> OwnerPage:
         """The explorer page for a wallet."""
+        if self.store is not None:
+            page = self.store.query_owner_page(wallet)
+            if page is None:
+                raise AnalysisError(f"unknown wallet: {wallet}")
+            return page
         fleet = self.chain.ledger.hotspots_of(wallet)
         state = self.chain.ledger.wallets.get(wallet)
         if not fleet and state is None:
@@ -221,12 +260,21 @@ class Explorer:
     ) -> List[HotspotPage]:
         """Hotspots asserted within ``radius_km`` of a point (hex view)."""
         pages = []
-        for gateway, record in self.chain.ledger.hotspots.items():
-            if record.location_token is None:
-                continue
-            location = HexCell.from_token(record.location_token).center()
+        for gateway, token in self._located_hotspots():
+            location = HexCell.from_token(token).center()
             if center.distance_km(location) <= radius_km:
                 pages.append(self.hotspot(gateway))
                 if len(pages) >= limit:
                     break
         return pages
+
+    def _located_hotspots(self) -> Iterator[Tuple[Address, str]]:
+        """``(gateway, location_token)`` pairs, ledger insertion order."""
+        if self.store is not None:
+            for gateway, _, token in self.store.hotspot_rows():
+                if token is not None:
+                    yield gateway, token
+            return
+        for gateway, record in self.chain.ledger.hotspots.items():
+            if record.location_token is not None:
+                yield gateway, record.location_token

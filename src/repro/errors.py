@@ -58,3 +58,7 @@ class SimulationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked to run on data that cannot support it."""
+
+
+class EtlError(ReproError):
+    """The ETL store is missing, corrupt, or schema-incompatible."""

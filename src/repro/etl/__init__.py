@@ -1,0 +1,22 @@
+"""DeWi-style columnar ETL replica of the simulated chain.
+
+The paper ran its entire analysis pipeline "against the DeWi ETL
+database" — a typed, queryable replica of the Helium blockchain — rather
+than walking live chain objects (§3). This package is that layer for
+the reproduction:
+
+* :mod:`repro.etl.schema` — the SQLite schema (typed history tables,
+  folded state tables, indexed views);
+* :mod:`repro.etl.ingest` — the incremental, checkpointed,
+  idempotent chain follower;
+* :mod:`repro.etl.store` — :class:`EtlStore`, the query layer the
+  explorer and analyses run against as a drop-in backend;
+* :mod:`repro.etl.server` — the read-only JSON explorer API;
+* :mod:`repro.etl.cli` — ``python -m repro.etl`` (ingest/query/serve).
+"""
+
+from repro.etl.ingest import IngestReport, ingest_chain
+from repro.etl.schema import SCHEMA_VERSION
+from repro.etl.store import EtlStore
+
+__all__ = ["EtlStore", "IngestReport", "ingest_chain", "SCHEMA_VERSION"]

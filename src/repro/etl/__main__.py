@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.etl``."""
+
+import sys
+
+from repro.etl.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""The ETL store's SQL schema, mirrored on the DeWi blockchain-etl shape.
+
+The paper's analyses ran "against the DeWi ETL database" — a Postgres
+replica of the Helium chain with one typed table per entity rather than
+raw serialized transactions (§3). This module declares the equivalent
+SQLite schema:
+
+* **History tables** (`blocks`, `transactions`, `poc_receipts`,
+  `witnesses`, `rewards`, `transfers`, `packet_summaries`) are
+  append-only rows keyed by ``(height, seq, …)``; the ingester writes
+  them incrementally and idempotently (``INSERT OR REPLACE`` on the
+  primary key).
+* **State tables** (`hotspots`, `wallets`) are the folded ledger view —
+  "who owns this now" — refreshed wholesale at the end of each ingest
+  run, exactly the chain/ledger split the in-memory model uses.
+* **Views** (`coverage_dots`, `hotspot_rewards`, `witness_edges`) are
+  the read shapes the explorer API serves, backed by the indexes below.
+
+The witness table flattens PoC receipts one row per report, with the
+challengee↔witness great-circle distance and null-island flag
+precomputed at ingest time so distance/validity analyses are single
+indexed scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "DDL", "apply_schema", "TABLES"]
+
+#: Bump when the table layout changes incompatibly. Stale stores are
+#: detected on open and silently re-ingested by the scenario cache.
+SCHEMA_VERSION = 1
+
+#: History + state tables, in a deterministic order (used by content
+#: digests and the test suite's full-store comparisons).
+TABLES = (
+    "blocks",
+    "transactions",
+    "poc_receipts",
+    "witnesses",
+    "rewards",
+    "transfers",
+    "packet_summaries",
+    "hotspots",
+    "wallets",
+)
+
+DDL: Iterable[str] = (
+    """
+    CREATE TABLE IF NOT EXISTS etl_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS blocks (
+        height    INTEGER PRIMARY KEY,
+        unix_time INTEGER NOT NULL,
+        prev_hash TEXT    NOT NULL,
+        hash      TEXT    NOT NULL,
+        txn_count INTEGER NOT NULL
+    )
+    """,
+    # Every transaction, round-trippable: `payload` is the same JSON the
+    # chain dump format uses, so the store is a self-contained replica.
+    """
+    CREATE TABLE IF NOT EXISTS transactions (
+        height  INTEGER NOT NULL,
+        seq     INTEGER NOT NULL,
+        kind    TEXT    NOT NULL,
+        payload TEXT    NOT NULL,
+        PRIMARY KEY (height, seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS poc_receipts (
+        height                    INTEGER NOT NULL,
+        seq                       INTEGER NOT NULL,
+        challenger                TEXT    NOT NULL,
+        challengee                TEXT    NOT NULL,
+        challengee_location_token TEXT    NOT NULL,
+        witness_count             INTEGER NOT NULL,
+        valid_witness_count       INTEGER NOT NULL,
+        PRIMARY KEY (height, seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS witnesses (
+        height                 INTEGER NOT NULL,
+        seq                    INTEGER NOT NULL,
+        witness_seq            INTEGER NOT NULL,
+        challenger             TEXT    NOT NULL,
+        challengee             TEXT    NOT NULL,
+        challengee_location    TEXT    NOT NULL,
+        witness                TEXT    NOT NULL,
+        witness_location       TEXT    NOT NULL,
+        rssi_dbm               REAL    NOT NULL,
+        snr_db                 REAL    NOT NULL,
+        frequency_mhz          REAL    NOT NULL,
+        distance_km            REAL    NOT NULL,
+        null_island            INTEGER NOT NULL,
+        is_valid               INTEGER NOT NULL,
+        invalid_reason         TEXT,
+        PRIMARY KEY (height, seq, witness_seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS rewards (
+        height       INTEGER NOT NULL,
+        seq          INTEGER NOT NULL,
+        share_seq    INTEGER NOT NULL,
+        account      TEXT    NOT NULL,
+        gateway      TEXT,
+        amount_bones INTEGER NOT NULL,
+        reward_type  TEXT    NOT NULL,
+        PRIMARY KEY (height, seq, share_seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS transfers (
+        height    INTEGER NOT NULL,
+        seq       INTEGER NOT NULL,
+        gateway   TEXT    NOT NULL,
+        seller    TEXT    NOT NULL,
+        buyer     TEXT    NOT NULL,
+        amount_dc INTEGER NOT NULL,
+        fee_dc    INTEGER NOT NULL,
+        PRIMARY KEY (height, seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS packet_summaries (
+        height      INTEGER NOT NULL,
+        seq         INTEGER NOT NULL,
+        summary_seq INTEGER NOT NULL,
+        channel_id  TEXT    NOT NULL,
+        owner       TEXT    NOT NULL,
+        oui         INTEGER NOT NULL,
+        hotspot     TEXT    NOT NULL,
+        num_packets INTEGER NOT NULL,
+        num_dcs     INTEGER NOT NULL,
+        PRIMARY KEY (height, seq, summary_seq)
+    )
+    """,
+    # State tables: folded ledger view, refreshed wholesale per ingest.
+    # Row order (rowid) preserves ledger insertion order, which the
+    # explorer relies on for parity with dict-iteration semantics.
+    """
+    CREATE TABLE IF NOT EXISTS hotspots (
+        gateway           TEXT PRIMARY KEY,
+        owner             TEXT NOT NULL,
+        name              TEXT NOT NULL,
+        location_token    TEXT,
+        nonce             INTEGER NOT NULL,
+        added_block       INTEGER NOT NULL,
+        last_assert_block INTEGER
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS wallets (
+        address   TEXT PRIMARY KEY,
+        hnt_bones INTEGER NOT NULL,
+        dc        INTEGER NOT NULL
+    )
+    """,
+    # -- indexes (the query layer's hot paths) ---------------------------
+    "CREATE INDEX IF NOT EXISTS idx_txn_kind ON transactions (kind, height, seq)",
+    "CREATE INDEX IF NOT EXISTS idx_wit_witness ON witnesses (witness, height, seq, witness_seq)",
+    "CREATE INDEX IF NOT EXISTS idx_wit_challengee ON witnesses (challengee, height, seq, witness_seq)",
+    "CREATE INDEX IF NOT EXISTS idx_wit_valid ON witnesses (is_valid)",
+    "CREATE INDEX IF NOT EXISTS idx_rew_gateway ON rewards (gateway)",
+    "CREATE INDEX IF NOT EXISTS idx_rew_type ON rewards (reward_type)",
+    "CREATE INDEX IF NOT EXISTS idx_xfer_gateway ON transfers (gateway)",
+    "CREATE INDEX IF NOT EXISTS idx_xfer_buyer ON transfers (buyer)",
+    "CREATE INDEX IF NOT EXISTS idx_xfer_seller ON transfers (seller)",
+    "CREATE INDEX IF NOT EXISTS idx_pkt_hotspot ON packet_summaries (hotspot)",
+    "CREATE INDEX IF NOT EXISTS idx_hs_owner ON hotspots (owner)",
+    "CREATE INDEX IF NOT EXISTS idx_hs_name ON hotspots (lower(name))",
+    # -- views (explorer read shapes) ------------------------------------
+    """
+    CREATE VIEW IF NOT EXISTS coverage_dots AS
+        SELECT location_token, COUNT(*) AS hotspot_count
+        FROM hotspots
+        WHERE location_token IS NOT NULL
+        GROUP BY location_token
+    """,
+    """
+    CREATE VIEW IF NOT EXISTS hotspot_rewards AS
+        SELECT gateway, SUM(amount_bones) AS total_bones
+        FROM rewards
+        WHERE gateway IS NOT NULL
+        GROUP BY gateway
+    """,
+    """
+    CREATE VIEW IF NOT EXISTS witness_edges AS
+        SELECT challengee, witness, height, rssi_dbm, distance_km, is_valid
+        FROM witnesses
+    """,
+)
+
+
+def apply_schema(connection: sqlite3.Connection) -> None:
+    """Create every table, index and view (idempotent)."""
+    with connection:
+        for statement in DDL:
+            connection.execute(statement)

@@ -1,0 +1,268 @@
+"""Read-only HTTP explorer API over an ETL store (stdlib only).
+
+The serving surface the paper's case studies assume: hotspot pages,
+owner wallets, witness lists and the coverage dot map, as JSON over
+plain ``http.server``. Routes:
+
+========================================  =====================================
+``GET /``                                 route index
+``GET /stats``                            table counts + checkpoint height
+``GET /hotspots?limit=&offset=``          paginated hotspot listing
+``GET /hotspot/<name-or-address>``        one hotspot page (``hs_…`` address,
+                                          or URL-encoded three-word name)
+``GET /hotspot/<id>/witnesses?limit=``    witness events for one hotspot
+``GET /owner/<address>``                  one wallet page
+``GET /coverage/dots``                    (lat, lon, count) per occupied hex
+``GET /search?q=&limit=``                 substring search over names
+========================================  =====================================
+
+Errors come back as ``{"error": …}`` with a 4xx status. The server is
+strictly read-only — there is no mutating route — and serialises store
+access behind one lock, which is plenty for an explorer UI while the
+heavy lifting stays in indexed SQL.
+
+>>> server = create_server(store, port=0)           # doctest: +SKIP
+>>> threading.Thread(target=server.serve_forever).start()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.core.explorer import Explorer, HotspotPage, OwnerPage, WitnessEvent
+from repro.errors import AnalysisError
+from repro.etl.store import EtlStore
+
+__all__ = ["create_server", "serve", "page_to_json", "owner_to_json"]
+
+
+def _event_to_json(event: WitnessEvent) -> Dict[str, Any]:
+    return {
+        "block": event.block,
+        "counterparty": event.counterparty,
+        "counterparty_name": event.counterparty_name,
+        "rssi_dbm": event.rssi_dbm,
+        "distance_km": event.distance_km,
+        "valid": event.valid,
+    }
+
+
+def page_to_json(page: HotspotPage) -> Dict[str, Any]:
+    """A hotspot page as the JSON document the API serves."""
+    return {
+        "gateway": page.gateway,
+        "name": page.name,
+        "owner": page.owner,
+        "location": (
+            None
+            if page.location is None
+            else {"lat": page.location.lat, "lon": page.location.lon}
+        ),
+        "location_token": page.location_token,
+        "added_block": page.added_block,
+        "assert_count": page.assert_count,
+        "total_rewards_hnt": page.total_rewards_hnt,
+        "packets_ferried": page.packets_ferried,
+        "transfer_count": page.transfer_count,
+        "recent_witnesses": [
+            _event_to_json(e) for e in page.recent_witnesses
+        ],
+        "recent_witnessed_by": [
+            _event_to_json(e) for e in page.recent_witnessed_by
+        ],
+    }
+
+
+def owner_to_json(page: OwnerPage) -> Dict[str, Any]:
+    """An owner page as the JSON document the API serves."""
+    return {
+        "owner": page.owner,
+        "hotspot_count": page.hotspot_count,
+        "hotspots": [
+            {"gateway": gateway, "name": name}
+            for gateway, name in page.hotspots
+        ],
+        "hnt_balance": page.hnt_balance,
+        "dc_balance": page.dc_balance,
+        "total_rewards_hnt": page.total_rewards_hnt,
+    }
+
+
+_ROUTES = [
+    "/stats",
+    "/hotspots?limit=&offset=",
+    "/hotspot/<name-or-address>",
+    "/hotspot/<name-or-address>/witnesses?limit=",
+    "/owner/<address>",
+    "/coverage/dots",
+    "/search?q=&limit=",
+]
+
+
+class _ExplorerHandler(BaseHTTPRequestHandler):
+    """Routes GET requests onto the store-backed explorer."""
+
+    server_version = "repro-etl/1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _reply(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int = 404) -> None:
+        self._reply({"error": message}, status=status)
+
+    def _int_param(self, params: Dict[str, List[str]], name: str, default: int) -> int:
+        values = params.get(name)
+        if not values:
+            return default
+        return int(values[0])
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        params = parse_qs(parsed.query)
+        server: "_ExplorerServer" = self.server  # type: ignore[assignment]
+        try:
+            with server.lock:
+                self._route(server.explorer, server.store, parts, params)
+        except (ValueError, KeyError) as exc:
+            self._error(f"bad request: {exc}", status=400)
+        except AnalysisError as exc:
+            self._error(str(exc), status=404)
+
+    def _route(
+        self,
+        explorer: Explorer,
+        store: EtlStore,
+        parts: List[str],
+        params: Dict[str, List[str]],
+    ) -> None:
+        if not parts:
+            self._reply({"service": "repro.etl explorer", "routes": _ROUTES})
+        elif parts == ["stats"]:
+            self._reply({
+                "checkpoint_height": store.checkpoint_height,
+                "tip_hash": store.get_meta("tip_hash"),
+                "tables": store.counts(),
+            })
+        elif parts == ["hotspots"]:
+            limit = self._int_param(params, "limit", 50)
+            offset = self._int_param(params, "offset", 0)
+            rows = store.hotspot_rows()[offset : offset + limit]
+            self._reply({
+                "total": store.hotspot_count,
+                "hotspots": [
+                    {"gateway": g, "name": n, "location_token": t}
+                    for g, n, t in rows
+                ],
+            })
+        elif parts[0] == "hotspot" and len(parts) in (2, 3):
+            page = self._lookup_hotspot(explorer, parts[1])
+            if len(parts) == 2:
+                self._reply(page_to_json(page))
+            elif parts[2] == "witnesses":
+                limit = self._int_param(params, "limit", 100)
+                events = store.witness_events(
+                    page.gateway, direction="witnessing", limit=limit
+                )
+                self._reply({
+                    "gateway": page.gateway,
+                    "name": page.name,
+                    "witnesses": [_event_to_json(e) for e in events],
+                })
+            else:
+                self._error(f"unknown hotspot subresource: {parts[2]}")
+        elif parts[0] == "owner" and len(parts) == 2:
+            self._reply(owner_to_json(explorer.owner(parts[1])))
+        elif parts == ["coverage", "dots"]:
+            dots = store.coverage_dot_rows()
+            self._reply({
+                "dots": [
+                    {"token": token, "lat": lat, "lon": lon, "hotspots": count}
+                    for token, lat, lon, count in dots
+                ],
+            })
+        elif parts == ["search"]:
+            query = params.get("q", [""])[0]
+            limit = self._int_param(params, "limit", 10)
+            matches = explorer.search(query, limit=limit) if query else []
+            self._reply({
+                "query": query,
+                "matches": [
+                    {"gateway": gateway, "name": name}
+                    for gateway, name in matches
+                ],
+            })
+        else:
+            self._error(f"no such route: /{'/'.join(parts)}")
+
+    def _lookup_hotspot(self, explorer: Explorer, key: str) -> HotspotPage:
+        if key.startswith("hs_"):
+            return explorer.hotspot(key)
+        return explorer.hotspot_by_name(key.replace("-", " "))
+
+
+class _ExplorerServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared store + explorer."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: EtlStore,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _ExplorerHandler)
+        self.store = store
+        self.explorer = Explorer.from_store(store)
+        self.lock = threading.Lock()
+        self.verbose = verbose
+
+
+def create_server(
+    store: EtlStore,
+    host: str = "127.0.0.1",
+    port: int = 8600,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the explorer HTTP server.
+
+    Pass ``port=0`` to bind an ephemeral port (``server.server_address``
+    tells you which — handy in tests).
+    """
+    return _ExplorerServer((host, port), store, verbose=verbose)
+
+
+def serve(
+    store: EtlStore,
+    host: str = "127.0.0.1",
+    port: int = 8600,
+    verbose: bool = True,
+) -> None:
+    """Serve the explorer API until interrupted."""
+    server = create_server(store, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro.etl explorer listening on http://{bound_host}:{bound_port}/")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,399 @@
+"""`EtlStore`: the typed, queryable replica the analyses run against.
+
+Opens (or creates) the SQLite database declared in
+:mod:`repro.etl.schema` and exposes the query surface three consumers
+share:
+
+* :class:`repro.core.explorer.Explorer` uses the ``query_*_page``
+  methods as a drop-in backend (identical page objects, SQL underneath);
+* the analysis modules (:mod:`repro.core.analysis.witnesses`,
+  ``rewards``, ``resale``) call the row iterators, which yield exactly
+  the tuples their chain-walking twins derive — parity is asserted by
+  property tests;
+* the HTTP explorer API (:mod:`repro.etl.server`) serves the same pages
+  plus the coverage-dot view as JSON.
+
+A store handle is cheap; the data lives in the ``.db`` file. Open a
+fresh handle per thread (SQLite connections are not shared across
+threads here — the HTTP server opens one read-only handle per request
+thread via :meth:`EtlStore.reopen`).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro import units
+from repro.chain.crypto import Address
+from repro.chain.naming import hotspot_name
+from repro.core.explorer import HotspotPage, OwnerPage, WitnessEvent
+from repro.errors import EtlError
+from repro.etl import schema
+from repro.geo.hexgrid import HexCell
+
+__all__ = ["EtlStore"]
+
+_MEMORY = ":memory:"
+
+
+class EtlStore:
+    """One handle onto an ETL database (see module docstring).
+
+    Args:
+        path: database file, or ``":memory:"`` for an ephemeral store.
+        create: apply the schema to an empty database. When False, an
+            empty or missing database raises :class:`EtlError`.
+
+    Raises:
+        EtlError: if the file is not an ETL store, is corrupt, or was
+            written by an incompatible schema version.
+    """
+
+    def __init__(
+        self, path: Union[str, Path] = _MEMORY, create: bool = True
+    ) -> None:
+        self.path = str(path)
+        if not create and self.path != _MEMORY and not Path(self.path).exists():
+            raise EtlError(f"no ETL store at {self.path}")
+        try:
+            # check_same_thread=False: the HTTP server shares one handle
+            # across request threads behind its own lock.
+            self.connection = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
+            self.connection.execute("PRAGMA synchronous=NORMAL")
+            existing = self._schema_version()
+        except sqlite3.DatabaseError as exc:
+            raise EtlError(f"unreadable ETL store {self.path}: {exc}") from exc
+        if existing is None:
+            if not create:
+                raise EtlError(f"{self.path} is not an ETL store")
+            schema.apply_schema(self.connection)
+            with self.connection:
+                self._set_meta("schema_version", str(schema.SCHEMA_VERSION))
+        elif existing != schema.SCHEMA_VERSION:
+            self.connection.close()
+            raise EtlError(
+                f"ETL store {self.path} has schema {existing}, "
+                f"expected {schema.SCHEMA_VERSION}"
+            )
+
+    def _schema_version(self) -> Optional[int]:
+        try:
+            row = self.connection.execute(
+                "SELECT value FROM etl_meta WHERE key='schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return None  # no etl_meta table: empty or foreign database
+        return None if row is None else int(row[0])
+
+    def reopen(self) -> "EtlStore":
+        """A fresh handle onto the same database (for other threads)."""
+        return EtlStore(self.path, create=False)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "EtlStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- meta / checkpoints ------------------------------------------------
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self.connection.execute(
+            "INSERT OR REPLACE INTO etl_meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read one metadata value (``None`` when unset)."""
+        row = self.connection.execute(
+            "SELECT value FROM etl_meta WHERE key=?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    @property
+    def checkpoint_height(self) -> int:
+        """Last committed block height; ``-1`` for a virgin store."""
+        value = self.get_meta("checkpoint_height")
+        return -1 if value is None else int(value)
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per table (diagnostics and the ``stats`` endpoint)."""
+        return {
+            table: int(
+                self.connection.execute(
+                    f"SELECT COUNT(*) FROM {table}"  # noqa: S608 - fixed names
+                ).fetchone()[0]
+            )
+            for table in schema.TABLES
+        }
+
+    def content_digest(self) -> str:
+        """Order-independent digest of every table's content.
+
+        Two stores with identical rows (regardless of how they got
+        there — fresh full ingest or checkpointed resume) digest
+        equal; the acceptance test for idempotent resume relies on it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for table in schema.TABLES:
+            digest.update(table.encode())
+            cursor = self.connection.execute(
+                f"SELECT * FROM {table}"  # noqa: S608 - fixed names
+            )
+            for row in sorted(repr(r) for r in cursor):
+                digest.update(row.encode())
+        return digest.hexdigest()
+
+    # -- explorer page queries ---------------------------------------------
+
+    def query_hotspot_page(
+        self, gateway: Address, recent_limit: int = 25
+    ) -> Optional[HotspotPage]:
+        """The explorer page for a hotspot, or ``None`` if unknown."""
+        row = self.connection.execute(
+            "SELECT owner, name, location_token, nonce, added_block "
+            "FROM hotspots WHERE gateway=?",
+            (gateway,),
+        ).fetchone()
+        if row is None:
+            return None
+        owner, name, token, nonce, added_block = row
+        location = None
+        if token is not None:
+            location = HexCell.from_token(token).center()
+        rewards = self.connection.execute(
+            "SELECT COALESCE(SUM(amount_bones), 0) FROM rewards WHERE gateway=?",
+            (gateway,),
+        ).fetchone()[0]
+        packets = self.connection.execute(
+            "SELECT COALESCE(SUM(num_packets), 0) FROM packet_summaries "
+            "WHERE hotspot=?",
+            (gateway,),
+        ).fetchone()[0]
+        transfers = self.connection.execute(
+            "SELECT COUNT(*) FROM transfers WHERE gateway=?", (gateway,)
+        ).fetchone()[0]
+        return HotspotPage(
+            gateway=gateway,
+            name=name,
+            owner=owner,
+            location=location,
+            location_token=token,
+            added_block=int(added_block),
+            assert_count=int(nonce),
+            total_rewards_hnt=units.bones_to_hnt(int(rewards)),
+            packets_ferried=int(packets),
+            transfer_count=int(transfers),
+            recent_witnesses=self.witness_events(
+                gateway, direction="witnessing", limit=recent_limit
+            ),
+            recent_witnessed_by=self.witness_events(
+                gateway, direction="witnessed_by", limit=recent_limit
+            ),
+        )
+
+    def witness_events(
+        self, gateway: Address, direction: str, limit: int = 25
+    ) -> List[WitnessEvent]:
+        """The most recent witness events touching a hotspot.
+
+        ``direction="witnessing"`` lists challenges this hotspot heard
+        (counterparty is the challengee); ``"witnessed_by"`` lists
+        reports about this hotspot's own beacons (counterparty is the
+        witness). Events come back oldest-first, like the in-memory
+        explorer's bounded recent lists.
+        """
+        if direction == "witnessing":
+            where, counterparty = "witness", "challengee"
+        elif direction == "witnessed_by":
+            where, counterparty = "challengee", "witness"
+        else:
+            raise EtlError(f"unknown witness direction {direction!r}")
+        rows = self.connection.execute(
+            f"SELECT height, {counterparty}, rssi_dbm, distance_km, is_valid "
+            f"FROM witnesses WHERE {where}=? "
+            "ORDER BY height DESC, seq DESC, witness_seq DESC LIMIT ?",
+            (gateway, limit),
+        ).fetchall()
+        return [
+            WitnessEvent(
+                block=int(height),
+                counterparty=other,
+                counterparty_name=hotspot_name(other),
+                rssi_dbm=float(rssi),
+                distance_km=float(distance),
+                valid=bool(valid),
+            )
+            for height, other, rssi, distance, valid in reversed(rows)
+        ]
+
+    def query_owner_page(self, wallet: Address) -> Optional[OwnerPage]:
+        """The explorer page for a wallet, or ``None`` if unknown."""
+        fleet = self.connection.execute(
+            "SELECT gateway, name FROM hotspots WHERE owner=? ORDER BY rowid",
+            (wallet,),
+        ).fetchall()
+        state = self.connection.execute(
+            "SELECT hnt_bones, dc FROM wallets WHERE address=?", (wallet,)
+        ).fetchone()
+        if not fleet and state is None:
+            return None
+        rewards = self.connection.execute(
+            "SELECT COALESCE(SUM(r.amount_bones), 0) FROM rewards r "
+            "JOIN hotspots h ON h.gateway = r.gateway WHERE h.owner=?",
+            (wallet,),
+        ).fetchone()[0]
+        return OwnerPage(
+            owner=wallet,
+            hotspot_count=len(fleet),
+            hotspots=[(gateway, name) for gateway, name in fleet],
+            hnt_balance=(
+                units.bones_to_hnt(int(state[0])) if state is not None else 0.0
+            ),
+            dc_balance=int(state[1]) if state is not None else 0,
+            total_rewards_hnt=units.bones_to_hnt(int(rewards)),
+        )
+
+    def hotspot_rows(self) -> List[Tuple[Address, str, Optional[str]]]:
+        """``(gateway, name, location_token)`` in ledger insertion order."""
+        return self.connection.execute(
+            "SELECT gateway, name, location_token FROM hotspots ORDER BY rowid"
+        ).fetchall()
+
+    @property
+    def hotspot_count(self) -> int:
+        """Number of hotspots on the ledger (state table)."""
+        return int(
+            self.connection.execute("SELECT COUNT(*) FROM hotspots").fetchone()[0]
+        )
+
+    def coverage_dot_rows(self) -> List[Tuple[str, float, float, int]]:
+        """``(token, lat, lon, hotspot_count)`` per occupied hex cell."""
+        rows = self.connection.execute(
+            "SELECT location_token, hotspot_count FROM coverage_dots "
+            "ORDER BY location_token"
+        ).fetchall()
+        dots = []
+        for token, count in rows:
+            center = HexCell.from_token(token).center()
+            dots.append((token, center.lat, center.lon, int(count)))
+        return dots
+
+    # -- analysis row iterators --------------------------------------------
+    # Each yields exactly what the chain-walking analysis derives, in the
+    # same (height, seq, …) order, so the numeric results are identical.
+
+    def _window(
+        self, start_height: int, end_height: Optional[int]
+    ) -> Tuple[str, Tuple[int, ...]]:
+        if end_height is None:
+            return "height >= ?", (start_height,)
+        return "height >= ? AND height <= ?", (start_height, end_height)
+
+    def witness_distances(
+        self,
+        start_height: int = 0,
+        end_height: Optional[int] = None,
+    ) -> List[float]:
+        """Distances of valid, non-null-island witness reports (km)."""
+        where, params = self._window(start_height, end_height)
+        rows = self.connection.execute(
+            "SELECT distance_km FROM witnesses "
+            f"WHERE is_valid=1 AND null_island=0 AND {where} "
+            "ORDER BY height, seq, witness_seq",
+            params,
+        ).fetchall()
+        return [float(r[0]) for r in rows]
+
+    def witness_rssis(
+        self,
+        start_height: int = 0,
+        end_height: Optional[int] = None,
+        valid_only: bool = True,
+    ) -> List[float]:
+        """RSSI values of witness reports over a block window."""
+        where, params = self._window(start_height, end_height)
+        valid = "is_valid=1 AND " if valid_only else ""
+        rows = self.connection.execute(
+            f"SELECT rssi_dbm FROM witnesses WHERE {valid}{where} "
+            "ORDER BY height, seq, witness_seq",
+            params,
+        ).fetchall()
+        return [float(r[0]) for r in rows]
+
+    def receipt_valid_witness_counts(self) -> List[int]:
+        """Valid-witness count per challenge, including zero-witness ones."""
+        rows = self.connection.execute(
+            "SELECT valid_witness_count FROM poc_receipts ORDER BY height, seq"
+        ).fetchall()
+        return [int(r[0]) for r in rows]
+
+    def witness_validity_breakdown(self) -> Dict[str, int]:
+        """Witness report counts by validity outcome/reason."""
+        breakdown: Dict[str, int] = {"valid": 0}
+        rows = self.connection.execute(
+            "SELECT is_valid, "
+            "CASE WHEN invalid_reason IS NULL OR invalid_reason = '' "
+            "THEN 'unspecified' ELSE invalid_reason END, COUNT(*) "
+            "FROM witnesses GROUP BY is_valid, invalid_reason"
+        ).fetchall()
+        for valid, reason, count in rows:
+            if valid:
+                breakdown["valid"] += int(count)
+            else:
+                breakdown[reason] = breakdown.get(reason, 0) + int(count)
+        return breakdown
+
+    def reward_share_rows(
+        self,
+    ) -> Iterator[Tuple[int, Address, Optional[Address], int, str]]:
+        """``(height, account, gateway, amount_bones, reward_type)`` in chain order."""
+        cursor = self.connection.execute(
+            "SELECT height, account, gateway, amount_bones, reward_type "
+            "FROM rewards ORDER BY height, seq, share_seq"
+        )
+        for height, account, gateway, amount, reward_type in cursor:
+            yield int(height), account, gateway, int(amount), reward_type
+
+    def rewards_by_gateway(self) -> Dict[Address, int]:
+        """Lifetime reward bones per gateway."""
+        rows = self.connection.execute(
+            "SELECT gateway, total_bones FROM hotspot_rewards"
+        ).fetchall()
+        return {gateway: int(total) for gateway, total in rows}
+
+    def rewards_by_type(self) -> Dict[str, int]:
+        """Total reward bones per reward class."""
+        rows = self.connection.execute(
+            "SELECT reward_type, SUM(amount_bones) FROM rewards "
+            "GROUP BY reward_type"
+        ).fetchall()
+        return {reward_type: int(total) for reward_type, total in rows}
+
+    def gateway_added_blocks(self) -> Dict[Address, int]:
+        """Block at which each hotspot was added (ledger insertion order)."""
+        rows = self.connection.execute(
+            "SELECT gateway, added_block FROM hotspots ORDER BY rowid"
+        ).fetchall()
+        return {gateway: int(block) for gateway, block in rows}
+
+    def transfer_rows(
+        self,
+    ) -> Iterator[Tuple[int, Address, Address, Address, int]]:
+        """``(height, gateway, seller, buyer, amount_dc)`` in chain order."""
+        cursor = self.connection.execute(
+            "SELECT height, gateway, seller, buyer, amount_dc "
+            "FROM transfers ORDER BY height, seq"
+        )
+        for height, gateway, seller, buyer, amount_dc in cursor:
+            yield int(height), gateway, seller, buyer, int(amount_dc)

@@ -23,6 +23,10 @@ def main(argv=None) -> int:
         description="Reproduce the paper's tables and figures.",
     )
     parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered figures/tables with descriptions and exit",
+    )
     parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
@@ -34,6 +38,13 @@ def main(argv=None) -> int:
         help="also render the figures as SVG under DIR",
     )
     args = parser.parse_args(argv)
+
+    if args.list:
+        descriptions = EXPERIMENTS.descriptions()
+        width = max(len(i) for i in descriptions)
+        for experiment_id, description in descriptions.items():
+            print(f"{experiment_id:<{width}}  {description}")
+        return 0
 
     ids = args.ids or EXPERIMENTS.ids()
     unknown = [i for i in ids if i not in EXPERIMENTS.ids()]

@@ -12,18 +12,28 @@ variable overrides it: set it to a directory to relocate the cache, or
 to ``0`` / ``off`` to disable persistence entirely. Entries are keyed by
 scenario name, seed, a hash of every scenario knob, and the snapshot
 schema version, so stale entries are never mistaken for current ones.
+
+``get_store`` materialises the DeWi-style ETL replica (``etl.db``,
+:mod:`repro.etl`) alongside the snapshot files inside the same entry:
+the first call ingests the cached chain, later calls resume from the
+store's checkpoint (a no-op when the chain hasn't grown). A corrupt or
+schema-stale database self-heals exactly like a bad snapshot entry —
+warn, discard, re-ingest — and never crashes the caller.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import sqlite3
 import tempfile
 import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import EtlError, ReproError
+from repro.etl.ingest import ingest_chain
+from repro.etl.store import EtlStore
 from repro.experiments import snapshot
 from repro.simulation import (
     SimulationEngine,
@@ -32,9 +42,10 @@ from repro.simulation import (
     small_scenario,
 )
 
-__all__ = ["get_result", "scenario_cache_dir"]
+__all__ = ["get_result", "get_store", "scenario_cache_dir"]
 
 _CACHE: Dict[Tuple[str, int], SimulationResult] = {}
+_STORES: Dict[Tuple[str, int], EtlStore] = {}
 
 _BUILDERS = {
     "paper": paper_scenario,
@@ -124,3 +135,65 @@ def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
                 _save_to_disk(cached, entry)
         _CACHE[key] = cached
     return cached
+
+
+def get_store(scenario: str = "paper", seed: int = 2021) -> EtlStore:
+    """The ETL replica of a scenario's chain, materialised and current.
+
+    Lives at ``<cache entry>/etl.db`` next to the snapshot files; when
+    persistence is disabled the store is built in memory instead. The
+    underlying ingest is incremental — repeat calls resume from the
+    checkpoint — and a corrupt or schema-stale database is silently
+    discarded and re-ingested (with a warning), mirroring snapshot
+    self-healing.
+    """
+    key = (scenario, seed)
+    store = _STORES.get(key)
+    if store is None:
+        result = get_result(scenario, seed)
+        entry = _entry_dir(scenario, _BUILDERS[scenario](seed=seed))
+        path = None
+        if entry is not None and (entry / "meta.json").exists():
+            path = entry / snapshot.ETL_DB_FILE
+        store = _materialise_store(result, path)
+        _STORES[key] = store
+    return store
+
+
+def _materialise_store(
+    result: SimulationResult, path: Optional[Path]
+) -> EtlStore:
+    """Open-or-create the ETL store at ``path`` and bring it current.
+
+    Falls back to an in-memory store when ``path`` is ``None`` (cache
+    disabled) or unusable, so callers always get a working store.
+    """
+    if path is not None:
+        try:
+            store = _open_self_healing(path)
+            ingest_chain(result.chain, store)
+            return store
+        except (ReproError, sqlite3.Error, OSError) as exc:
+            warnings.warn(
+                f"could not materialise ETL store {path}: {exc}; "
+                "falling back to an in-memory store",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    store = EtlStore()
+    ingest_chain(result.chain, store)
+    return store
+
+
+def _open_self_healing(path: Path) -> EtlStore:
+    """Open an ETL store, discarding a corrupt or schema-stale file."""
+    try:
+        return EtlStore(path)
+    except EtlError as exc:
+        warnings.warn(
+            f"re-ingesting unusable ETL store {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        path.unlink()
+        return EtlStore(path)

@@ -93,6 +93,15 @@ class _Registry(dict):
         """All registered experiment ids."""
         return sorted(_EXPERIMENT_MODULES)
 
+    def descriptions(self) -> Dict[str, str]:
+        """id → one-line description (each module's docstring headline)."""
+        described = {}
+        for experiment_id in self.ids():
+            module = importlib.import_module(_EXPERIMENT_MODULES[experiment_id])
+            doc = (module.__doc__ or "").strip()
+            described[experiment_id] = doc.splitlines()[0] if doc else ""
+        return described
+
 
 EXPERIMENTS = _Registry()
 

@@ -44,7 +44,13 @@ from repro.simulation.engine import GrowthLogRow, SimulationResult
 from repro.simulation.scenario import ScenarioConfig
 from repro.simulation.world import SimHotspot, SimOwner, World
 
-__all__ = ["SCHEMA_VERSION", "config_digest", "save_result", "load_result"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ETL_DB_FILE",
+    "config_digest",
+    "save_result",
+    "load_result",
+]
 
 #: Bump when the snapshot layout (or anything it implicitly depends on,
 #: like reconstruction semantics) changes incompatibly. Old cache
@@ -54,6 +60,13 @@ SCHEMA_VERSION = 1
 _CHAIN_FILE = "chain.jsonl"
 _SNAPSHOT_FILE = "snapshot.json"
 _META_FILE = "meta.json"
+
+#: The DeWi-style ETL replica materialised next to the snapshot files
+#: by :func:`repro.experiments.context.get_store`. Versioned by its own
+#: schema stamp inside the database (``etl_meta``) and self-healed the
+#: same way snapshot entries are: a corrupt or schema-stale db is
+#: silently discarded and re-ingested from the cached chain.
+ETL_DB_FILE = "etl.db"
 
 #: ScenarioConfig fields declared as tuples (JSON round-trips them as
 #: lists, so they need re-tupling on load).
@@ -213,10 +226,15 @@ def save_result(result: SimulationResult, directory: Union[str, Path]) -> None:
     with open(directory / _SNAPSHOT_FILE, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, separators=(",", ":"))
 
+    from repro.etl.schema import SCHEMA_VERSION as ETL_SCHEMA_VERSION
+
     meta = {
         "schema": SCHEMA_VERSION,
         "seed": result.config.seed,
         "config_digest": config_digest(result.config),
+        # Recorded for humans inspecting the entry; the authoritative
+        # stamp lives inside the .db and is checked on every open.
+        "etl_schema": ETL_SCHEMA_VERSION,
     }
     with open(directory / _META_FILE, "w", encoding="utf-8") as handle:
         json.dump(meta, handle, indent=2)

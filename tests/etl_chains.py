@@ -1,0 +1,240 @@
+"""Hand-driven chains for the ETL tests.
+
+Builds small, *valid* chains through the real ``Blockchain``/``Ledger``
+validation path, exercising every transaction family the ETL store types
+out: gateway adds and (re-)asserts, PoC receipts with valid, invalid and
+null-island witnesses, epoch rewards, hotspot transfers, and state
+channels with packet summaries. Everything is driven by one
+``random.Random`` so a seed fully determines the chain — exactly what
+the Hypothesis parity tests and the ingest resume tests need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.transactions import (
+    AddGateway,
+    AssertLocation,
+    OuiRegistration,
+    PocReceipts,
+    Rewards,
+    RewardShare,
+    RewardType,
+    StateChannelClose,
+    StateChannelOpen,
+    StateChannelSummary,
+    TransferHotspot,
+    WitnessReport,
+)
+from repro.geo.geodesy import LatLon
+from repro.geo.hexgrid import HexGrid
+
+__all__ = ["ChainBuilder", "location_token"]
+
+_INVALID_REASONS = [
+    "witness_too_close",
+    "witness_rssi_too_high",
+    "witness_on_same_cell",
+    None,  # undiagnosed invalid → "unspecified" in the breakdown
+]
+
+_ROUTER = "wal_router"
+_OUI = 1
+_CHANNEL_STAKE_DC = 100_000
+
+
+def location_token(lat: float, lon: float) -> str:
+    """The hex token a hotspot asserting at (lat, lon) would store."""
+    return HexGrid.encode_cell(LatLon(lat, lon)).token
+
+
+class ChainBuilder:
+    """Grows a valid randomized chain, one activity block at a time.
+
+    >>> builder = ChainBuilder(seed=3, n_hotspots=5)
+    >>> builder.grow(blocks=10)
+    >>> builder.chain.height >= 10
+    True
+    """
+
+    def __init__(
+        self, seed: int = 0, n_hotspots: int = 6, n_owners: int = 3
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.chain = Blockchain()
+        self.owners = [f"wal_r{i:02d}" for i in range(max(2, n_owners))]
+        self.gateways: List[str] = []
+        self._channel_seq = 0
+        self._open_channels: List[str] = []
+        # Shadow owner/nonce views, updated at *submit* time: a transfer
+        # and a re-assert staged into the same block must agree with the
+        # ledger as it will be when each applies, not as it is now.
+        self._owner_of: dict = {}
+        self._nonce_of: dict = {}
+        self._genesis(n_hotspots)
+
+    # -- setup -------------------------------------------------------------
+
+    def _random_token(self) -> str:
+        return location_token(
+            self.rng.uniform(25.0, 48.0), self.rng.uniform(-122.0, -70.0)
+        )
+
+    def _genesis(self, n_hotspots: int) -> None:
+        """Router OUI plus the starting fleet, one add per block."""
+        self.chain.ledger.credit_dc(_ROUTER, 10 * _CHANNEL_STAKE_DC)
+        self.chain.submit(OuiRegistration(oui=_OUI, owner=_ROUTER))
+        for i in range(n_hotspots):
+            gateway = f"hs_rnd{i:03d}"
+            owner = self.rng.choice(self.owners)
+            self.chain.submit(AddGateway(gateway=gateway, owner=owner))
+            self._owner_of[gateway] = owner
+            self._nonce_of[gateway] = 0
+            # Most hotspots assert a location; some stay unasserted to
+            # exercise the NULL-location paths on both backends.
+            if self.rng.random() < 0.85:
+                self.chain.submit(AssertLocation(
+                    gateway=gateway,
+                    owner=owner,
+                    location_token=self._random_token(),
+                    nonce=1,
+                ))
+                self._nonce_of[gateway] = 1
+            self.gateways.append(gateway)
+            self.chain.mint_block()
+
+    # -- growth ------------------------------------------------------------
+
+    def grow(self, blocks: int = 10) -> None:
+        """Mint ``blocks`` more blocks of mixed, valid activity."""
+        for _ in range(blocks):
+            for _ in range(self.rng.randint(1, 3)):
+                self._submit_random_txn()
+            self.chain.mint_block()
+
+    def _submit_random_txn(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.45:
+            self._submit_poc_receipt()
+        elif roll < 0.65:
+            self._submit_rewards()
+        elif roll < 0.75:
+            self._submit_transfer()
+        elif roll < 0.85:
+            self._submit_reassert()
+        else:
+            self._submit_state_channel()
+
+    def _witness_report(self) -> WitnessReport:
+        is_valid = self.rng.random() < 0.7
+        token = (
+            location_token(0.0, 0.0)  # the null-island artifact (§4.1)
+            if self.rng.random() < 0.1
+            else self._random_token()
+        )
+        return WitnessReport(
+            witness=self.rng.choice(self.gateways),
+            rssi_dbm=self.rng.uniform(-135.0, -60.0),
+            snr_db=self.rng.uniform(-20.0, 12.0),
+            frequency_mhz=904.6,
+            reported_location_token=token,
+            is_valid=is_valid,
+            invalid_reason=(
+                None if is_valid else self.rng.choice(_INVALID_REASONS)
+            ),
+        )
+
+    def _submit_poc_receipt(self) -> None:
+        challengee = self.rng.choice(self.gateways)
+        record = self.chain.ledger.hotspots[challengee]
+        self.chain.submit(PocReceipts(
+            challenger=self.rng.choice(self.gateways),
+            challengee=challengee,
+            challengee_location_token=(
+                record.location_token or self._random_token()
+            ),
+            witnesses=tuple(
+                self._witness_report()
+                for _ in range(self.rng.randint(0, 4))
+            ),
+        ))
+
+    def _submit_rewards(self) -> None:
+        shares = []
+        for _ in range(self.rng.randint(1, 4)):
+            reward_type = self.rng.choice(list(RewardType))
+            gateway: Optional[str] = None
+            account = self.rng.choice(self.owners)
+            if reward_type not in (RewardType.CONSENSUS, RewardType.SECURITY):
+                gateway = self.rng.choice(self.gateways)
+                account = self.chain.ledger.hotspots[gateway].owner
+            shares.append(RewardShare(
+                account=account,
+                gateway=gateway,
+                amount_bones=self.rng.randrange(1, 10 ** 9),
+                reward_type=reward_type,
+            ))
+        height = self.chain.height
+        self.chain.submit(Rewards(
+            epoch_start_block=max(0, height - 4),
+            epoch_end_block=height,
+            shares=tuple(shares),
+        ))
+
+    def _submit_transfer(self) -> None:
+        gateway = self.rng.choice(self.gateways)
+        seller = self._owner_of[gateway]
+        buyer = self.rng.choice(
+            [o for o in self.owners if o != seller] or self.owners
+        )
+        amount_dc = 0
+        if self.rng.random() < 0.3:  # a minority of paid resales
+            amount_dc = self.rng.randrange(1, 50) * 10_000
+            self.chain.ledger.credit_dc(buyer, amount_dc)
+        self.chain.submit(TransferHotspot(
+            gateway=gateway, seller=seller, buyer=buyer, amount_dc=amount_dc
+        ))
+        self._owner_of[gateway] = buyer
+
+    def _submit_reassert(self) -> None:
+        gateway = self.rng.choice(self.gateways)
+        self._nonce_of[gateway] += 1
+        self.chain.submit(AssertLocation(
+            gateway=gateway,
+            owner=self._owner_of[gateway],
+            location_token=self._random_token(),
+            nonce=self._nonce_of[gateway],
+        ))
+
+    def _submit_state_channel(self) -> None:
+        if self._open_channels and self.rng.random() < 0.6:
+            channel_id = self._open_channels.pop(0)
+            summaries = tuple(
+                StateChannelSummary(
+                    hotspot=self.rng.choice(self.gateways),
+                    num_packets=self.rng.randrange(1, 500),
+                    num_dcs=self.rng.randrange(0, 1_000),
+                )
+                for _ in range(self.rng.randint(0, 3))
+            )
+            self.chain.submit(StateChannelClose(
+                channel_id=channel_id, owner=_ROUTER, oui=_OUI,
+                summaries=summaries,
+            ))
+        else:
+            self._channel_seq += 1
+            channel_id = f"sc_rnd{self._channel_seq:04d}"
+            self.chain.ledger.credit_dc(_ROUTER, _CHANNEL_STAKE_DC)
+            self.chain.submit(StateChannelOpen(
+                channel_id=channel_id,
+                owner=_ROUTER,
+                oui=_OUI,
+                amount_dc=_CHANNEL_STAKE_DC,
+                expire_within_blocks=(
+                    self.chain.vars.state_channel_min_expire_blocks
+                ),
+            ))
+            self._open_channels.append(channel_id)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.chain.serialize import load_chain
 from repro.experiments.__main__ import main as experiments_main
 from repro.simulation.__main__ import main as simulation_main
@@ -46,3 +48,27 @@ class TestSimulationCli:
         # The dump replays into a consistent chain.
         rebuilt = load_chain(dump)
         assert rebuilt.total_transactions > 0
+
+
+class TestExperimentsListFlag:
+    def test_lists_every_experiment_with_a_description(self, capsys):
+        from repro.experiments.registry import EXPERIMENTS
+
+        code = experiments_main(["--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(EXPERIMENTS.ids())
+        for line, experiment_id in zip(lines, EXPERIMENTS.ids()):
+            assert line.startswith(experiment_id)
+            description = line[len(experiment_id):].strip()
+            assert description  # every module carries a one-liner
+
+    def test_list_does_not_build_a_scenario(self, capsys, monkeypatch):
+        import repro.experiments.__main__ as experiments_module
+
+        monkeypatch.setattr(
+            experiments_module, "get_result",
+            lambda *a, **k: pytest.fail("--list must not simulate"),
+        )
+        assert experiments_main(["--list"]) == 0

@@ -1,0 +1,142 @@
+"""The read-only HTTP explorer API, end-to-end over a real socket."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.etl import EtlStore, ingest_chain
+from repro.etl.server import create_server, owner_to_json, page_to_json
+
+from tests.etl_chains import ChainBuilder
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A live server over a randomized chain; yields (base_url, chain)."""
+    builder = ChainBuilder(seed=99, n_hotspots=5)
+    builder.grow(15)
+    store = EtlStore()
+    ingest_chain(builder.chain, store)
+    server = create_server(store, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", builder
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        assert response.headers["Content-Type"] == "application/json"
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _get_error(base: str, path: str):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(base + path, timeout=10)
+    return excinfo.value.code, json.loads(excinfo.value.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_index_lists_routes(self, served):
+        base, _ = served
+        payload = _get(base, "/")
+        assert "/stats" in payload["routes"]
+
+    def test_stats(self, served):
+        base, builder = served
+        payload = _get(base, "/stats")
+        assert payload["checkpoint_height"] == builder.chain.height
+        assert payload["tip_hash"] == builder.chain.tip.hash
+        assert payload["tables"]["blocks"] == len(builder.chain.blocks)
+
+    def test_hotspot_by_address(self, served):
+        base, builder = served
+        gateway = builder.gateways[0]
+        expected = page_to_json(Explorer(builder.chain).hotspot(gateway))
+        assert _get(base, f"/hotspot/{gateway}") == expected
+
+    def test_hotspot_by_name(self, served):
+        base, builder = served
+        gateway = builder.gateways[1]
+        page = Explorer(builder.chain).hotspot(gateway)
+        slug = quote(page.name.replace(" ", "-"))
+        payload = _get(base, f"/hotspot/{slug}")
+        assert payload == page_to_json(page)
+
+    def test_hotspot_witnesses(self, served):
+        base, builder = served
+        gateway = builder.gateways[2]
+        payload = _get(base, f"/hotspot/{gateway}/witnesses?limit=5")
+        assert payload["gateway"] == gateway
+        assert len(payload["witnesses"]) <= 5
+        for event in payload["witnesses"]:
+            assert set(event) == {
+                "block", "counterparty", "counterparty_name",
+                "rssi_dbm", "distance_km", "valid",
+            }
+
+    def test_owner(self, served):
+        base, builder = served
+        wallet = builder.owners[0]
+        expected = owner_to_json(Explorer(builder.chain).owner(wallet))
+        assert _get(base, f"/owner/{wallet}") == expected
+
+    def test_hotspots_listing_paginates(self, served):
+        base, builder = served
+        full = _get(base, "/hotspots")
+        assert full["total"] == len(builder.gateways)
+        page = _get(base, "/hotspots?limit=2&offset=1")
+        assert [h["gateway"] for h in page["hotspots"]] == [
+            h["gateway"] for h in full["hotspots"][1:3]
+        ]
+
+    def test_coverage_dots(self, served):
+        base, builder = served
+        payload = _get(base, "/coverage/dots")
+        located = {
+            record.location_token
+            for record in builder.chain.ledger.hotspots.values()
+            if record.location_token is not None
+        }
+        assert {dot["token"] for dot in payload["dots"]} == located
+        assert sum(dot["hotspots"] for dot in payload["dots"]) == len([
+            r for r in builder.chain.ledger.hotspots.values()
+            if r.location_token is not None
+        ])
+
+    def test_search(self, served):
+        base, builder = served
+        name = Explorer(builder.chain).hotspot(builder.gateways[0]).name
+        needle = name.split()[0].lower()
+        payload = _get(base, f"/search?q={quote(needle)}")
+        assert any(m["name"] == name for m in payload["matches"])
+
+
+class TestErrors:
+    def test_unknown_hotspot_is_404(self, served):
+        base, _ = served
+        status, payload = _get_error(base, "/hotspot/hs_not_a_real_one")
+        assert status == 404
+        assert "error" in payload
+
+    def test_unknown_route_is_404(self, served):
+        base, _ = served
+        status, payload = _get_error(base, "/no/such/route")
+        assert status == 404
+        assert "error" in payload
+
+    def test_bad_limit_is_400(self, served):
+        base, _ = served
+        status, payload = _get_error(base, "/hotspots?limit=banana")
+        assert status == 400
+        assert "error" in payload

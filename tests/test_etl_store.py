@@ -1,0 +1,119 @@
+"""EtlStore lifecycle: schema stamping, checkpoints, failure modes."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import EtlError
+from repro.etl import SCHEMA_VERSION, EtlStore, ingest_chain
+from repro.etl import schema
+
+from tests.etl_chains import ChainBuilder
+
+
+class TestFreshStore:
+    def test_memory_store_is_virgin(self):
+        store = EtlStore()
+        assert store.checkpoint_height == -1
+        assert store.get_meta("schema_version") == str(SCHEMA_VERSION)
+        assert store.get_meta("tip_hash") is None
+
+    def test_all_tables_exist_and_empty(self):
+        counts = EtlStore().counts()
+        assert set(counts) == set(schema.TABLES)
+        assert all(count == 0 for count in counts.values())
+
+    def test_counts_after_ingest(self):
+        builder = ChainBuilder(seed=1, n_hotspots=4)
+        builder.grow(8)
+        store = EtlStore()
+        ingest_chain(builder.chain, store)
+        counts = store.counts()
+        assert counts["blocks"] == len(builder.chain.blocks)
+        assert counts["transactions"] == builder.chain.total_transactions
+        assert counts["hotspots"] == builder.chain.ledger.hotspot_count
+        assert counts["wallets"] == len(builder.chain.ledger.wallets)
+
+    def test_context_manager_closes(self, tmp_path):
+        with EtlStore(tmp_path / "etl.db") as store:
+            assert store.checkpoint_height == -1
+        with pytest.raises(sqlite3.ProgrammingError):
+            store.connection.execute("SELECT 1")
+
+
+class TestPersistence:
+    def test_reopen_keeps_content(self, tmp_path):
+        builder = ChainBuilder(seed=2, n_hotspots=3)
+        builder.grow(5)
+        path = tmp_path / "etl.db"
+        first = EtlStore(path)
+        ingest_chain(builder.chain, first)
+        digest = first.content_digest()
+        first.close()
+
+        again = EtlStore(path, create=False)
+        assert again.checkpoint_height == builder.chain.height
+        assert again.content_digest() == digest
+
+    def test_reopen_helper_shares_the_database(self, tmp_path):
+        path = tmp_path / "etl.db"
+        store = EtlStore(path)
+        twin = store.reopen()
+        assert twin.get_meta("schema_version") == str(SCHEMA_VERSION)
+
+
+class TestFailureModes:
+    def test_missing_file_without_create(self, tmp_path):
+        with pytest.raises(EtlError, match="no ETL store"):
+            EtlStore(tmp_path / "nope.db", create=False)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a sqlite database at all" * 40)
+        with pytest.raises(EtlError, match="unreadable"):
+            EtlStore(path)
+
+    def test_foreign_sqlite_database(self, tmp_path):
+        path = tmp_path / "other.db"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE unrelated (x)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(EtlError, match="not an ETL store"):
+            EtlStore(path, create=False)
+
+    def test_stale_schema_version(self, tmp_path):
+        path = tmp_path / "old.db"
+        store = EtlStore(path)
+        with store.connection:
+            store._set_meta("schema_version", str(SCHEMA_VERSION + 1))
+        store.close()
+        with pytest.raises(EtlError, match="schema"):
+            EtlStore(path)
+
+    def test_unknown_witness_direction(self):
+        with pytest.raises(EtlError, match="direction"):
+            EtlStore().witness_events("hs_x", direction="sideways")
+
+
+class TestContentDigest:
+    def test_digest_is_content_only(self, tmp_path):
+        builder = ChainBuilder(seed=3, n_hotspots=3)
+        builder.grow(4)
+        on_disk = EtlStore(tmp_path / "a.db")
+        in_memory = EtlStore()
+        ingest_chain(builder.chain, on_disk, batch_blocks=2)
+        ingest_chain(builder.chain, in_memory, batch_blocks=999)
+        assert on_disk.content_digest() == in_memory.content_digest()
+
+    def test_digest_changes_with_content(self):
+        builder = ChainBuilder(seed=4, n_hotspots=3)
+        builder.grow(3)
+        store = EtlStore()
+        ingest_chain(builder.chain, store)
+        before = store.content_digest()
+        builder.grow(2)
+        ingest_chain(builder.chain, store)
+        assert store.content_digest() != before

@@ -161,3 +161,78 @@ class TestCacheWiring:
         # The corrupt entry was replaced by a valid one.
         meta = json.loads((entry / "meta.json").read_text())
         assert meta["schema"] == SCHEMA_VERSION
+
+
+class TestStoreWiring:
+    """get_store: the ETL replica rides along inside the cache entry."""
+
+    @pytest.fixture()
+    def cache_entry(self, monkeypatch, tmp_path, small_result):
+        """A populated cache entry for the small scenario, fresh memos."""
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+        monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+        monkeypatch.setattr(context, "_STORES", {})
+        entry = context._entry_dir("small", small_scenario(seed=7))
+        save_result(small_result, entry)
+        return entry
+
+    def test_meta_records_etl_schema(self, cache_entry):
+        from repro.etl.schema import SCHEMA_VERSION as ETL_SCHEMA_VERSION
+
+        meta = json.loads((cache_entry / "meta.json").read_text())
+        assert meta["etl_schema"] == ETL_SCHEMA_VERSION
+
+    def test_materialises_db_inside_the_entry(self, cache_entry, small_result):
+        from pathlib import Path
+
+        store = context.get_store("small", seed=7)
+        assert Path(store.path) == cache_entry / "etl.db"
+        assert store.checkpoint_height == small_result.chain.height
+        assert store.get_meta("tip_hash") == small_result.chain.tip.hash
+        # The process memo hands back the same handle.
+        assert context.get_store("small", seed=7) is store
+
+    def test_second_process_resumes_without_reingesting(
+        self, cache_entry, monkeypatch
+    ):
+        context.get_store("small", seed=7).close()
+        # "New process": empty store memo, ingest instrumented.
+        monkeypatch.setattr(context, "_STORES", {})
+        reports = []
+        real_ingest = context.ingest_chain
+
+        def counting_ingest(chain, store, **kwargs):
+            report = real_ingest(chain, store, **kwargs)
+            reports.append(report)
+            return report
+
+        monkeypatch.setattr(context, "ingest_chain", counting_ingest)
+        context.get_store("small", seed=7)
+        assert [r.blocks_ingested for r in reports] == [0]
+
+    def test_corrupt_db_self_heals(self, cache_entry, small_result):
+        context.get_store("small", seed=7).close()
+        (cache_entry / "etl.db").write_bytes(b"scrambled" * 100)
+        context._STORES.clear()
+        with pytest.warns(RuntimeWarning, match="re-ingesting"):
+            store = context.get_store("small", seed=7)
+        assert store.checkpoint_height == small_result.chain.height
+
+    def test_stale_schema_self_heals(self, cache_entry, small_result):
+        store = context.get_store("small", seed=7)
+        with store.connection:
+            store._set_meta("schema_version", "999999")
+        store.close()
+        context._STORES.clear()
+        with pytest.warns(RuntimeWarning, match="re-ingesting"):
+            healed = context.get_store("small", seed=7)
+        assert healed.get_meta("schema_version") != "999999"
+        assert healed.checkpoint_height == small_result.chain.height
+
+    def test_cache_off_builds_in_memory(self, monkeypatch, small_result):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "off")
+        monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+        monkeypatch.setattr(context, "_STORES", {})
+        store = context.get_store("small", seed=7)
+        assert store.path == ":memory:"
+        assert store.checkpoint_height == small_result.chain.height
