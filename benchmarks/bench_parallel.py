@@ -1,0 +1,178 @@
+"""Parallel-layer benchmarks: farm speedup and day-loop hot-path deltas.
+
+Times (a) the experiment farm at ``--jobs 1`` vs ``--jobs 4`` on a warm
+scenario cache, and (b) the three eliminated day-loop hot paths against
+their in-tree ``*_reference`` twins, recording everything in
+``BENCH_parallel.json`` (repo root).
+
+Farm numbers are hardware-honest: ``cpu_count`` is recorded alongside,
+and the JSON includes the Amdahl bound ``total / max_single_experiment``
+— the best any job count could do, since one experiment (s8_1 at small
+scale) dominates the critical path. On a single-core runner the farm
+measures pool overhead, not speedup; the CI job runs the same bench on
+multi-core runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.parallel import run_farm
+from repro.simulation import SimulationEngine, small_scenario
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+_summary = {
+    "scenario": os.environ.get("REPRO_BENCH_SCENARIO", "small"),
+    "cpu_count": os.cpu_count(),
+    "farm": {},
+    "day_loop": {"speedups": {}, "timings_s": {}},
+}
+
+
+def _flush():
+    _RESULTS_PATH.write_text(json.dumps(_summary, indent=2) + "\n")
+
+
+def _record_day_loop(name: str, fast_s: float, slow_s: float) -> float:
+    speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+    _summary["day_loop"]["speedups"][name] = round(speedup, 2)
+    _summary["day_loop"]["timings_s"][name] = {
+        "fast": round(fast_s, 5),
+        "reference": round(slow_s, 5),
+    }
+    _flush()
+    return speedup
+
+
+def _live_engine():
+    """A fully run engine whose fleet arrays and maps are populated."""
+    engine = SimulationEngine(small_scenario(seed=2021))
+    result = engine.run()
+    return engine, result
+
+
+def test_bench_farm_jobs(benchmark, result):
+    """Full experiment suite: serial vs a 4-worker pool, warm cache."""
+    scenario = _summary["scenario"]
+    ids = EXPERIMENTS.ids()
+    # Warm the cache entry and the lazy experiment imports once.
+    run_farm(scenario, 2021, ["fig02"], jobs=1)
+
+    t0 = time.perf_counter()
+    serial = run_farm(scenario, 2021, ids, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    def parallel():
+        return run_farm(scenario, 2021, ids, jobs=4)
+
+    t0 = time.perf_counter()
+    outcomes = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    per_experiment = {o.experiment_id: round(o.wall_s, 4) for o in serial}
+    longest = max(per_experiment.values())
+    total = sum(per_experiment.values())
+    _summary["farm"] = {
+        "experiments": len(ids),
+        "serial_s": round(serial_s, 2),
+        "jobs4_s": round(parallel_s, 2),
+        "speedup_at_4": round(serial_s / parallel_s, 2),
+        # The critical-path ceiling for *any* job count: one experiment
+        # dominates, so perfect scheduling cannot beat total/longest.
+        "amdahl_bound": round(total / longest, 2),
+        "longest_experiment_s": longest,
+        "per_experiment_wall_s": per_experiment,
+    }
+    _flush()
+    assert [o.experiment_id for o in outcomes] == ids
+
+
+def test_bench_update_online(benchmark):
+    engine, _ = _live_engine()
+    rounds = 50
+
+    def fast():
+        for _ in range(rounds):
+            engine._update_online(0)
+
+    benchmark.pedantic(fast, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    fast()
+    fast_s = (time.perf_counter() - t0) / rounds
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        engine._update_online_reference(0)
+    slow_s = (time.perf_counter() - t0) / rounds
+
+    speedup = _record_day_loop("update_online_per_day", fast_s, slow_s)
+    assert speedup > 1.0
+
+
+def test_bench_ferry_weights(benchmark):
+    engine, _ = _live_engine()
+    rng = np.random.default_rng(0)
+    rounds = 200
+
+    def fast():
+        for _ in range(rounds):
+            engine._ferry_weights(0, rng)
+
+    benchmark.pedantic(fast, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    fast()
+    fast_s = (time.perf_counter() - t0) / rounds
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        engine._ferry_weights_reference(0, rng)
+    slow_s = (time.perf_counter() - t0) / rounds
+
+    speedup = _record_day_loop("ferry_weights_per_day", fast_s, slow_s)
+    # O(would-ferry set) filter vs O(fleet) rebuild with owner lookups.
+    assert speedup > 2.0
+
+
+def test_bench_candidates_for(benchmark):
+    engine, _ = _live_engine()
+    rng = np.random.default_rng(0)
+    challengees = [
+        p for p in engine._participants.values() if p.online
+    ][:100]
+
+    def fast():
+        for participant in challengees:
+            engine._candidates_for(participant, rng)
+
+    benchmark.pedantic(fast, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    fast()
+    fast_s = (time.perf_counter() - t0) / len(challengees)
+    t0 = time.perf_counter()
+    for participant in challengees:
+        engine._candidates_for_reference(participant, rng)
+    slow_s = (time.perf_counter() - t0) / len(challengees)
+
+    _record_day_loop("candidates_for_per_challenge", fast_s, slow_s)
+
+
+def test_bench_cold_build_phases(benchmark):
+    """One cold small build; record where the day loop spends its time."""
+
+    def build():
+        return SimulationEngine(small_scenario(seed=2021)).run()
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    timings = result.day_loop_timings
+    assert timings is not None
+    _summary["day_loop"]["phase_seconds_cold_build"] = {
+        phase: round(seconds, 4) for phase, seconds in timings.items()
+    }
+    _flush()

@@ -111,7 +111,9 @@ def top_traders(chain: ChainSource, top_n: int = 200) -> List[TraderActivity]:
     for _, _, seller, buyer, _ in _transfer_rows(chain):
         bought[buyer] = bought.get(buyer, 0) + 1
         sold[seller] = sold.get(seller, 0) + 1
-    owners = set(bought) | set(sold)
+    # Sorted so equal-total traders rank deterministically (the later
+    # sort is stable and must not inherit set-iteration order).
+    owners = sorted(set(bought) | set(sold))
     activity = [
         TraderActivity(owner=o, bought=bought.get(o, 0), sold=sold.get(o, 0))
         for o in owners

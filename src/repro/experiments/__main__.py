@@ -5,11 +5,15 @@ Usage::
     python -m repro.experiments                 # paper scenario, all
     python -m repro.experiments fig12 fig13     # a subset
     python -m repro.experiments --scenario small
+    python -m repro.experiments --jobs 4        # process-pool farm
+    python -m repro.experiments --profile       # timings JSON
+    python -m repro.experiments sweep --seeds 2021..2024 --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -17,7 +21,62 @@ from repro.experiments.context import get_result
 from repro.experiments.registry import EXPERIMENTS, format_report, run_experiment
 
 
+def _parse_seeds(spec: str):
+    """``A..B`` (inclusive) or a comma list -> [int, ...]."""
+    if ".." in spec:
+        low, _, high = spec.partition("..")
+        start, stop = int(low), int(high)
+        if stop < start:
+            raise argparse.ArgumentTypeError(f"empty seed range {spec!r}")
+        return list(range(start, stop + 1))
+    return [int(part) for part in spec.split(",") if part.strip()]
+
+
+def _sweep_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Cross-seed robustness sweep (mean/stddev/CI per row).",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--seeds", type=_parse_seeds, required=True, metavar="A..B|A,B,C",
+        help="seed range (inclusive) or comma list",
+    )
+    parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the robustness report JSON here (default: stdout table only)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.ids or EXPERIMENTS.ids()
+    unknown = [i for i in ids if i not in EXPERIMENTS.ids()]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    from repro.parallel import format_sweep, run_sweep
+
+    started = time.time()
+    sweep = run_sweep(args.scenario, args.seeds, ids, jobs=args.jobs)
+    print(format_sweep(sweep))
+    print(
+        f"\nswept {len(args.seeds)} seeds x {len(ids)} experiments "
+        f"in {time.time() - started:.1f}s (jobs={args.jobs})"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(sweep, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures.",
@@ -29,6 +88,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
     parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments in N worker processes (workers rehydrate "
+        "the scenario from the persistent cache; output is identical "
+        "to the serial path)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="write day-loop phase timings and per-experiment wall/CPU "
+        "as profile.json (next to --export output when given)",
+    )
     parser.add_argument(
         "--export", metavar="DIR", default=None,
         help="also write rows/series as JSON+CSV under DIR",
@@ -54,16 +124,42 @@ def main(argv=None) -> int:
     print(f"building {args.scenario} scenario (seed {args.seed})...")
     started = time.time()
     result = get_result(args.scenario, args.seed)
-    print(f"scenario ready in {time.time() - started:.1f}s\n")
+    scenario_ready_s = time.time() - started
+    print(f"scenario ready in {scenario_ready_s:.1f}s\n")
 
-    for experiment_id in ids:
-        report = run_experiment(experiment_id, result)
+    experiments_started = time.time()
+    timings = {}
+    if args.jobs > 1:
+        from repro.parallel import run_farm
+
+        outcomes = run_farm(args.scenario, args.seed, ids, jobs=args.jobs)
+        reports = [outcome.report for outcome in outcomes]
+        timings = {
+            outcome.experiment_id: {
+                "wall_s": outcome.wall_s, "cpu_s": outcome.cpu_s,
+            }
+            for outcome in outcomes
+        }
+    else:
+        reports = []
+        for experiment_id in ids:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            reports.append(run_experiment(experiment_id, result))
+            timings[experiment_id] = {
+                "wall_s": time.perf_counter() - wall0,
+                "cpu_s": time.process_time() - cpu0,
+            }
+    experiments_wall_s = time.time() - experiments_started
+
+    for report in reports:
         print(format_report(report))
         print()
     if args.export:
         from repro.experiments.export import export_all
 
-        written = export_all(result, args.export, experiment_ids=ids)
+        written = export_all(result, args.export, experiment_ids=ids,
+                             reports=reports)
         print(f"exported {len(written)} files to {args.export}")
     if args.figures:
         from repro.experiments.figures import render_figures
@@ -71,6 +167,27 @@ def main(argv=None) -> int:
         figure_ids = None if not args.ids else args.ids
         rendered = render_figures(result, args.figures, figure_ids)
         print(f"rendered {len(rendered)} figures to {args.figures}")
+    if args.profile:
+        from pathlib import Path
+
+        profile = {
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "scenario_ready_s": scenario_ready_s,
+            # Per-phase day-loop seconds; null when the scenario came
+            # from the cache (no day loop ran in this process).
+            "day_loop_phases": result.day_loop_timings,
+            "experiments": timings,
+            "experiments_wall_s": experiments_wall_s,
+        }
+        out_dir = Path(args.export) if args.export else Path(".")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        profile_path = out_dir / "profile.json"
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            json.dump(profile, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {profile_path}")
     return 0
 
 

@@ -42,7 +42,12 @@ from repro.simulation import (
     small_scenario,
 )
 
-__all__ = ["get_result", "get_store", "scenario_cache_dir"]
+__all__ = [
+    "ensure_snapshot",
+    "get_result",
+    "get_store",
+    "scenario_cache_dir",
+]
 
 _CACHE: Dict[Tuple[str, int], SimulationResult] = {}
 _STORES: Dict[Tuple[str, int], EtlStore] = {}
@@ -130,11 +135,42 @@ def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
         if entry is not None:
             cached = _load_from_disk(entry)
         if cached is None:
-            cached = SimulationEngine(config).run()
-            if entry is not None:
-                _save_to_disk(cached, entry)
+            from repro.parallel.locks import build_lock
+
+            with build_lock(entry):
+                # Losing the lock race means the winner already built
+                # and published this entry — load theirs, don't rebuild.
+                if entry is not None:
+                    cached = _load_from_disk(entry)
+                if cached is None:
+                    cached = SimulationEngine(config).run()
+                    if entry is not None:
+                        _save_to_disk(cached, entry)
         _CACHE[key] = cached
     return cached
+
+
+def ensure_snapshot(scenario: str = "paper", seed: int = 2021) -> Optional[Path]:
+    """Materialise the on-disk cache entry and return its directory.
+
+    Parallel workers rehydrate from this path instead of receiving the
+    result over IPC. Returns ``None`` when persistence is disabled (the
+    farm then falls back to per-worker :func:`get_result` builds).
+    """
+    builder = _BUILDERS.get(scenario)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
+        )
+    entry = _entry_dir(scenario, builder(seed=seed))
+    if entry is None:
+        return None
+    result = get_result(scenario, seed)
+    if not (entry / "meta.json").exists():
+        # The result was memoised before this cache dir existed (or an
+        # earlier persist failed); publish it now so workers can load it.
+        _save_to_disk(result, entry)
+    return entry if (entry / "meta.json").exists() else None
 
 
 def get_store(scenario: str = "paper", seed: int = 2021) -> EtlStore:

@@ -87,18 +87,30 @@ def export_all(
     result,
     out_dir: Union[str, Path],
     experiment_ids: Optional[List[str]] = None,
+    reports: Optional[List[ExperimentReport]] = None,
 ) -> List[Path]:
     """Run and export every experiment (or a subset) for one result.
 
-    A ``summary.csv`` with every paper-vs-measured row is written last.
+    Pass ``reports`` (parallel to ``experiment_ids``) to export already
+    computed reports — e.g. from the experiment farm — instead of
+    re-running each experiment here. A ``summary.csv`` with every
+    paper-vs-measured row is written last.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     ids = experiment_ids if experiment_ids is not None else EXPERIMENTS.ids()
+    if reports is not None and len(reports) != len(ids):
+        raise ValueError(
+            f"got {len(reports)} reports for {len(ids)} experiment ids"
+        )
     written: List[Path] = []
     summary_rows: List[List] = [["experiment", "label", "paper", "measured", "unit"]]
-    for experiment_id in ids:
-        report = run_experiment(experiment_id, result)
+    for position, experiment_id in enumerate(ids):
+        report = (
+            reports[position]
+            if reports is not None
+            else run_experiment(experiment_id, result)
+        )
         written.extend(export_report(report, out))
         for row in report.rows:
             summary_rows.append([

@@ -14,6 +14,9 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "format_report",
+    "report_payload",
+    "report_from_payload",
+    "reports_digest",
 ]
 
 Number = Union[int, float]
@@ -128,6 +131,90 @@ def format_report(report: ExperimentReport) -> str:
     for note in report.notes:
         lines.append(f"  note: {note}")
     return "\n".join(lines)
+
+
+def report_payload(report: ExperimentReport) -> Dict:
+    """A report as a canonical JSON-safe dict (digest/IPC ingredient).
+
+    Numpy scalars and arrays that experiments leave in ``series`` are
+    normalised to plain Python numbers/lists, so the payload both
+    pickles cheaply across process boundaries and serialises to the
+    same JSON bytes regardless of which process produced it.
+    """
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "rows": [
+            {
+                "label": row.label,
+                "paper": _json_safe(row.paper),
+                "measured": _json_safe(row.measured),
+                "unit": row.unit,
+                "note": row.note,
+            }
+            for row in report.rows
+        ],
+        "series": {
+            name: _json_safe(report.series[name])
+            for name in sorted(report.series)
+        },
+        "notes": list(report.notes),
+    }
+
+
+def report_from_payload(payload: Dict) -> ExperimentReport:
+    """Inverse of :func:`report_payload`."""
+    return ExperimentReport(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        rows=[
+            Row(
+                label=row["label"],
+                paper=row["paper"],
+                measured=row["measured"],
+                unit=row["unit"],
+                note=row["note"],
+            )
+            for row in payload["rows"]
+        ],
+        series=dict(payload["series"]),
+        notes=list(payload["notes"]),
+    )
+
+
+def reports_digest(reports) -> str:
+    """SHA-256 over the canonical JSON of a sequence of reports.
+
+    Equal digests mean byte-identical report content — the check the
+    serial-vs-parallel determinism tests and the CI e2e job assert.
+    """
+    import hashlib
+    import json
+
+    digest = hashlib.sha256()
+    for report in reports:
+        payload = json.dumps(
+            report_payload(report), sort_keys=True, separators=(",", ":")
+        )
+        digest.update(payload.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _json_safe(value):
+    """Recursively coerce numpy scalars/arrays to plain Python values."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return _json_safe(value.tolist())
+    if hasattr(value, "item"):  # zero-dim numpy scalar
+        return value.item()
+    raise AnalysisError(
+        f"non-serialisable value in report payload: {type(value).__name__}"
+    )
 
 
 def _fmt(value: Number) -> str:

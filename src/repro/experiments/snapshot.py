@@ -48,6 +48,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ETL_DB_FILE",
     "config_digest",
+    "result_digest",
     "save_result",
     "load_result",
 ]
@@ -55,7 +56,11 @@ __all__ = [
 #: Bump when the snapshot layout (or anything it implicitly depends on,
 #: like reconstruction semantics) changes incompatibly. Old cache
 #: entries are simply ignored.
-SCHEMA_VERSION = 1
+#:
+#: v2: the engine now iterates gossip-clique members in sorted order, so
+#: scenario bytes no longer depend on the per-process ``PYTHONHASHSEED``;
+#: entries built by the order-sensitive engine must miss.
+SCHEMA_VERSION = 2
 
 _CHAIN_FILE = "chain.jsonl"
 _SNAPSHOT_FILE = "snapshot.json"
@@ -81,6 +86,25 @@ def config_digest(config: ScenarioConfig) -> str:
         dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_digest(result: SimulationResult) -> str:
+    """SHA-256 over the canonical snapshot bytes (chain + world state).
+
+    Two results digest equal iff :func:`save_result` would write the
+    same chain and snapshot files — the repo's working definition of
+    "bit-identical scenarios" (meta.json is excluded: it restates the
+    schema version and config digest, which the cache key already pins).
+    """
+    import hashlib
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_result(result, tmp)
+        digest = hashlib.sha256()
+        for name in (_CHAIN_FILE, _SNAPSHOT_FILE):
+            digest.update((Path(tmp) / name).read_bytes())
+    return digest.hexdigest()
 
 
 def _config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:

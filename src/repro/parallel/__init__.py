@@ -1,0 +1,32 @@
+"""Multi-process execution layer: experiment farm, seed sweeps, locks.
+
+The simulator is deterministic per seed and every experiment reads one
+immutable :class:`~repro.simulation.engine.SimulationResult`, which
+makes both axes embarrassingly parallel:
+
+* :func:`run_farm` fans the ~25 figure/table experiments for one
+  scenario out over a process pool. Workers rehydrate the result from
+  the persistent scenario cache (a path crosses the pipe, never the
+  multi-hundred-MB result object) and return plain report payloads, so
+  the output is byte-identical to the serial path in the same order.
+* :func:`run_sweep` cold-builds one scenario per seed in parallel
+  workers — each build publishes into the shared cache under
+  :func:`~repro.parallel.locks.build_lock` — and aggregates every
+  experiment row across seeds into mean/stddev/CI robustness numbers.
+
+All worker entry points are module-level functions taking picklable
+tuples, so the farm works under every multiprocessing start method
+(``fork``, ``spawn``, ``forkserver``).
+"""
+
+from repro.parallel.farm import FarmOutcome, run_farm
+from repro.parallel.locks import build_lock
+from repro.parallel.sweep import format_sweep, run_sweep
+
+__all__ = [
+    "FarmOutcome",
+    "build_lock",
+    "format_sweep",
+    "run_farm",
+    "run_sweep",
+]

@@ -1,0 +1,134 @@
+"""Process-pool experiment farm with cache-based worker rehydration.
+
+``python -m repro.experiments --jobs N`` lands here. The parent
+materialises the scenario's persistent cache entry once (building it if
+cold), then fans experiment ids out over a ``multiprocessing`` pool.
+Each worker receives only ``(snapshot_dir, scenario, seed,
+experiment_id)`` — a few hundred bytes — rehydrates the
+:class:`~repro.simulation.engine.SimulationResult` from the snapshot on
+first use, and memoises it for the rest of its life, so a worker pays
+the load cost once no matter how many experiments it draws.
+
+Determinism: every experiment seeds its own named streams from
+``RngHub(result.config.seed)`` and never touches global RNG state, and
+cache rehydration is bit-identical to a cold build (asserted by the
+scenario-cache tests). Results therefore do not depend on which worker
+runs what, and ``Pool.imap`` returns them in submission order — the
+farm's output is byte-identical to the serial path.
+
+Portability: the worker entry point is a module-level function and the
+task tuples carry only primitives, so the farm is safe under ``spawn``
+and ``forkserver`` start methods as well as ``fork`` (exercised by a
+forced-``spawn`` test).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.registry import (
+    ExperimentReport,
+    report_from_payload,
+    report_payload,
+    run_experiment,
+)
+
+__all__ = ["FarmOutcome", "run_farm"]
+
+
+@dataclass
+class FarmOutcome:
+    """One experiment's report plus its worker-side cost."""
+
+    experiment_id: str
+    report: ExperimentReport
+    wall_s: float
+    cpu_s: float
+
+
+#: Per-worker-process memo of the rehydrated result, keyed by
+#: (snapshot_dir, scenario, seed). Plain module globals — inherited
+#: empty under ``spawn``, shared copy-on-write under ``fork``; either
+#: way each worker loads the scenario at most once per key.
+_WORKER_RESULT = None
+_WORKER_KEY: Optional[Tuple[Optional[str], str, int]] = None
+
+
+def _worker_result(snapshot_dir: Optional[str], scenario: str, seed: int):
+    global _WORKER_RESULT, _WORKER_KEY
+    key = (snapshot_dir, scenario, seed)
+    if _WORKER_KEY != key:
+        if snapshot_dir is not None:
+            from repro.experiments.snapshot import load_result
+
+            _WORKER_RESULT = load_result(snapshot_dir)
+        else:
+            # Cache disabled: fall back to the in-process memo (each
+            # worker builds once; still correct, just not shared).
+            from repro.experiments.context import get_result
+
+            _WORKER_RESULT = get_result(scenario, seed)
+        _WORKER_KEY = key
+    return _WORKER_RESULT
+
+
+def _run_one(task: Tuple[Optional[str], str, int, str]) -> Dict:
+    """Worker entry point: rehydrate (memoised), run one experiment."""
+    snapshot_dir, scenario, seed, experiment_id = task
+    result = _worker_result(snapshot_dir, scenario, seed)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    report = run_experiment(experiment_id, result)
+    return {
+        "experiment_id": experiment_id,
+        "report": report_payload(report),
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+    }
+
+
+def run_farm(
+    scenario: str,
+    seed: int,
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+) -> List[FarmOutcome]:
+    """Run experiments for one scenario, fanned over ``jobs`` processes.
+
+    Returns outcomes in ``experiment_ids`` order regardless of worker
+    scheduling. ``jobs <= 1`` runs everything in-process through the
+    exact same task path (useful as the comparison baseline).
+    ``start_method`` overrides the platform default (``"spawn"`` /
+    ``"fork"`` / ``"forkserver"``) — mainly for portability tests.
+    """
+    from repro.experiments.context import ensure_snapshot
+
+    ids = list(experiment_ids)
+    entry = ensure_snapshot(scenario, seed)
+    snapshot_dir = None if entry is None else str(entry)
+    tasks = [(snapshot_dir, scenario, seed, eid) for eid in ids]
+
+    if jobs <= 1:
+        raw = [_run_one(task) for task in tasks]
+    else:
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        with context.Pool(processes=jobs) as pool:
+            raw = list(pool.imap(_run_one, tasks))
+
+    return [
+        FarmOutcome(
+            experiment_id=item["experiment_id"],
+            report=report_from_payload(item["report"]),
+            wall_s=item["wall_s"],
+            cpu_s=item["cpu_s"],
+        )
+        for item in raw
+    ]

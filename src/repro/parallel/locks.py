@@ -1,0 +1,93 @@
+"""Advisory cross-process locks for scenario cache builds.
+
+The scenario cache already publishes atomically (build into a tempdir,
+``os.rename`` into place), so concurrent builders are *correct* without
+any locking — they just waste a cold build each. ``build_lock`` closes
+that gap: the first process to reach a missing entry takes an exclusive
+``flock`` on a sidecar ``<entry>.lock`` file; the others block, then
+find the published entry on disk and load it instead of re-simulating.
+
+``flock`` is advisory and released by the kernel when the holder's file
+descriptor closes — including on crash — so the only "stale" case left
+is a live holder exceeding the timeout (wedged, or genuinely slower
+than expected). We then warn and proceed *unlocked*: duplicating a
+build is always safe here, failing to build is not.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op
+and the pre-existing atomic-publish semantics carry correctness alone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import warnings
+from pathlib import Path
+from typing import Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["DEFAULT_TIMEOUT_S", "build_lock"]
+
+#: How long to wait on a held lock before assuming the holder is wedged
+#: and proceeding without it. Generous: a paper-scale cold build takes
+#: tens of seconds on one core, and waiting beats duplicating.
+DEFAULT_TIMEOUT_S = 600.0
+
+_POLL_S = 0.1
+
+
+@contextlib.contextmanager
+def build_lock(
+    entry: Optional[Path], timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Iterator[None]:
+    """Hold the build lock for a cache entry while the body runs.
+
+    ``entry`` is the cache entry directory the caller intends to build;
+    ``None`` (cache disabled) yields immediately without locking. The
+    caller must re-check the entry on disk *after* acquiring — losing
+    the race means the winner already published the result.
+    """
+    if entry is None or fcntl is None:
+        yield
+        return
+    lock_path = entry.parent / (entry.name + ".lock")
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(lock_path, "a+")
+    except OSError as exc:
+        warnings.warn(
+            f"could not open scenario build lock {lock_path}: {exc}; "
+            "building without it",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
+    try:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    warnings.warn(
+                        f"scenario build lock {lock_path} still held after "
+                        f"{timeout_s:.0f}s; proceeding without it (atomic "
+                        "publish keeps the cache consistent)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    break
+                time.sleep(_POLL_S)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - unlock of unheld lock
+            pass
+        handle.close()

@@ -1,0 +1,152 @@
+"""Multi-seed robustness sweeps: is a measured number seed-luck?
+
+The paper reports one number per marginal; the reproduction can do
+better and report how stable that number is across simulation seeds.
+``run_sweep`` builds one scenario per seed — in parallel workers, each
+publishing into the shared scenario cache under the build lock — runs
+the selected experiments against each, and aggregates every
+paper-vs-measured row across seeds into mean / sample stddev / 95% CI.
+
+The output dict is deterministic for a given (scenario, seeds,
+experiment set): no timestamps, sorted keys, plain Python numbers — so
+re-running a sweep (now warm from cache) must produce byte-identical
+JSON, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.experiments.registry import (
+    report_payload,
+    run_experiment,
+)
+
+__all__ = ["format_sweep", "run_sweep"]
+
+
+def _sweep_task(task: Tuple[str, int, Tuple[str, ...]]) -> Tuple[int, List[Dict]]:
+    """Worker entry point: build one seed's scenario, run all experiments.
+
+    ``get_result`` consults the persistent cache first, takes the build
+    lock on a miss, and publishes the built scenario for everyone else —
+    so concurrent sweep workers never duplicate a cold build and the
+    entries remain available for later warm runs.
+    """
+    scenario, seed, experiment_ids = task
+    from repro.experiments.context import get_result
+
+    result = get_result(scenario, seed)
+    return seed, [
+        report_payload(run_experiment(eid, result)) for eid in experiment_ids
+    ]
+
+
+def run_sweep(
+    scenario: str,
+    seeds: Sequence[int],
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+) -> Dict:
+    """Cross-seed robustness report for one scenario preset.
+
+    Returns a JSON-ready dict: per experiment, each comparison row with
+    its per-seed values, cross-seed ``mean``, sample ``stddev`` (0.0
+    for a single seed) and normal-approximation 95% confidence
+    half-width ``ci95``. Rows are keyed by label in first-seed order;
+    a row missing for some seed is an analysis bug and raises.
+    """
+    seed_list = [int(seed) for seed in seeds]
+    if not seed_list:
+        raise AnalysisError("sweep needs at least one seed")
+    if len(set(seed_list)) != len(seed_list):
+        raise AnalysisError(f"duplicate seeds in sweep: {seed_list}")
+    ids = tuple(experiment_ids)
+    tasks = [(scenario, seed, ids) for seed in seed_list]
+
+    if jobs <= 1:
+        raw = [_sweep_task(task) for task in tasks]
+    else:
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        with context.Pool(processes=jobs) as pool:
+            raw = list(pool.imap(_sweep_task, tasks))
+
+    by_seed = dict(raw)
+    experiments: Dict[str, Dict] = {}
+    for position, experiment_id in enumerate(ids):
+        first = by_seed[seed_list[0]][position]
+        rows = []
+        for row_index, row in enumerate(first["rows"]):
+            values = {}
+            for seed in seed_list:
+                other = by_seed[seed][position]["rows"][row_index]
+                if other["label"] != row["label"]:
+                    raise AnalysisError(
+                        f"{experiment_id} row {row_index} label differs "
+                        f"across seeds: {row['label']!r} vs {other['label']!r}"
+                    )
+                values[str(seed)] = other["measured"]
+            stats = _aggregate(list(values.values()))
+            rows.append({
+                "label": row["label"],
+                "unit": row["unit"],
+                "paper": row["paper"],
+                "values": values,
+                **stats,
+            })
+        experiments[experiment_id] = {"title": first["title"], "rows": rows}
+
+    return {
+        "scenario": scenario,
+        "seeds": seed_list,
+        "experiment_ids": list(ids),
+        "experiments": experiments,
+    }
+
+
+def _aggregate(values: List) -> Dict[str, Optional[float]]:
+    """mean / sample stddev / 95% CI half-width of one row's values."""
+    numbers = [float(value) for value in values]
+    n = len(numbers)
+    mean = sum(numbers) / n
+    if n < 2:
+        stddev = 0.0
+    else:
+        stddev = math.sqrt(
+            sum((x - mean) ** 2 for x in numbers) / (n - 1)
+        )
+    ci95 = 1.96 * stddev / math.sqrt(n)
+    return {"mean": mean, "stddev": stddev, "ci95": ci95}
+
+
+def format_sweep(sweep: Dict) -> str:
+    """Render a sweep report as an aligned text table."""
+    seeds = sweep["seeds"]
+    lines = [
+        f"== sweep: {sweep['scenario']} scenario, "
+        f"{len(seeds)} seeds ({', '.join(str(s) for s in seeds)}) =="
+    ]
+    for experiment_id in sweep["experiment_ids"]:
+        entry = sweep["experiments"][experiment_id]
+        lines.append(f"-- {experiment_id}: {entry['title']}")
+        rows = entry["rows"]
+        if not rows:
+            continue
+        width = max(len(row["label"]) for row in rows)
+        for row in rows:
+            unit = f" {row['unit']}" if row["unit"] else ""
+            paper = "—" if row["paper"] is None else f"{row['paper']:g}"
+            lines.append(
+                f"  {row['label']:<{width}}  paper={paper:>10}{unit}  "
+                f"mean={row['mean']:>12.4g} ±{row['ci95']:.3g}{unit}  "
+                f"(stddev {row['stddev']:.3g})"
+            )
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -87,6 +88,11 @@ class SimulationResult:
     console_owner: Address
     oui_owners: Dict[int, Address]
     spammer_owners: List[Address] = field(default_factory=list)
+    #: Cumulative wall-clock seconds per day-loop phase, filled by a cold
+    #: :meth:`SimulationEngine.run` (``None`` on snapshot reloads). Not
+    #: part of the snapshot payload, so recording it never perturbs the
+    #: scenario digest.
+    day_loop_timings: Optional[Dict[str, float]] = None
 
     @property
     def scale_factor(self) -> float:
@@ -123,6 +129,32 @@ class SimulationEngine:
         self._transfer_queue: Dict[int, List[Tuple[Address, PlannedTransfer]]] = {}
         self._participants: Dict[Address, PocParticipant] = {}
         self._uptime: Dict[Address, float] = {}
+        # Fleet arrays: one slot per deployed hotspot, in deployment
+        # order — the order the old per-gateway dict walks used — so the
+        # batched uptime draw consumes the "uptime" stream identically
+        # and attribution maps keep their deployment-order iteration.
+        self._fleet_hotspots: List[SimHotspot] = []
+        self._fleet_participants: List[Optional[PocParticipant]] = []
+        self._fleet_uptime: List[float] = []
+        self._fleet_in_us: List[bool] = []
+        self._fleet_is_poc: List[bool] = []
+        self._fleet_index: Dict[Address, int] = {}
+        self._fleet_online = np.zeros(0, dtype=bool)
+        self._fleet_poc_online = np.zeros(0, dtype=bool)
+        # Incrementally maintained ferry-weight base: gateway → (hotspot,
+        # weight) for every hotspot that would carry organic data when
+        # online. Maintained on deploy and ownership change; the daily
+        # online filter reads hotspot refs directly.
+        self._ferry_base: Dict[Address, Tuple[SimHotspot, float]] = {}
+        self._ferry_order_stale = False
+        #: Cumulative day-loop wall-clock per phase (see ``--profile``).
+        self.phase_timings: Dict[str, float] = {
+            name: 0.0
+            for name in (
+                "deploy", "transfers", "moves", "online", "index",
+                "poc", "traffic", "rewards", "encash", "mint", "log",
+            )
+        }
         self._flippers: List[Address] = []
         self._spammers: List[Address] = []
         self._clique_registry: Dict[int, GossipClique] = {}
@@ -154,22 +186,35 @@ class SimulationEngine:
                 epoch_end_block=(day + 1) * _BLOCKS_PER_DAY - 1,
             )
 
+            timings = self.phase_timings
+            t0 = perf_counter()
             added = self._deploy_day(day, batch)
+            t1 = perf_counter(); timings["deploy"] += t1 - t0
             transferred = self._execute_transfers(day, batch)
+            t2 = perf_counter(); timings["transfers"] += t2 - t1
             self._execute_moves(day, batch, transferred)
+            t3 = perf_counter(); timings["moves"] += t3 - t2
             self._update_online(day)
+            t4 = perf_counter(); timings["online"] += t4 - t3
             if day % 7 == 0:
                 self.world.rebuild_index()
+            t5 = perf_counter(); timings["index"] += t5 - t4
             self._run_poc(day, batch, activity)
+            t6 = perf_counter(); timings["poc"] += t6 - t5
             self._run_traffic(day, batch, activity, console_owner, oui_owners)
+            t7 = perf_counter(); timings["traffic"] += t7 - t6
             engine = (
                 reward_engine_post if day >= self.config.hip10_day
                 else reward_engine_pre
             )
             self._mint_rewards(day, batch, activity, engine, price)
+            t8 = perf_counter(); timings["rewards"] += t8 - t7
             self._encash(day, batch)
+            t9 = perf_counter(); timings["encash"] += t9 - t8
             self._mint_day(day, batch)
+            t10 = perf_counter(); timings["mint"] += t10 - t9
             self._log_growth(day, added)
+            timings["log"] += perf_counter() - t10
 
         peerbook = self._build_peerbook()
         return SimulationResult(
@@ -182,6 +227,7 @@ class SimulationEngine:
             console_owner=console_owner,
             oui_owners=oui_owners,
             spammer_owners=list(self._spammers),
+            day_loop_timings=dict(self.phase_timings),
         )
 
     # -------------------------------------------------------------- plumbing --
@@ -288,7 +334,8 @@ class SimulationEngine:
             city.population > 400_000 and float(rng.random()) < 0.05
         )
         self.world.add_hotspot(hotspot)
-        self._uptime[gateway] = self._draw_uptime(rng)
+        uptime = self._draw_uptime(rng)
+        self._uptime[gateway] = uptime
 
         block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY // 4))
         hotspot.added_block = block
@@ -322,8 +369,9 @@ class SimulationEngine:
         for move in planned:
             self._move_queue.setdefault(int(move.day), []).append((gateway, move))
 
+        participant = None
         if not is_validator:
-            self._participants[gateway] = PocParticipant(
+            participant = PocParticipant(
                 gateway=gateway,
                 owner=owner.wallet,
                 asserted_location=asserted,
@@ -333,6 +381,25 @@ class SimulationEngine:
                 online=True,
                 cheat=cheat,
             )
+            self._participants[gateway] = participant
+        self._register_fleet(hotspot, participant, uptime)
+
+    def _register_fleet(
+        self,
+        hotspot: SimHotspot,
+        participant: Optional[PocParticipant],
+        uptime: float,
+    ) -> None:
+        """Append one deployed hotspot to the fleet arrays (deployment order)."""
+        self._fleet_index[hotspot.gateway] = len(self._fleet_hotspots)
+        self._fleet_hotspots.append(hotspot)
+        self._fleet_participants.append(participant)
+        self._fleet_uptime.append(uptime)
+        self._fleet_in_us.append(hotspot.in_us)
+        self._fleet_is_poc.append(participant is not None)
+        base = self._ferry_base_weight(hotspot)
+        if base is not None:
+            self._ferry_base[hotspot.gateway] = (hotspot, base)
 
     def _maybe_cheat(self, gateway: Address, city, rng: np.random.Generator):
         """Assign a cheat strategy (and whether the assert lies from day 1)."""
@@ -408,6 +475,7 @@ class SimulationEngine:
 
             silent = isinstance(hotspot.cheat, SilentMover) and move.kind == "long"
             self.world.relocate(hotspot, target, new_city)
+            self._fleet_in_us[self._fleet_index[gateway]] = hotspot.in_us
             if hotspot.antenna_gain_dbi <= 2.0:
                 hotspot.environment = environment_for_city(
                     new_city.population,
@@ -498,6 +566,7 @@ class SimulationEngine:
                 buyer_rec.hotspot_count += 1
             hotspot.owner = buyer
             hotspot.transfer_days.append(day)
+            self._refresh_ferry_entry(hotspot)
             transferred.add(gateway)
             participant = self._participants.get(gateway)
             if participant is not None:
@@ -507,6 +576,49 @@ class SimulationEngine:
     # ------------------------------------------------------------------ uptime --
 
     def _update_online(self, day: int) -> None:
+        """Daily availability flip, fully vectorised.
+
+        One batched roll over the fleet (identical stream consumption to
+        the per-gateway loop it replaced: same count, same deployment
+        order), one array compare against the uptime thresholds, and
+        Python-level writes only where the state actually changed —
+        unchanged hotspots already hold the target value, so skipping
+        them is bit-identical by construction.
+        """
+        rng = self.hub.stream("uptime")
+        n = len(self._fleet_hotspots)
+        if n == 0:
+            return
+        rolls = rng.random(n)
+        flags = rolls < np.asarray(self._fleet_uptime)
+        previous = self._fleet_online
+        if len(previous) < n:
+            # Hotspots deployed since the last update start online (the
+            # SimHotspot/PocParticipant constructor default), so a True
+            # baseline makes "changed" mean "needs a write".
+            previous = np.concatenate(
+                [previous, np.ones(n - len(previous), dtype=bool)]
+            )
+        hotspots = self._fleet_hotspots
+        participants = self._fleet_participants
+        for i in np.flatnonzero(flags != previous).tolist():
+            online = bool(flags[i])
+            hotspots[i].online = online
+            participant = participants[i]
+            if participant is not None:
+                participant.online = online
+        self._fleet_online = flags
+        self._fleet_poc_online = flags & np.asarray(
+            self._fleet_is_poc, dtype=bool
+        )
+
+    def _update_online_reference(self, day: int) -> None:
+        """Pre-vectorisation twin of :meth:`_update_online`.
+
+        Replays the per-gateway Python loop (dict walk, scalar compare,
+        unconditional attribute writes) including its costs; equivalence
+        tests and ``bench_parallel.py`` compare the two paths.
+        """
         rng = self.hub.stream("uptime")
         gateways = list(self._uptime.keys())
         if not gateways:
@@ -583,7 +695,58 @@ class SimulationEngine:
         # distribution — random subsampling would bias toward mid-range.
         # The stable argsort runs before the online filter (filtering
         # preserves relative order among equal distances, so the kept set
-        # is unchanged) so the walk stops as soon as the cap is filled.
+        # matches a filter-then-sort), and the boolean mask over the
+        # sorted order plus a [:cap] slice replaces the old Python
+        # nearest-first walk — same candidates, no per-element branching.
+        cap = self.config.max_witness_candidates
+        fleet_index = self._fleet_index
+        idx = np.fromiter(
+            (fleet_index[hotspot.gateway] for _, hotspot in nearby),
+            dtype=np.intp,
+            count=len(nearby),
+        )
+        order = np.argsort(distances, kind="stable")
+        keep = order[self._fleet_poc_online[idx[order]]][:cap]
+        participants_by_slot = self._fleet_participants
+        kept: List[PocParticipant] = [
+            participants_by_slot[int(slot)] for slot in idx[keep]
+        ]
+        # The index may lag a silent mover's relocation until the next
+        # rebuild; its distance would then describe the stale point, so
+        # hand none to the physics (object identity proves liveness).
+        kept_km: Optional[np.ndarray] = distances[keep]
+        for i, participant in zip(keep.tolist(), kept):
+            if nearby[i][0] is not participant.actual_location:
+                kept_km = None
+                break
+        if isinstance(challengee.cheat, GossipClique):
+            participants = self._participants
+            present = {c.gateway for c in kept}
+            for member in sorted(challengee.cheat.members):
+                participant = participants.get(member)
+                if (
+                    participant is not None
+                    and participant.online
+                    and member not in present
+                ):
+                    kept.append(participant)
+                    kept_km = None
+        if kept_km is None:
+            return kept, None
+        return kept, np.asarray(kept_km, dtype=float)
+
+    def _candidates_for_reference(
+        self, challengee: PocParticipant, rng: np.random.Generator
+    ) -> Tuple[List[PocParticipant], Optional[np.ndarray]]:
+        """Pre-vectorisation twin of :meth:`_candidates_for`.
+
+        Replays the ``distances.tolist()`` materialisation and the
+        per-element nearest-first walk; equivalence tests assert the
+        fast path returns exactly the same candidates and distances.
+        """
+        nearby, distances = self.world.index.within_radius_distances(
+            challengee.actual_location, 120.0
+        )
         cap = self.config.max_witness_candidates
         participants = self._participants
         distance_list = distances.tolist()
@@ -595,9 +758,6 @@ class SimulationEngine:
             if participant is not None and participant.online:
                 kept.append(participant)
                 if kept_km is not None:
-                    # The index may lag a silent mover's relocation until
-                    # the next rebuild; its distance would then describe
-                    # the stale point, so hand none to the physics.
                     if point is participant.actual_location:
                         kept_km.append(distance_list[i])
                     else:
@@ -606,7 +766,7 @@ class SimulationEngine:
                     break
         if isinstance(challengee.cheat, GossipClique):
             present = {c.gateway for c in kept}
-            for member in challengee.cheat.members:
+            for member in sorted(challengee.cheat.members):
                 participant = participants.get(member)
                 if (
                     participant is not None
@@ -730,7 +890,28 @@ class SimulationEngine:
         deployment) — not a daily redraw, which would eventually hand
         every city hotspot a data transaction and erase the paper's
         application-vs-mining owner split (§4.3).
+
+        The daily O(fleet) rebuild is gone: ``_ferry_base`` holds the
+        would-ferry set (a few percent of the fleet) in deployment
+        order, maintained on deploy and ownership change, and this
+        method only applies the day's online filter to it. No RNG is
+        involved, and the comprehension preserves the base map's
+        deployment order, so packet attribution (which tie-breaks equal
+        weights by insertion order) is bit-identical to the rebuild.
         """
+        if self._ferry_order_stale:
+            self._rebuild_ferry_base()
+        return {
+            gateway: weight
+            for gateway, (hotspot, weight) in self._ferry_base.items()
+            if hotspot.online
+        }
+
+    def _ferry_weights_reference(
+        self, day: int, rng: np.random.Generator
+    ) -> Dict[Address, float]:
+        """Pre-elimination twin of :meth:`_ferry_weights`: the daily
+        O(fleet) rebuild, kept as equivalence oracle and bench baseline."""
         weights: Dict[Address, float] = {}
         for hotspot in self.world.hotspots.values():
             if not hotspot.online or hotspot.is_validator:
@@ -741,6 +922,46 @@ class SimulationEngine:
             elif hotspot.ferries_data:
                 weights[hotspot.gateway] = 1.0
         return weights
+
+    def _ferry_base_weight(self, hotspot: SimHotspot) -> Optional[float]:
+        """The weight ``hotspot`` would carry when online, else ``None``."""
+        if hotspot.is_validator:
+            return None
+        owner = self.world.owners.get(hotspot.owner)
+        if owner is not None and owner.archetype == "commercial":
+            return 30.0
+        if hotspot.ferries_data:
+            return 1.0
+        return None
+
+    def _refresh_ferry_entry(self, hotspot: SimHotspot) -> None:
+        """Keep the ferry base map current across an ownership change."""
+        base = self._ferry_base_weight(hotspot)
+        current = self._ferry_base.get(hotspot.gateway)
+        if base is None:
+            if current is not None:
+                del self._ferry_base[hotspot.gateway]
+        elif current is not None:
+            if current[1] != base:
+                # In-place value update: dict position (deployment
+                # order) is preserved.
+                self._ferry_base[hotspot.gateway] = (hotspot, base)
+        else:
+            # Re-inserting would append at the wrong position; rebuild
+            # in deployment order on next use so attribution keeps its
+            # stable tie-break. (Unreachable with the current buyer
+            # model — buyers are never commercial — but cheap to keep
+            # correct by construction.)
+            self._ferry_order_stale = True
+
+    def _rebuild_ferry_base(self) -> None:
+        """Recompute the ferry base map in deployment order."""
+        self._ferry_base = {}
+        for hotspot in self.world.hotspots.values():
+            base = self._ferry_base_weight(hotspot)
+            if base is not None:
+                self._ferry_base[hotspot.gateway] = (hotspot, base)
+        self._ferry_order_stale = False
 
     def _designate_spammers(self, rng: np.random.Generator) -> None:
         """Pick the arbitrage gamers once DC rewards go live (§5.3.2)."""
@@ -796,16 +1017,30 @@ class SimulationEngine:
     # ------------------------------------------------------------------ logging --
 
     def _log_growth(self, day: int, added: int) -> None:
-        connected = len(self.world.hotspots)
-        online = [h for h in self.world.hotspots.values() if h.online]
-        online_us = sum(1 for h in online if h.in_us)
+        # Counted from the fleet arrays _update_online refreshed earlier
+        # the same day (and _execute_moves keeps in_us current), so no
+        # per-hotspot Python walk is needed.
+        flags = self._fleet_online
+        if len(flags) != len(self._fleet_hotspots):
+            # The availability path was swapped out (reference twin in
+            # an equivalence test); fall back to the authoritative
+            # per-object state the twin does maintain.
+            flags = np.fromiter(
+                (hotspot.online for hotspot in self._fleet_hotspots),
+                dtype=bool,
+                count=len(self._fleet_hotspots),
+            )
+        online = int(np.count_nonzero(flags))
+        online_us = int(np.count_nonzero(
+            flags & np.asarray(self._fleet_in_us, dtype=bool)
+        ))
         self._growth_log.append(GrowthLogRow(
             day=day,
             added_today=added,
-            connected=connected,
-            online=len(online),
+            connected=len(self._fleet_hotspots),
+            online=online,
             online_us=online_us,
-            online_international=len(online) - online_us,
+            online_international=online - online_us,
         ))
 
     # ------------------------------------------------------------------ p2p --

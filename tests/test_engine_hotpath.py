@@ -1,0 +1,138 @@
+"""Day-loop hot-path elimination: bit-identity against reference twins.
+
+The engine keeps the pre-optimisation implementations in-tree
+(``_update_online_reference``, ``_ferry_weights_reference``,
+``_candidates_for_reference``) as equivalence oracles. These tests
+assert the two strongest forms of the contract:
+
+* a full small-scenario run with every reference twin swapped in
+  digests identically to the fast path (same chain, same world bytes);
+* the fast-path digest equals the value pinned *before* the hot-path
+  work landed — the optimisation changed nothing.
+
+The pinned digests also guard the process-independence fix: scenario
+bytes used to depend on ``PYTHONHASHSEED`` through gossip-clique set
+iteration, which these constants would catch regressing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.snapshot import result_digest
+from repro.simulation import SimulationEngine, small_scenario
+from repro.simulation.engine import SimulationEngine as Engine
+
+#: Captured on the pre-optimisation engine (PR 2 tree); the hot-path
+#: rewrite must not move them.
+SMALL_SEED7_DIGEST = (
+    "d94b5c8e1d69e9e2bf4bef963b41f187041021b52d7a1364723e1cfe92d10eae"
+)
+SMALL_SEED2021_DIGEST = (
+    "ffa4179f27dfcbc8b4a05aea6bc77ae8231f3bba89507cda7f7cb612d88c2b81"
+)
+#: Paper scale exercises the clique-append path that made pre-fix runs
+#: hash-seed dependent; this is the canonical process-independent value
+#: (asserted identical across engines and hash seeds when pinned).
+PAPER_SEED2021_DIGEST = (
+    "06362053669c000655d2fd886f50039c2318b4599d9896db44279dd48286f6cc"
+)
+
+
+def _trimmed_config(seed: int = 123):
+    config = small_scenario(seed=seed)
+    # Determinism and equivalence show up in any prefix; trim for speed.
+    return dataclasses.replace(
+        config, n_days=60, target_hotspots=200, dc_payments_live_day=20,
+        hip10_day=25, spam_decay_end_day=30, international_launch_day=25,
+        resale_start_day=32, march_snapshot_day=40, whale_start_day=45,
+    )
+
+
+class TestPinnedDigests:
+    def test_small_seed7_unchanged(self, small_result):
+        assert result_digest(small_result) == SMALL_SEED7_DIGEST
+
+    def test_small_seed2021_unchanged(self):
+        result = SimulationEngine(small_scenario(seed=2021)).run()
+        assert result_digest(result) == SMALL_SEED2021_DIGEST
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_PAPER_DIGEST"),
+        reason="paper-scale build (~20s); set REPRO_PAPER_DIGEST=1 "
+        "(the CI parallel-e2e job does)",
+    )
+    def test_paper_seed2021_unchanged(self):
+        from repro.simulation import paper_scenario
+
+        result = SimulationEngine(paper_scenario(seed=2021)).run()
+        assert result_digest(result) == PAPER_SEED2021_DIGEST
+
+
+class TestReferenceTwins:
+    def test_full_run_with_twins_is_bit_identical(self, monkeypatch):
+        """Swap every reference twin in and replay the whole scenario."""
+        monkeypatch.setattr(
+            Engine, "_update_online", Engine._update_online_reference
+        )
+        monkeypatch.setattr(
+            Engine, "_ferry_weights", Engine._ferry_weights_reference
+        )
+        monkeypatch.setattr(
+            Engine, "_candidates_for", Engine._candidates_for_reference
+        )
+        reference = SimulationEngine(_trimmed_config()).run()
+        monkeypatch.undo()
+        fast = SimulationEngine(_trimmed_config()).run()
+        assert result_digest(fast) == result_digest(reference)
+
+    def test_candidates_for_matches_reference(self):
+        """Satellite check: same candidates, same distances, per call."""
+        engine = SimulationEngine(_trimmed_config())
+        engine.run()
+        rng = np.random.default_rng(0)
+        compared = 0
+        for participant in engine._participants.values():
+            if not participant.online:
+                continue
+            fast, fast_km = engine._candidates_for(participant, rng)
+            ref, ref_km = engine._candidates_for_reference(participant, rng)
+            assert [c.gateway for c in fast] == [c.gateway for c in ref]
+            if fast_km is None:
+                assert ref_km is None
+            else:
+                np.testing.assert_array_equal(fast_km, ref_km)
+            compared += 1
+        assert compared > 50  # the scenario must actually exercise this
+
+    def test_ferry_weights_match_reference(self):
+        engine = SimulationEngine(_trimmed_config())
+        engine.run()
+        rng = np.random.default_rng(0)
+        fast = engine._ferry_weights(0, rng)
+        reference = engine._ferry_weights_reference(0, rng)
+        # Same mapping *and* same insertion order: packet attribution
+        # tie-breaks equal weights by dict order.
+        assert list(fast.items()) == list(reference.items())
+        assert len(fast) > 0
+
+
+class TestProfileTimings:
+    def test_fresh_run_carries_phase_timings(self):
+        result = SimulationEngine(_trimmed_config()).run()
+        timings = result.day_loop_timings
+        assert timings is not None
+        for phase in ("deploy", "online", "poc", "traffic", "rewards"):
+            assert timings[phase] >= 0.0
+        assert sum(timings.values()) > 0.0
+
+    def test_timings_stay_out_of_the_snapshot(self, tmp_path):
+        from repro.experiments.snapshot import load_result, save_result
+
+        result = SimulationEngine(_trimmed_config()).run()
+        save_result(result, tmp_path)
+        assert load_result(tmp_path).day_loop_timings is None

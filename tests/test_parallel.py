@@ -1,0 +1,227 @@
+"""The multi-process layer: farm, sweep, and cache build locks.
+
+The determinism contracts under test:
+
+* farm output (any job count, any start method) is byte-identical to
+  the serial path — workers rehydrate from the scenario cache, and the
+  experiments draw only from seed-derived named streams;
+* re-running a sweep produces byte-identical JSON (warm cache included);
+* two processes racing one cold build perform exactly one simulation.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro.experiments.context as context
+from repro.experiments.registry import (
+    report_from_payload,
+    report_payload,
+    reports_digest,
+    run_experiment,
+)
+from repro.parallel import run_farm, run_sweep
+from repro.parallel.locks import build_lock
+from repro.simulation import small_scenario
+
+#: A fast cross-section: chain-walking, RNG-drawing (fig12), and the
+#: tie-break-sensitive resale analysis (fig07). The full suite runs in
+#: the CI parallel-e2e job.
+FARM_IDS = ["fig02", "fig07", "fig12", "fig13", "s7_1", "table1"]
+
+
+@pytest.fixture()
+def seeded_cache(monkeypatch, tmp_path, small_result):
+    """A fresh cache dir with the small/seed-7 result memoised."""
+    monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+    monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+    return tmp_path
+
+
+class TestFarm:
+    def test_matches_serial_byte_for_byte(self, seeded_cache, small_result):
+        serial = [run_experiment(eid, small_result) for eid in FARM_IDS]
+        outcomes = run_farm("small", 7, FARM_IDS, jobs=4)
+        assert [o.experiment_id for o in outcomes] == FARM_IDS
+        assert reports_digest(o.report for o in outcomes) == reports_digest(
+            serial
+        )
+
+    def test_spawn_start_method(self, seeded_cache, small_result):
+        # ``spawn`` workers import everything fresh: nothing inherited
+        # from the parent except the task tuples, so this passing means
+        # the payloads are fully picklable and the entry points are
+        # module-level (the portability contract).
+        ids = ["fig02", "fig07"]
+        serial = [run_experiment(eid, small_result) for eid in ids]
+        outcomes = run_farm("small", 7, ids, jobs=2, start_method="spawn")
+        assert reports_digest(o.report for o in outcomes) == reports_digest(
+            serial
+        )
+
+    def test_jobs_one_runs_in_process(self, seeded_cache, small_result):
+        outcomes = run_farm("small", 7, ["fig02"], jobs=1)
+        assert outcomes[0].report.experiment_id == "fig02"
+        assert outcomes[0].wall_s >= 0.0
+
+    def test_outcomes_carry_costs(self, seeded_cache):
+        outcomes = run_farm("small", 7, ["fig12"], jobs=2)
+        assert outcomes[0].wall_s > 0.0
+        assert outcomes[0].cpu_s > 0.0
+
+
+class TestReportPayload:
+    def test_roundtrip(self, small_result):
+        report = run_experiment("fig07", small_result)
+        clone = report_from_payload(report_payload(report))
+        assert reports_digest([clone]) == reports_digest([report])
+
+    def test_payload_is_json_safe(self, small_result):
+        report = run_experiment("fig12", small_result)
+        json.dumps(report_payload(report))  # must not raise
+
+
+class TestSweep:
+    def test_rerun_is_byte_identical(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+        monkeypatch.setattr(context, "_CACHE", {})
+        first = run_sweep("small", [11, 12], ["fig02", "fig07"], jobs=2)
+        monkeypatch.setattr(context, "_CACHE", {})
+        second = run_sweep("small", [11, 12], ["fig02", "fig07"], jobs=2)
+        dumps = lambda s: json.dumps(s, sort_keys=True)  # noqa: E731
+        assert dumps(first) == dumps(second)
+
+    def test_aggregates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+        sweep = run_sweep("small", [11, 12], ["fig02"], jobs=1)
+        assert sweep["seeds"] == [11, 12]
+        for row in sweep["experiments"]["fig02"]["rows"]:
+            values = [row["values"]["11"], row["values"]["12"]]
+            assert row["mean"] == pytest.approx(sum(values) / 2)
+            assert row["ci95"] == pytest.approx(
+                1.96 * row["stddev"] / (2 ** 0.5)
+            )
+
+    def test_single_seed_has_zero_spread(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+        sweep = run_sweep("small", [11], ["fig02"], jobs=1)
+        for row in sweep["experiments"]["fig02"]["rows"]:
+            assert row["stddev"] == 0.0
+            assert row["ci95"] == 0.0
+
+    def test_rejects_empty_and_duplicate_seeds(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="at least one seed"):
+            run_sweep("small", [], ["fig02"])
+        with pytest.raises(AnalysisError, match="duplicate"):
+            run_sweep("small", [3, 3], ["fig02"])
+
+
+_RACER = textwrap.dedent("""
+    import os, sys
+    from repro.simulation.engine import SimulationEngine
+
+    _real_run = SimulationEngine.run
+
+    def _instrumented(self):
+        marker = os.path.join(
+            os.environ["RACE_MARKER_DIR"], f"built-{os.getpid()}"
+        )
+        open(marker, "w").close()
+        return _real_run(self)
+
+    SimulationEngine.run = _instrumented
+
+    from repro.experiments.context import get_result
+
+    result = get_result("small", int(sys.argv[1]))
+    print(result.chain.tip.hash)
+""")
+
+
+class TestBuildLock:
+    def test_racing_cold_builds_simulate_once(self, tmp_path):
+        """Two fresh processes, one cold entry: exactly one simulation."""
+        cache = tmp_path / "cache"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        env = dict(
+            os.environ,
+            REPRO_SCENARIO_CACHE=str(cache),
+            RACE_MARKER_DIR=str(markers),
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACER, "13"],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        tips = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err
+            tips.append(out.strip())
+        assert tips[0] == tips[1]
+        assert len(list(markers.iterdir())) == 1
+        entries = [p for p in cache.iterdir() if p.is_dir()]
+        assert len(entries) == 1
+
+    def test_timeout_proceeds_with_warning(self, tmp_path):
+        entry = tmp_path / "small-seed7-abc-v2"
+        lock_path = tmp_path / (entry.name + ".lock")
+        holder = open(lock_path, "w")
+        try:
+            fcntl.flock(holder.fileno(), fcntl.LOCK_EX)
+            with pytest.warns(RuntimeWarning, match="still held"):
+                with build_lock(entry, timeout_s=0.3):
+                    pass  # proceeded unlocked
+        finally:
+            holder.close()
+
+    def test_none_entry_is_noop(self):
+        with build_lock(None):
+            pass
+
+    def test_lock_released_after_use(self, tmp_path):
+        entry = tmp_path / "entry"
+        with build_lock(entry):
+            pass
+        probe = open(tmp_path / "entry.lock", "a+")
+        try:
+            # Must not block or raise: the previous holder released.
+            fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        finally:
+            probe.close()
+
+
+class TestEnsureSnapshot:
+    def test_returns_none_when_cache_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "off")
+        assert context.ensure_snapshot("small", 7) is None
+
+    def test_publishes_memoised_result(self, seeded_cache):
+        # The result is memoised in-process but the fresh cache dir has
+        # no entry yet; ensure_snapshot must publish without simulating.
+        entry = context.ensure_snapshot("small", 7)
+        assert entry is not None
+        assert (entry / "meta.json").exists()
+        digest = context.snapshot.config_digest(small_scenario(seed=7))[:12]
+        assert entry.name == (
+            f"small-seed7-{digest}-v{context.snapshot.SCHEMA_VERSION}"
+        )
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            context.ensure_snapshot("nope", 7)

@@ -131,7 +131,8 @@ class TestCacheWiring:
         monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
         monkeypatch.setattr(context, "_CACHE", {})
         first = context.get_result("small", seed=7)
-        entries = list(tmp_path.iterdir())
+        # The cold build leaves the entry plus its build-lock sidecar.
+        entries = [p for p in tmp_path.iterdir() if p.is_dir()]
         assert len(entries) == 1
         digest = config_digest(small_scenario(seed=7))[:12]
         assert entries[0].name == f"small-seed7-{digest}-v{SCHEMA_VERSION}"
