@@ -8,6 +8,7 @@ Usage::
     python -m repro.etl query  --db /tmp/etl.db owner wal_…
     python -m repro.etl query  --db /tmp/etl.db search joyful
     python -m repro.etl serve  --db /tmp/etl.db --port 8600
+    python -m repro.etl --trace etl.jsonl ingest --db /tmp/etl.db
 
 ``ingest`` builds (or loads from the scenario cache) the named scenario
 and loads every block above the store's checkpoint — re-running it after
@@ -34,6 +35,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.etl",
         description="DeWi-style ETL replica: ingest, query, serve.",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="append JSON-lines trace events (ingest batches, requests) "
+        "here; equivalent to setting REPRO_TRACE",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -168,6 +174,10 @@ def _open_or_ingest(db: str, scenario: Optional[str], seed: int):
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.trace:
+        from repro import obs
+
+        obs.configure_trace(args.trace)
     handlers = {
         "ingest": _cmd_ingest,
         "query": _cmd_query,

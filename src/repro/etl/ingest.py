@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List
 
+from repro import obs
 from repro.chain.block import Block
 from repro.chain.blockchain import Blockchain
 from repro.chain.serialize import transaction_to_dict
@@ -67,14 +69,26 @@ def ingest_chain(
     batch_blocks: int = DEFAULT_BATCH_BLOCKS,
 ) -> IngestReport:
     """Load every block above the store's checkpoint into the store."""
+    started = perf_counter()
     checkpoint = store.checkpoint_height
     fresh = [block for block in chain.blocks if block.height > checkpoint]
+    obs.gauge("etl.ingest.checkpoint_lag", len(fresh))
     txn_count = 0
     for batch in _batches(fresh, batch_blocks):
+        batch_started = perf_counter()
+        batch_txns = 0
         with store.connection:  # one transaction per batch
             for block in batch:
-                txn_count += _load_block(store, block)
+                batch_txns += _load_block(store, block)
             store._set_meta("checkpoint_height", str(batch[-1].height))
+        txn_count += batch_txns
+        obs.observe("etl.ingest.batch_s", perf_counter() - batch_started)
+        obs.counter("etl.ingest.blocks", len(batch))
+        obs.counter("etl.ingest.transactions", batch_txns)
+        # Blocks committed but not yet caught up to the chain tip.
+        obs.gauge(
+            "etl.ingest.checkpoint_lag", chain.height - batch[-1].height
+        )
     # Folded ledger state + tip marker, in one final transaction. Always
     # refreshed: the ledger is the chain's current state even when no
     # new history rows landed.
@@ -82,6 +96,20 @@ def ingest_chain(
         _sync_ledger_state(store, chain)
         store._set_meta("checkpoint_height", str(chain.height))
         store._set_meta("tip_hash", chain.tip.hash)
+    obs.gauge("etl.ingest.checkpoint_lag", 0)
+    wall_s = perf_counter() - started
+    obs.counter("etl.ingest.runs")
+    obs.observe("etl.ingest.run_s", wall_s)
+    obs.trace_event(
+        "etl.ingest",
+        db=store.path,
+        start_height=checkpoint + 1,
+        tip_height=chain.height,
+        blocks=len(fresh),
+        transactions=txn_count,
+        wall_s=round(wall_s, 4),
+        blocks_per_s=round(len(fresh) / wall_s, 1) if wall_s > 0 else None,
+    )
     return IngestReport(
         start_height=checkpoint + 1,
         tip_height=chain.height,

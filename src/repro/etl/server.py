@@ -14,12 +14,23 @@ plain ``http.server``. Routes:
 ``GET /owner/<address>``                  one wallet page
 ``GET /coverage/dots``                    (lat, lon, count) per occupied hex
 ``GET /search?q=&limit=``                 substring search over names
+``GET /metrics``                          process metrics (JSON; add
+                                          ``?format=prometheus`` for text)
 ========================================  =====================================
 
-Errors come back as ``{"error": …}`` with a 4xx status. The server is
-strictly read-only — there is no mutating route — and serialises store
-access behind one lock, which is plenty for an explorer UI while the
-heavy lifting stays in indexed SQL.
+Errors come back as ``{"error": …}`` with a 4xx status: 404 for unknown
+resources, 400 for malformed query parameters — a negative or
+non-integer ``limit``/``offset`` is rejected, and an oversized ``limit``
+clamps to :data:`repro.etl.store.MAX_PAGE_LIMIT` so no request dumps an
+unbounded table. The server is strictly read-only — there is no
+mutating route — and serialises store access behind one lock, which is
+plenty for an explorer UI while the heavy lifting stays in indexed SQL.
+
+Every request increments ``http.requests{route=,status=}`` and lands in
+the ``http.latency_s{route=}`` histogram (:mod:`repro.obs`); the
+``/metrics`` route serves those registers live without touching the
+store lock, and each request emits one ``http.request`` trace event
+when tracing is active.
 
 >>> server = create_server(store, port=0)           # doctest: +SKIP
 >>> threading.Thread(target=server.serve_forever).start()  # doctest: +SKIP
@@ -30,12 +41,14 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro import obs
 from repro.core.explorer import Explorer, HotspotPage, OwnerPage, WitnessEvent
 from repro.errors import AnalysisError
-from repro.etl.store import EtlStore
+from repro.etl.store import MAX_PAGE_LIMIT, EtlStore
 
 __all__ = ["create_server", "serve", "page_to_json", "owner_to_json"]
 
@@ -100,7 +113,27 @@ _ROUTES = [
     "/owner/<address>",
     "/coverage/dots",
     "/search?q=&limit=",
+    "/metrics?format=json|prometheus",
 ]
+
+_KNOWN_HEADS = {"stats", "hotspots", "coverage", "search", "metrics"}
+
+
+def _route_key(parts: List[str]) -> str:
+    """The metric label for a request path: the route shape, not the
+    concrete resource, so cardinality stays bounded."""
+    if not parts:
+        return "index"
+    head = parts[0]
+    if head == "hotspot":
+        return "hotspot/witnesses" if len(parts) > 2 else "hotspot"
+    if head == "owner":
+        return "owner"
+    if head == "coverage":
+        return "coverage/dots" if parts == ["coverage", "dots"] else "unknown"
+    if head in _KNOWN_HEADS and len(parts) == 1:
+        return head
+    return "unknown"
 
 
 class _ExplorerHandler(BaseHTTPRequestHandler):
@@ -116,8 +149,12 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
 
     def _reply(self, payload: Any, status: int = 200) -> None:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._send(body, "application/json", status)
+
+    def _send(self, body: bytes, content_type: str, status: int) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -125,11 +162,37 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
     def _error(self, message: str, status: int = 404) -> None:
         self._reply({"error": message}, status=status)
 
-    def _int_param(self, params: Dict[str, List[str]], name: str, default: int) -> int:
+    def _int_param(
+        self,
+        params: Dict[str, List[str]],
+        name: str,
+        default: int,
+        max_value: Optional[int] = None,
+    ) -> int:
+        """A validated non-negative integer query parameter.
+
+        Non-integers and negatives raise :class:`ValueError` (mapped to
+        HTTP 400 by the dispatcher); values above ``max_value`` clamp
+        silently. Negative values must never reach a SQLite ``LIMIT``,
+        where ``-1`` means "unbounded".
+        """
         values = params.get(name)
         if not values:
             return default
-        return int(values[0])
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise ValueError(
+                f"query parameter {name!r} must be an integer, "
+                f"got {values[0]!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"query parameter {name!r} must be >= 0, got {value}"
+            )
+        if max_value is not None and value > max_value:
+            return max_value
+        return value
 
     # -- dispatch ----------------------------------------------------------
 
@@ -138,13 +201,42 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
         parts = [unquote(p) for p in parsed.path.split("/") if p]
         params = parse_qs(parsed.query)
         server: "_ExplorerServer" = self.server  # type: ignore[assignment]
+        route = _route_key(parts)
+        self._status = 200
+        started = perf_counter()
         try:
-            with server.lock:
-                self._route(server.explorer, server.store, parts, params)
+            if parts == ["metrics"]:
+                # Served off the process registry: no store lock needed,
+                # so metrics stay reachable while a query runs.
+                self._metrics(params)
+            else:
+                with server.lock:
+                    self._route(server.explorer, server.store, parts, params)
         except (ValueError, KeyError) as exc:
             self._error(f"bad request: {exc}", status=400)
         except AnalysisError as exc:
             self._error(str(exc), status=404)
+        finally:
+            elapsed = perf_counter() - started
+            obs.counter("http.requests", route=route, status=self._status)
+            obs.observe("http.latency_s", elapsed, route=route)
+            obs.trace_event(
+                "http.request", route=route, path=self.path,
+                status=self._status, wall_s=round(elapsed, 6),
+            )
+
+    def _metrics(self, params: Dict[str, List[str]]) -> None:
+        fmt = params.get("format", ["json"])[0].lower()
+        if fmt in ("prometheus", "prom", "text"):
+            self._send(
+                obs.to_prometheus().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+                200,
+            )
+        elif fmt == "json":
+            self._reply(obs.snapshot())
+        else:
+            raise ValueError(f"unknown metrics format {fmt!r}")
 
     def _route(
         self,
@@ -162,9 +254,9 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
                 "tables": store.counts(),
             })
         elif parts == ["hotspots"]:
-            limit = self._int_param(params, "limit", 50)
+            limit = self._int_param(params, "limit", 50, MAX_PAGE_LIMIT)
             offset = self._int_param(params, "offset", 0)
-            rows = store.hotspot_rows()[offset : offset + limit]
+            rows = store.hotspot_page_rows(limit, offset)
             self._reply({
                 "total": store.hotspot_count,
                 "hotspots": [
@@ -177,7 +269,7 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
             if len(parts) == 2:
                 self._reply(page_to_json(page))
             elif parts[2] == "witnesses":
-                limit = self._int_param(params, "limit", 100)
+                limit = self._int_param(params, "limit", 100, MAX_PAGE_LIMIT)
                 events = store.witness_events(
                     page.gateway, direction="witnessing", limit=limit
                 )
@@ -200,7 +292,7 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
             })
         elif parts == ["search"]:
             query = params.get("q", [""])[0]
-            limit = self._int_param(params, "limit", 10)
+            limit = self._int_param(params, "limit", 10, MAX_PAGE_LIMIT)
             matches = explorer.search(query, limit=limit) if query else []
             self._reply({
                 "query": query,
@@ -260,9 +352,11 @@ def serve(
     server = create_server(store, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.etl explorer listening on http://{bound_host}:{bound_port}/")
+    obs.trace_event("etl.serve", host=bound_host, port=bound_port, db=store.path)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        obs.trace_event("etl.serve.stop", host=bound_host, port=bound_port)
         server.server_close()

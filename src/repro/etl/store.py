@@ -33,9 +33,35 @@ from repro.errors import EtlError
 from repro.etl import schema
 from repro.geo.hexgrid import HexCell
 
-__all__ = ["EtlStore"]
+__all__ = ["MAX_PAGE_LIMIT", "EtlStore", "clamp_page"]
 
 _MEMORY = ":memory:"
+
+#: Hard ceiling on one page of results. Every paginated query surface
+#: (HTTP routes and the store's own paging helpers) clamps to this, so
+#: no single request can dump an unbounded table.
+MAX_PAGE_LIMIT = 1000
+
+
+def clamp_page(
+    limit: int, offset: int = 0, max_limit: int = MAX_PAGE_LIMIT
+) -> Tuple[int, int]:
+    """Validated ``(limit, offset)`` for a paged query.
+
+    Raises :class:`ValueError` on non-integers or negatives (the HTTP
+    layer maps that to a 400); a too-large limit silently clamps to
+    ``max_limit``. Offsets stay unbounded upward — paging deep is
+    legitimate, dumping an unbounded page is not. Notably ``limit=-1``
+    must never reach SQLite, where a negative ``LIMIT`` means
+    "no limit".
+    """
+    limit = int(limit)
+    offset = int(offset)
+    if limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    return min(limit, max_limit), offset
 
 
 class EtlStore:
@@ -219,6 +245,7 @@ class EtlStore:
             where, counterparty = "challengee", "witness"
         else:
             raise EtlError(f"unknown witness direction {direction!r}")
+        limit, _ = clamp_page(limit)
         rows = self.connection.execute(
             f"SELECT height, {counterparty}, rssi_dbm, distance_km, is_valid "
             f"FROM witnesses WHERE {where}=? "
@@ -268,6 +295,17 @@ class EtlStore:
         """``(gateway, name, location_token)`` in ledger insertion order."""
         return self.connection.execute(
             "SELECT gateway, name, location_token FROM hotspots ORDER BY rowid"
+        ).fetchall()
+
+    def hotspot_page_rows(
+        self, limit: int = 50, offset: int = 0
+    ) -> List[Tuple[Address, str, Optional[str]]]:
+        """One clamped page of :meth:`hotspot_rows`, paged in SQL."""
+        limit, offset = clamp_page(limit, offset)
+        return self.connection.execute(
+            "SELECT gateway, name, location_token FROM hotspots "
+            "ORDER BY rowid LIMIT ? OFFSET ?",
+            (limit, offset),
         ).fetchall()
 
     @property

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --jobs 4        # process-pool farm
     python -m repro.experiments --profile       # timings JSON
     python -m repro.experiments sweep --seeds 2021..2024 --jobs 4
+    python -m repro.experiments --trace run.jsonl    # JSON-lines trace
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import json
 import sys
 import time
 
+from repro import obs
 from repro.experiments.context import get_result
 from repro.experiments.registry import EXPERIMENTS, format_report, run_experiment
 
@@ -48,7 +50,14 @@ def _sweep_main(argv) -> int:
         "--out", metavar="FILE", default=None,
         help="write the robustness report JSON here (default: stdout table only)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="append JSON-lines trace events here (workers join via "
+        "the exported REPRO_TRACE environment variable)",
+    )
     args = parser.parse_args(argv)
+    if args.trace:
+        obs.configure_trace(args.trace)
 
     ids = args.ids or EXPERIMENTS.ids()
     unknown = [i for i in ids if i not in EXPERIMENTS.ids()]
@@ -69,6 +78,7 @@ def _sweep_main(argv) -> int:
             json.dump(sweep, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}")
+    obs.trace_event("metrics.snapshot", metrics=obs.snapshot())
     return 0
 
 
@@ -100,6 +110,12 @@ def main(argv=None) -> int:
         "as profile.json (next to --export output when given)",
     )
     parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="append JSON-lines trace events (engine phases, cache, "
+        "workers) here; workers join via the exported REPRO_TRACE "
+        "environment variable",
+    )
+    parser.add_argument(
         "--export", metavar="DIR", default=None,
         help="also write rows/series as JSON+CSV under DIR",
     )
@@ -120,6 +136,9 @@ def main(argv=None) -> int:
     unknown = [i for i in ids if i not in EXPERIMENTS.ids()]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
+
+    if args.trace:
+        obs.configure_trace(args.trace)
 
     print(f"building {args.scenario} scenario (seed {args.seed})...")
     started = time.time()
@@ -188,6 +207,7 @@ def main(argv=None) -> int:
             json.dump(profile, handle, indent=2)
             handle.write("\n")
         print(f"wrote {profile_path}")
+    obs.trace_event("metrics.snapshot", metrics=obs.snapshot())
     return 0
 
 

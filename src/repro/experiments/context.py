@@ -31,6 +31,7 @@ import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import EtlError, ReproError
 from repro.etl.ingest import ingest_chain
 from repro.etl.store import EtlStore
@@ -124,30 +125,59 @@ def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
     """A memoised simulation result for the named scenario preset."""
     key = (scenario, seed)
     cached = _CACHE.get(key)
+    if cached is not None:
+        obs.counter("cache.memo_hit", scenario=scenario)
+        return cached
+    builder = _BUILDERS.get(scenario)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
+        )
+    config = builder(seed=seed)
+    entry = _entry_dir(scenario, config)
+    if entry is not None:
+        cached = _timed_load(entry, scenario, seed)
     if cached is None:
-        builder = _BUILDERS.get(scenario)
-        if builder is None:
-            raise KeyError(
-                f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
-            )
-        config = builder(seed=seed)
-        entry = _entry_dir(scenario, config)
-        if entry is not None:
-            cached = _load_from_disk(entry)
-        if cached is None:
-            from repro.parallel.locks import build_lock
+        from repro.parallel.locks import build_lock
 
-            with build_lock(entry):
-                # Losing the lock race means the winner already built
-                # and published this entry — load theirs, don't rebuild.
-                if entry is not None:
-                    cached = _load_from_disk(entry)
-                if cached is None:
+        with build_lock(entry):
+            # Losing the lock race means the winner already built
+            # and published this entry — load theirs, don't rebuild.
+            if entry is not None:
+                cached = _timed_load(entry, scenario, seed)
+            if cached is None:
+                obs.counter("cache.build", scenario=scenario)
+                obs.trace_event(
+                    "cache.build.start", scenario=scenario, seed=seed,
+                    entry=None if entry is None else entry.name,
+                )
+                with obs.timer("cache.build_s") as timing:
                     cached = SimulationEngine(config).run()
-                    if entry is not None:
-                        _save_to_disk(cached, entry)
-        _CACHE[key] = cached
+                obs.trace_event(
+                    "cache.build.done", scenario=scenario, seed=seed,
+                    wall_s=round(timing.elapsed, 4),
+                )
+                if entry is not None:
+                    _save_to_disk(cached, entry)
+    _CACHE[key] = cached
     return cached
+
+
+def _timed_load(
+    entry: Path, scenario: str, seed: int
+) -> Optional[SimulationResult]:
+    """Disk load wrapped in hit/miss metrics and one trace event."""
+    with obs.timer("cache.load_s") as timing:
+        result = _load_from_disk(entry)
+    if result is None:
+        obs.counter("cache.disk_miss", scenario=scenario)
+        return None
+    obs.counter("cache.disk_hit", scenario=scenario)
+    obs.trace_event(
+        "cache.load", scenario=scenario, seed=seed, entry=entry.name,
+        wall_s=round(timing.elapsed, 4),
+    )
+    return result
 
 
 def ensure_snapshot(scenario: str = "paper", seed: int = 2021) -> Optional[Path]:

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.experiments.registry import (
     ExperimentReport,
     report_from_payload,
@@ -64,7 +65,13 @@ def _worker_result(snapshot_dir: Optional[str], scenario: str, seed: int):
         if snapshot_dir is not None:
             from repro.experiments.snapshot import load_result
 
-            _WORKER_RESULT = load_result(snapshot_dir)
+            with obs.timer("farm.rehydrate_s") as timing:
+                _WORKER_RESULT = load_result(snapshot_dir)
+            obs.counter("farm.rehydrates")
+            obs.trace_event(
+                "worker.rehydrate", scenario=scenario, seed=seed,
+                wall_s=round(timing.elapsed, 4),
+            )
         else:
             # Cache disabled: fall back to the in-process memo (each
             # worker builds once; still correct, just not shared).
@@ -82,11 +89,19 @@ def _run_one(task: Tuple[Optional[str], str, int, str]) -> Dict:
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     report = run_experiment(experiment_id, result)
+    wall_s = time.perf_counter() - wall0
+    cpu_s = time.process_time() - cpu0
+    obs.counter("farm.tasks")
+    obs.observe("farm.task_s", wall_s, experiment=experiment_id)
+    obs.trace_event(
+        "worker.task", experiment=experiment_id, scenario=scenario,
+        seed=seed, wall_s=round(wall_s, 4), cpu_s=round(cpu_s, 4),
+    )
     return {
         "experiment_id": experiment_id,
         "report": report_payload(report),
-        "wall_s": time.perf_counter() - wall0,
-        "cpu_s": time.process_time() - cpu0,
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
     }
 
 
@@ -112,8 +127,17 @@ def run_farm(
     snapshot_dir = None if entry is None else str(entry)
     tasks = [(snapshot_dir, scenario, seed, eid) for eid in ids]
 
+    farm_started = time.perf_counter()
+    obs.trace_event(
+        "farm.start", scenario=scenario, seed=seed, jobs=jobs,
+        experiments=len(ids),
+    )
+    obs.gauge("farm.queue_depth", len(tasks))
+    raw = []
     if jobs <= 1:
-        raw = [_run_one(task) for task in tasks]
+        for task in tasks:
+            raw.append(_run_one(task))
+            obs.gauge("farm.queue_depth", len(tasks) - len(raw))
     else:
         context = (
             multiprocessing.get_context(start_method)
@@ -121,7 +145,16 @@ def run_farm(
             else multiprocessing.get_context()
         )
         with context.Pool(processes=jobs) as pool:
-            raw = list(pool.imap(_run_one, tasks))
+            # imap streams results in submission order; the parent-side
+            # gauge tracks how many tasks are still queued or running.
+            for item in pool.imap(_run_one, tasks):
+                raw.append(item)
+                obs.gauge("farm.queue_depth", len(tasks) - len(raw))
+    obs.trace_event(
+        "farm.done", scenario=scenario, seed=seed, jobs=jobs,
+        experiments=len(ids),
+        wall_s=round(time.perf_counter() - farm_started, 4),
+    )
 
     return [
         FarmOutcome(

@@ -11,19 +11,37 @@ find the published entry on disk and load it instead of re-simulating.
 descriptor closes — including on crash — so the only "stale" case left
 is a live holder exceeding the timeout (wedged, or genuinely slower
 than expected). We then warn and proceed *unlocked*: duplicating a
-build is always safe here, failing to build is not.
+build is always safe here, failing to build is not. The same
+warn-and-proceed applies **immediately** to any ``flock`` error that is
+not contention (``EBADF``, ``ENOLCK``, …) — only ``EWOULDBLOCK`` /
+``EAGAIN`` (and ``EINTR``) mean "someone holds it, poll again"; a
+broken lock must never stall a build for the contention timeout.
+
+Once the entry is published the sidecar has done its job and is
+best-effort unlinked after release, so a long-lived cache directory
+does not accumulate one ``.lock`` file per entry. Late waiters either
+see the published entry before ever locking, or acquire an orphaned
+inode and then find the entry on their post-acquire re-check — both
+paths skip the build.
 
 On platforms without ``fcntl`` (Windows) the lock degrades to a no-op
 and the pre-existing atomic-publish semantics carry correctness alone.
+
+Lock waits are observable: acquisition records the wait into the
+``cache.lock_wait_s`` histogram and emits one ``cache.lock`` trace
+event (outcome ``acquired`` / ``timeout`` / ``error``).
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno
 import time
 import warnings
 from pathlib import Path
 from typing import Iterator, Optional
+
+from repro import obs
 
 try:
     import fcntl
@@ -38,6 +56,14 @@ __all__ = ["DEFAULT_TIMEOUT_S", "build_lock"]
 DEFAULT_TIMEOUT_S = 600.0
 
 _POLL_S = 0.1
+
+#: The only errnos that mean "lock held by someone else, keep polling".
+#: EWOULDBLOCK/EAGAIN are contention by definition; EINTR is a signal
+#: landing mid-syscall. Anything else (EBADF, ENOLCK, ...) is a broken
+#: lock and must fail fast, not spin out the contention timeout.
+_CONTENTION_ERRNOS = frozenset(
+    {errno.EWOULDBLOCK, errno.EAGAIN, errno.EINTR}
+)
 
 
 @contextlib.contextmanager
@@ -65,15 +91,35 @@ def build_lock(
             RuntimeWarning,
             stacklevel=3,
         )
+        obs.counter("cache.lock_error")
+        obs.trace_event(
+            "cache.lock", entry=entry.name, outcome="open_error",
+            error=str(exc),
+        )
         yield
         return
+    acquired = False
     try:
-        deadline = time.monotonic() + timeout_s
+        started = time.monotonic()
+        deadline = started + timeout_s
+        outcome = "acquired"
         while True:
             try:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                acquired = True
                 break
-            except OSError:
+            except OSError as exc:
+                if exc.errno not in _CONTENTION_ERRNOS:
+                    warnings.warn(
+                        f"scenario build lock {lock_path} failed "
+                        f"({exc}); proceeding without it (atomic publish "
+                        "keeps the cache consistent)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    outcome = "error"
+                    obs.counter("cache.lock_error")
+                    break
                 if time.monotonic() >= deadline:
                     warnings.warn(
                         f"scenario build lock {lock_path} still held after "
@@ -82,12 +128,28 @@ def build_lock(
                         RuntimeWarning,
                         stacklevel=3,
                     )
+                    outcome = "timeout"
+                    obs.counter("cache.lock_timeout")
                     break
                 time.sleep(_POLL_S)
+        waited = time.monotonic() - started
+        obs.observe("cache.lock_wait_s", waited)
+        obs.trace_event(
+            "cache.lock", entry=entry.name, outcome=outcome,
+            wait_s=round(waited, 4),
+        )
         yield
     finally:
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-        except OSError:  # pragma: no cover - unlock of unheld lock
-            pass
+        if acquired:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock of unheld lock
+                pass
         handle.close()
+        # The sidecar is only needed while the entry is unbuilt; once
+        # meta.json is published, stop leaking one .lock per entry.
+        # Safe even if a waiter still polls the old inode: it acquires,
+        # re-checks the disk, and loads the published entry.
+        if acquired and (entry / "meta.json").exists():
+            with contextlib.suppress(OSError):
+                lock_path.unlink()

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.experiments.registry import (
     report_payload,
@@ -39,10 +41,19 @@ def _sweep_task(task: Tuple[str, int, Tuple[str, ...]]) -> Tuple[int, List[Dict]
     scenario, seed, experiment_ids = task
     from repro.experiments.context import get_result
 
+    started = time.perf_counter()
     result = get_result(scenario, seed)
-    return seed, [
+    payloads = [
         report_payload(run_experiment(eid, result)) for eid in experiment_ids
     ]
+    wall_s = time.perf_counter() - started
+    obs.counter("sweep.seeds")
+    obs.observe("sweep.seed_s", wall_s)
+    obs.trace_event(
+        "worker.sweep_seed", scenario=scenario, seed=seed,
+        experiments=len(experiment_ids), wall_s=round(wall_s, 4),
+    )
+    return seed, payloads
 
 
 def run_sweep(
@@ -68,6 +79,11 @@ def run_sweep(
     ids = tuple(experiment_ids)
     tasks = [(scenario, seed, ids) for seed in seed_list]
 
+    sweep_started = time.perf_counter()
+    obs.trace_event(
+        "sweep.start", scenario=scenario, seeds=seed_list, jobs=jobs,
+        experiments=len(ids),
+    )
     if jobs <= 1:
         raw = [_sweep_task(task) for task in tasks]
     else:
@@ -78,6 +94,10 @@ def run_sweep(
         )
         with context.Pool(processes=jobs) as pool:
             raw = list(pool.imap(_sweep_task, tasks))
+    obs.trace_event(
+        "sweep.done", scenario=scenario, seeds=seed_list, jobs=jobs,
+        wall_s=round(time.perf_counter() - sweep_started, 4),
+    )
 
     by_seed = dict(raw)
     experiments: Dict[str, Dict] = {}

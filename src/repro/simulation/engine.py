@@ -14,6 +14,7 @@ truth analyses score against).
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -21,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.chain.blockchain import Blockchain
 from repro.chain.crypto import Address, Keypair
 from repro.chain.transactions import (
@@ -170,13 +171,26 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------ run --
 
+    @contextlib.contextmanager
+    def _phase(self, name: str):
+        """Accumulate one day-loop phase's wall-clock into
+        :attr:`phase_timings` (the ``--profile`` source; aggregated into
+        ``engine.phase.*`` metrics when the run completes)."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_timings[name] += perf_counter() - started
+
     def run(self) -> SimulationResult:
         """Execute the scenario and return the result bundle."""
+        run_started = perf_counter()
         console_owner, oui_owners = self._bootstrap_routers()
         reward_engine_pre = RewardEngine(hip10_cap=False)
         reward_engine_post = RewardEngine(hip10_cap=True)
         rng_day = self.hub.stream("dayloop")
 
+        phase = self._phase
         for day in range(self.config.n_days):
             price = self.oracle.price_on_day(day)
             self.chain.ledger.oracle_price_usd = price
@@ -186,37 +200,53 @@ class SimulationEngine:
                 epoch_end_block=(day + 1) * _BLOCKS_PER_DAY - 1,
             )
 
-            timings = self.phase_timings
-            t0 = perf_counter()
-            added = self._deploy_day(day, batch)
-            t1 = perf_counter(); timings["deploy"] += t1 - t0
-            transferred = self._execute_transfers(day, batch)
-            t2 = perf_counter(); timings["transfers"] += t2 - t1
-            self._execute_moves(day, batch, transferred)
-            t3 = perf_counter(); timings["moves"] += t3 - t2
-            self._update_online(day)
-            t4 = perf_counter(); timings["online"] += t4 - t3
-            if day % 7 == 0:
-                self.world.rebuild_index()
-            t5 = perf_counter(); timings["index"] += t5 - t4
-            self._run_poc(day, batch, activity)
-            t6 = perf_counter(); timings["poc"] += t6 - t5
-            self._run_traffic(day, batch, activity, console_owner, oui_owners)
-            t7 = perf_counter(); timings["traffic"] += t7 - t6
-            engine = (
-                reward_engine_post if day >= self.config.hip10_day
-                else reward_engine_pre
-            )
-            self._mint_rewards(day, batch, activity, engine, price)
-            t8 = perf_counter(); timings["rewards"] += t8 - t7
-            self._encash(day, batch)
-            t9 = perf_counter(); timings["encash"] += t9 - t8
-            self._mint_day(day, batch)
-            t10 = perf_counter(); timings["mint"] += t10 - t9
-            self._log_growth(day, added)
-            timings["log"] += perf_counter() - t10
+            with phase("deploy"):
+                added = self._deploy_day(day, batch)
+            with phase("transfers"):
+                transferred = self._execute_transfers(day, batch)
+            with phase("moves"):
+                self._execute_moves(day, batch, transferred)
+            with phase("online"):
+                self._update_online(day)
+            with phase("index"):
+                if day % 7 == 0:
+                    self.world.rebuild_index()
+            with phase("poc"):
+                self._run_poc(day, batch, activity)
+            with phase("traffic"):
+                self._run_traffic(
+                    day, batch, activity, console_owner, oui_owners
+                )
+            with phase("rewards"):
+                engine = (
+                    reward_engine_post if day >= self.config.hip10_day
+                    else reward_engine_pre
+                )
+                self._mint_rewards(day, batch, activity, engine, price)
+            with phase("encash"):
+                self._encash(day, batch)
+            with phase("mint"):
+                self._mint_day(day, batch)
+            with phase("log"):
+                self._log_growth(day, added)
 
         peerbook = self._build_peerbook()
+        wall_s = perf_counter() - run_started
+        obs.counter("engine.runs")
+        obs.counter("engine.days", self.config.n_days)
+        for name, seconds in self.phase_timings.items():
+            obs.observe(f"engine.phase.{name}", seconds)
+        obs.trace_event(
+            "engine.run",
+            seed=self.config.seed,
+            n_days=self.config.n_days,
+            blocks=self.chain.height,
+            wall_s=round(wall_s, 4),
+            phases={
+                name: round(seconds, 4)
+                for name, seconds in self.phase_timings.items()
+            },
+        )
         return SimulationResult(
             config=self.config,
             chain=self.chain,

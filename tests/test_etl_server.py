@@ -13,6 +13,7 @@ import pytest
 from repro.core.explorer import Explorer
 from repro.etl import EtlStore, ingest_chain
 from repro.etl.server import create_server, owner_to_json, page_to_json
+from repro.etl.store import MAX_PAGE_LIMIT, clamp_page
 
 from tests.etl_chains import ChainBuilder
 
@@ -140,3 +141,117 @@ class TestErrors:
         status, payload = _get_error(base, "/hotspots?limit=banana")
         assert status == 400
         assert "error" in payload
+
+    @pytest.mark.parametrize("path", [
+        "/hotspots?limit=-1",
+        "/hotspots?offset=-1",
+        "/hotspots?limit=notanint",
+        "/hotspots?offset=notanint",
+        "/search?q=a&limit=-5",
+        "/search?q=a&limit=nan",
+    ])
+    def test_negative_or_non_integer_paging_is_400(self, served, path):
+        # A negative limit must never reach SQLite, where LIMIT -1
+        # means "no limit" and dumps the whole table.
+        base, _ = served
+        status, payload = _get_error(base, path)
+        assert status == 400
+        assert "error" in payload
+
+    def test_witnesses_negative_limit_is_400(self, served):
+        base, builder = served
+        gateway = builder.gateways[0]
+        status, payload = _get_error(
+            base, f"/hotspot/{gateway}/witnesses?limit=-1"
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_huge_limit_clamps_instead_of_unbounding(self, served):
+        base, builder = served
+        payload = _get(base, "/hotspots?limit=999999999")
+        # Clamped, not rejected: the page is bounded by MAX_PAGE_LIMIT.
+        assert len(payload["hotspots"]) == min(
+            len(builder.gateways), MAX_PAGE_LIMIT
+        )
+
+    def test_zero_limit_is_an_empty_page(self, served):
+        base, _ = served
+        payload = _get(base, "/hotspots?limit=0")
+        assert payload["hotspots"] == []
+
+
+class TestStorePaging:
+    def test_clamp_page_validates(self):
+        assert clamp_page(10, 5) == (10, 5)
+        assert clamp_page(MAX_PAGE_LIMIT + 1) == (MAX_PAGE_LIMIT, 0)
+        with pytest.raises(ValueError):
+            clamp_page(-1)
+        with pytest.raises(ValueError):
+            clamp_page(10, -3)
+        with pytest.raises(ValueError):
+            clamp_page("banana")
+
+    def test_hotspot_page_rows_matches_python_slice(self, served):
+        _, builder = served
+        store = EtlStore()
+        ingest_chain(builder.chain, store)
+        full = store.hotspot_rows()
+        assert store.hotspot_page_rows(2, 1) == full[1:3]
+        assert store.hotspot_page_rows(10**9, 0) == full
+
+    def test_witness_events_clamps_limit(self, served):
+        _, builder = served
+        store = EtlStore()
+        ingest_chain(builder.chain, store)
+        with pytest.raises(ValueError):
+            store.witness_events(
+                builder.gateways[0], direction="witnessing", limit=-1
+            )
+
+
+class TestMetricsRoute:
+    def test_json_metrics_cover_routes(self, served):
+        base, _ = served
+        _get(base, "/stats")  # guarantee at least one counted request
+        payload = _get(base, "/metrics")
+        assert set(payload) == {"counters", "gauges", "timers"}
+        assert payload["counters"]["http.requests{route=stats,status=200}"] >= 1
+        latency_keys = [
+            k for k in payload["timers"] if k.startswith("http.latency_s")
+        ]
+        assert "http.latency_s{route=stats}" in latency_keys
+        assert payload["timers"]["http.latency_s{route=stats}"]["count"] >= 1
+
+    def test_error_statuses_are_labelled(self, served):
+        base, _ = served
+        _get_error(base, "/hotspots?limit=-1")
+        payload = _get(base, "/metrics")
+        assert (
+            payload["counters"]["http.requests{route=hotspots,status=400}"]
+            >= 1
+        )
+
+    def test_prometheus_format(self, served):
+        base, _ = served
+        _get(base, "/stats")
+        request = urllib.request.urlopen(
+            base + "/metrics?format=prometheus", timeout=10
+        )
+        with request as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{route="stats",status="200"}' in text
+        assert "repro_http_latency_s_bucket" in text
+
+    def test_unknown_format_is_400(self, served):
+        base, _ = served
+        status, payload = _get_error(base, "/metrics?format=xml")
+        assert status == 400
+        assert "error" in payload
+
+    def test_index_advertises_metrics(self, served):
+        base, _ = served
+        payload = _get(base, "/")
+        assert any("/metrics" in route for route in payload["routes"])

@@ -1,0 +1,207 @@
+"""repro.obs: registry semantics, trace round-trips, process safety.
+
+The contracts under test:
+
+* counters/gauges/timers are exact under thread contention (one lock,
+  no lost updates);
+* the snapshot and Prometheus exports agree with what was recorded;
+* a trace file is line-parseable JSON, every event carries the run's
+  trace id and the writer's pid, and concurrent processes joining via
+  the ``REPRO_TRACE`` environment variable interleave without
+  corrupting lines (the same mechanism the farm's spawn workers use);
+* with no sink configured, trace emission is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace_state(monkeypatch):
+    """Isolate the module-global trace writer and its env activation."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_ID", raising=False)
+    obs.close_trace()
+    yield
+    obs.close_trace()
+
+
+class TestRegistry:
+    def test_counter_increments_and_returns_value(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") == 1
+        assert registry.counter("a.b", 4) == 5
+        assert registry.snapshot()["counters"]["a.b"] == 5
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("http.requests", route="stats", status=200)
+        registry.counter("http.requests", route="stats", status=404)
+        counters = registry.snapshot()["counters"]
+        assert counters["http.requests{route=stats,status=200}"] == 1
+        assert counters["http.requests{route=stats,status=404}"] == 1
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 5)
+        registry.gauge("depth", 2)
+        assert registry.snapshot()["gauges"]["depth"] == 2
+
+    def test_timer_context_manager_records(self):
+        registry = MetricsRegistry()
+        with registry.timer("step_s") as timing:
+            pass
+        assert timing.elapsed is not None and timing.elapsed >= 0.0
+        summary = registry.snapshot()["timers"]["step_s"]
+        assert summary["count"] == 1
+        assert summary["max"] >= summary["min"] >= 0.0
+
+    def test_timer_as_decorator(self):
+        registry = MetricsRegistry()
+
+        @registry.timer("fn_s")
+        def double(x):
+            return 2 * x
+
+        assert [double(i) for i in range(3)] == [0, 2, 4]
+        assert registry.snapshot()["timers"]["fn_s"]["count"] == 3
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") == 0
+        registry.gauge("g", 1)
+        registry.observe("t", 0.5)
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("g", 1)
+        registry.observe("t", 0.5)
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+
+    def test_thread_safety_no_lost_updates(self):
+        registry = MetricsRegistry()
+        per_thread, n_threads = 1000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.counter("hits")
+                registry.observe("lat_s", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == per_thread * n_threads
+        assert snap["timers"]["lat_s"]["count"] == per_thread * n_threads
+
+    def test_prometheus_export_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.disk_hit", 3, scenario="small")
+        registry.gauge("farm.queue_depth", 7)
+        registry.observe("http.latency_s", 0.005, route="stats")
+        text = registry.to_prometheus()
+        assert 'repro_cache_disk_hit_total{scenario="small"} 3' in text
+        assert "repro_farm_queue_depth 7" in text
+        assert "# TYPE repro_http_latency_s histogram" in text
+        assert 'repro_http_latency_s_bucket{route="stats",le="0.01"} 1' in text
+        assert 'repro_http_latency_s_bucket{route="stats",le="+Inf"} 1' in text
+        assert 'repro_http_latency_s_count{route="stats"} 1' in text
+
+    def test_histogram_bucket_boundaries(self):
+        registry = MetricsRegistry()
+        registry.observe("t_s", 0.5)     # lands in le=1
+        registry.observe("t_s", 5.0)     # lands in le=10
+        registry.observe("t_s", 1e9)     # beyond every bound: +Inf only
+        text = registry.to_prometheus()
+        assert 'repro_t_s_bucket{le="0.1"} 0' in text
+        assert 'repro_t_s_bucket{le="1"} 1' in text
+        assert 'repro_t_s_bucket{le="10"} 2' in text
+        assert 'repro_t_s_bucket{le="+Inf"} 3' in text
+
+    def test_module_level_helpers_hit_process_registry(self):
+        before = obs.snapshot()["counters"].get("test.helper", 0)
+        obs.counter("test.helper")
+        assert obs.snapshot()["counters"]["test.helper"] == before + 1
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = obs.configure_trace(path, trace_id="abc123")
+        obs.trace_event("demo.one", value=1)
+        obs.trace_event("demo.two", nested={"a": [1, 2]})
+        obs.close_trace(clear_env=True)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["kind"] for e in events] == ["demo.one", "demo.two"]
+        assert all(e["trace"] == "abc123" for e in events)
+        assert all(e["pid"] == os.getpid() for e in events)
+        assert events[1]["nested"] == {"a": [1, 2]}
+        assert writer.trace_id == "abc123"
+
+    def test_no_sink_is_noop(self):
+        assert not obs.tracing()
+        obs.trace_event("dropped")  # must not raise or create files
+        assert obs.trace_id() is None
+
+    def test_env_activation(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        monkeypatch.setenv("REPRO_TRACE_ID", "fromenv")
+        obs.close_trace()  # re-arm the lazy env check
+        obs.trace_event("via.env")
+        assert obs.tracing() and obs.trace_id() == "fromenv"
+        obs.close_trace()
+        event = json.loads(path.read_text())
+        assert event["kind"] == "via.env" and event["trace"] == "fromenv"
+
+    def test_configure_exports_env_for_children(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure_trace(path, trace_id="parent01")
+        assert os.environ["REPRO_TRACE"] == str(path)
+        assert os.environ["REPRO_TRACE_ID"] == "parent01"
+        obs.close_trace(clear_env=True)
+        assert "REPRO_TRACE" not in os.environ
+
+    def test_concurrent_processes_interleave_cleanly(self, tmp_path):
+        """N processes appending via env produce N*M parseable lines
+        sharing one trace id — the farm's spawn-worker mechanism."""
+        path = tmp_path / "multi.jsonl"
+        env = dict(
+            os.environ,
+            REPRO_TRACE=str(path),
+            REPRO_TRACE_ID="shared42",
+            PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        )
+        script = (
+            "from repro import obs\n"
+            "for i in range(50):\n"
+            "    obs.trace_event('child.tick', i=i, payload='x' * 64)\n"
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script], env=env)
+            for _ in range(4)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(events) == 4 * 50
+        assert {e["trace"] for e in events} == {"shared42"}
+        assert len({e["pid"] for e in events}) == 4

@@ -11,16 +11,19 @@ The determinism contracts under test:
 
 from __future__ import annotations
 
+import errno
 import fcntl
 import json
 import os
 import subprocess
 import sys
 import textwrap
+import time
 
 import pytest
 
 import repro.experiments.context as context
+from repro import obs
 from repro.experiments.registry import (
     report_from_payload,
     report_payload,
@@ -177,6 +180,8 @@ class TestBuildLock:
         assert len(list(markers.iterdir())) == 1
         entries = [p for p in cache.iterdir() if p.is_dir()]
         assert len(entries) == 1
+        # The published entry's .lock sidecar must not be left behind.
+        assert not list(cache.glob("*.lock"))
 
     def test_timeout_proceeds_with_warning(self, tmp_path):
         entry = tmp_path / "small-seed7-abc-v2"
@@ -204,6 +209,87 @@ class TestBuildLock:
             fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
         finally:
             probe.close()
+
+    def test_broken_flock_proceeds_immediately(self, tmp_path, monkeypatch):
+        """A non-contention flock error (EBADF) must warn-and-proceed at
+        once, not spin the 0.1 s poll loop for the full timeout."""
+        import repro.parallel.locks as locks
+
+        def broken_flock(fd, op):
+            raise OSError(errno.EBADF, "Bad file descriptor")
+
+        monkeypatch.setattr(locks.fcntl, "flock", broken_flock)
+        entry = tmp_path / "entry"
+        started = time.monotonic()
+        with pytest.warns(RuntimeWarning, match="lock .* failed"):
+            with build_lock(entry, timeout_s=600.0):
+                pass  # proceeded unlocked
+        # Far below the stale timeout: a handful of milliseconds.
+        assert time.monotonic() - started < 5.0
+
+    def test_enolck_also_fails_fast(self, tmp_path, monkeypatch):
+        import repro.parallel.locks as locks
+
+        def no_locks(fd, op):
+            raise OSError(errno.ENOLCK, "No locks available")
+
+        monkeypatch.setattr(locks.fcntl, "flock", no_locks)
+        started = time.monotonic()
+        with pytest.warns(RuntimeWarning, match="lock .* failed"):
+            with build_lock(tmp_path / "e", timeout_s=600.0):
+                pass
+        assert time.monotonic() - started < 5.0
+
+    def test_sidecar_unlinked_after_published_build(self, tmp_path):
+        """A successful build (entry published) leaves no stale .lock."""
+        entry = tmp_path / "small-seed7-abc-v2"
+        with build_lock(entry):
+            entry.mkdir()
+            (entry / "meta.json").write_text("{}")
+        assert not (tmp_path / (entry.name + ".lock")).exists()
+        assert (entry / "meta.json").exists()  # only the sidecar is gone
+
+    def test_sidecar_kept_when_build_did_not_publish(self, tmp_path):
+        """An unpublished entry keeps its lock file for the next attempt."""
+        entry = tmp_path / "entry"
+        with build_lock(entry):
+            pass  # no meta.json: the build failed or was a dry hold
+        assert (tmp_path / "entry.lock").exists()
+
+
+class TestFarmTrace:
+    def test_spawn_workers_join_the_trace(
+        self, seeded_cache, tmp_path, monkeypatch
+    ):
+        """A farm run under REPRO_TRACE yields one JSON-lines file with
+        parent and worker events sharing the run's trace id — even under
+        ``spawn``, where workers inherit nothing but the environment."""
+        trace_path = tmp_path / "farm-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        monkeypatch.setenv("REPRO_TRACE_ID", "farmtest01")
+        obs.close_trace()  # re-arm the lazy env activation
+        try:
+            run_farm("small", 7, ["fig02", "fig12"], jobs=2,
+                     start_method="spawn")
+        finally:
+            obs.close_trace()
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        kinds = {event["kind"] for event in events}
+        assert {"farm.start", "farm.done", "worker.task"} <= kinds
+        assert {event["trace"] for event in events} == {"farmtest01"}
+        worker_pids = {
+            event["pid"] for event in events if event["kind"] == "worker.task"
+        }
+        assert worker_pids and os.getpid() not in worker_pids
+        ran = {
+            event["experiment"]
+            for event in events
+            if event["kind"] == "worker.task"
+        }
+        assert ran == {"fig02", "fig12"}
 
 
 class TestEnsureSnapshot:
