@@ -56,21 +56,38 @@ _TXN_TYPES: Dict[str, Type[Transaction]] = {
 }
 
 
+_FIELD_NAMES: Dict[type, tuple] = {}
+
+
 def transaction_to_dict(txn: Transaction) -> Dict[str, Any]:
     """Serialise one transaction to a JSON-compatible dict."""
-    payload = dataclasses.asdict(txn)
-    payload = _convert_out(payload)
+    payload = _dataclass_out(txn)
     payload["type"] = txn.kind
     return payload
+
+
+def _dataclass_out(obj: Any) -> Dict[str, Any]:
+    # Hand-rolled ``dataclasses.asdict`` (same field order, same nested
+    # conversion) minus its deep-copy machinery: chain dumps are hot —
+    # they run inside every day-level checkpoint save.
+    names = _FIELD_NAMES.get(type(obj))
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(obj))
+        _FIELD_NAMES[type(obj)] = names
+    return {name: _convert_out(getattr(obj, name)) for name in names}
 
 
 def _convert_out(value: Any) -> Any:
     if isinstance(value, RewardType):
         return value.value
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
     if isinstance(value, dict):
         return {k: _convert_out(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_convert_out(v) for v in value]
+    if dataclasses.is_dataclass(value):
+        return _dataclass_out(value)
     return value
 
 
@@ -109,14 +126,22 @@ def transaction_from_dict(payload: Dict[str, Any]) -> Transaction:
         raise ChainError(f"malformed {kind} payload: {exc}") from exc
 
 
-def dump_chain(chain: Blockchain, destination: Union[str, Path, IO[str]]) -> int:
+def dump_chain(
+    chain: Blockchain,
+    destination: Union[str, Path, IO[str]],
+    start: int = 0,
+) -> int:
     """Write the chain as JSONL (one block per line). Returns line count.
 
     The genesis block is included so a load reproduces heights exactly.
+    ``start`` skips the first ``start`` materialised blocks — the chain
+    is append-only, so incremental writers (day-level checkpoints) reuse
+    the bytes they already wrote for that prefix and pass a handle
+    opened in append mode for the rest.
     """
     def _write(handle: IO[str]) -> int:
         lines = 0
-        for block in chain.blocks:
+        for block in chain.blocks[start:]:
             record = {
                 "height": block.height,
                 "time": block.unix_time,

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments --profile       # timings JSON
     python -m repro.experiments sweep --seeds 2021..2024 --jobs 4
     python -m repro.experiments --trace run.jsonl    # JSON-lines trace
+    python -m repro.experiments --checkpoint-every 30   # resumable build
 """
 
 from __future__ import annotations
@@ -47,6 +48,11 @@ def _sweep_main(argv) -> int:
     parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="save resumable day-level checkpoints every N days while "
+        "cold-building each seed's scenario (resume is bit-identical)",
+    )
+    parser.add_argument(
         "--out", metavar="FILE", default=None,
         help="write the robustness report JSON here (default: stdout table only)",
     )
@@ -67,7 +73,10 @@ def _sweep_main(argv) -> int:
     from repro.parallel import format_sweep, run_sweep
 
     started = time.time()
-    sweep = run_sweep(args.scenario, args.seeds, ids, jobs=args.jobs)
+    sweep = run_sweep(
+        args.scenario, args.seeds, ids, jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
+    )
     print(format_sweep(sweep))
     print(
         f"\nswept {len(args.seeds)} seeds x {len(ids)} experiments "
@@ -105,9 +114,16 @@ def main(argv=None) -> int:
         "to the serial path)",
     )
     parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="while cold-building the scenario, save a resumable "
+        "day-level checkpoint every N days next to the cache entry; "
+        "an interrupted build resumes from it bit-identically",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
-        help="write day-loop phase timings and per-experiment wall/CPU "
-        "as profile.json (next to --export output when given)",
+        help="write day-loop phase timings (from the phase scheduler) "
+        "and per-experiment wall/CPU as profile.json (next to "
+        "--export output when given)",
     )
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -142,7 +158,9 @@ def main(argv=None) -> int:
 
     print(f"building {args.scenario} scenario (seed {args.seed})...")
     started = time.time()
-    result = get_result(args.scenario, args.seed)
+    result = get_result(
+        args.scenario, args.seed, checkpoint_every=args.checkpoint_every
+    )
     scenario_ready_s = time.time() - started
     print(f"scenario ready in {scenario_ready_s:.1f}s\n")
 
@@ -151,7 +169,10 @@ def main(argv=None) -> int:
     if args.jobs > 1:
         from repro.parallel import run_farm
 
-        outcomes = run_farm(args.scenario, args.seed, ids, jobs=args.jobs)
+        outcomes = run_farm(
+            args.scenario, args.seed, ids, jobs=args.jobs,
+            checkpoint_every=args.checkpoint_every,
+        )
         reports = [outcome.report for outcome in outcomes]
         timings = {
             outcome.experiment_id: {

@@ -121,8 +121,21 @@ def _save_to_disk(result: SimulationResult, entry: Path) -> None:
         )
 
 
-def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
-    """A memoised simulation result for the named scenario preset."""
+def get_result(
+    scenario: str = "paper",
+    seed: int = 2021,
+    *,
+    checkpoint_every: Optional[int] = None,
+) -> SimulationResult:
+    """A memoised simulation result for the named scenario preset.
+
+    ``checkpoint_every=N`` makes a cold build resumable: the engine
+    saves its full run state every N days into a ``.ckpt`` sibling of
+    the cache entry, a later cold call resumes from it instead of
+    restarting at day 0 (resume is bit-identical to a fresh run), and
+    the checkpoint is deleted once the finished entry is published.
+    Ignored on memo/disk hits and when persistence is disabled.
+    """
     key = (scenario, seed)
     cached = _CACHE.get(key)
     if cached is not None:
@@ -152,15 +165,72 @@ def get_result(scenario: str = "paper", seed: int = 2021) -> SimulationResult:
                     entry=None if entry is None else entry.name,
                 )
                 with obs.timer("cache.build_s") as timing:
-                    cached = SimulationEngine(config).run()
+                    cached = _build_result(
+                        config, scenario, entry, checkpoint_every
+                    )
                 obs.trace_event(
                     "cache.build.done", scenario=scenario, seed=seed,
                     wall_s=round(timing.elapsed, 4),
                 )
                 if entry is not None:
                     _save_to_disk(cached, entry)
+                    _discard_checkpoint(entry)
     _CACHE[key] = cached
     return cached
+
+
+def _checkpoint_dir(entry: Path) -> Path:
+    """The in-progress checkpoint sibling of a cache entry."""
+    return entry.parent / (entry.name + ".ckpt")
+
+
+def _discard_checkpoint(entry: Path) -> None:
+    shutil.rmtree(_checkpoint_dir(entry), ignore_errors=True)
+
+
+def _build_result(
+    config,
+    scenario: str,
+    entry: Optional[Path],
+    checkpoint_every: Optional[int],
+) -> SimulationResult:
+    """Cold-build a scenario, resuming a day-level checkpoint if one
+    is present (and discarding it when stale or corrupt)."""
+    from repro.simulation.state import WorldState
+
+    ckpt: Optional[Path] = None
+    if checkpoint_every and entry is not None:
+        ckpt = _checkpoint_dir(entry)
+    engine = None
+    if ckpt is not None and (ckpt / "meta.json").exists():
+        try:
+            meta = WorldState.read_meta(ckpt)
+            if meta.get("config_digest") != snapshot.config_digest(config):
+                raise ReproError("checkpoint built from a different config")
+            engine = SimulationEngine.resume(ckpt)
+            obs.counter("cache.resume", scenario=scenario)
+            obs.trace_event(
+                "cache.resume", scenario=scenario, seed=config.seed,
+                day=engine.state.day,
+            )
+        except (ReproError, OSError, KeyError, ValueError, TypeError) as exc:
+            warnings.warn(
+                f"ignoring unusable checkpoint {ckpt}: {exc}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            shutil.rmtree(ckpt, ignore_errors=True)
+            engine = None
+    if engine is None:
+        engine = SimulationEngine(config)
+    if ckpt is None:
+        result = engine.run()
+    else:
+        result = engine.run(
+            checkpoint_every=checkpoint_every, checkpoint_dir=ckpt
+        )
+    assert result is not None  # no stop_after_day → always completes
+    return result
 
 
 def _timed_load(
@@ -180,12 +250,19 @@ def _timed_load(
     return result
 
 
-def ensure_snapshot(scenario: str = "paper", seed: int = 2021) -> Optional[Path]:
+def ensure_snapshot(
+    scenario: str = "paper",
+    seed: int = 2021,
+    *,
+    checkpoint_every: Optional[int] = None,
+) -> Optional[Path]:
     """Materialise the on-disk cache entry and return its directory.
 
     Parallel workers rehydrate from this path instead of receiving the
     result over IPC. Returns ``None`` when persistence is disabled (the
     farm then falls back to per-worker :func:`get_result` builds).
+    ``checkpoint_every`` makes a cold build resumable — see
+    :func:`get_result`.
     """
     builder = _BUILDERS.get(scenario)
     if builder is None:
@@ -195,7 +272,7 @@ def ensure_snapshot(scenario: str = "paper", seed: int = 2021) -> Optional[Path]
     entry = _entry_dir(scenario, builder(seed=seed))
     if entry is None:
         return None
-    result = get_result(scenario, seed)
+    result = get_result(scenario, seed, checkpoint_every=checkpoint_every)
     if not (entry / "meta.json").exists():
         # The result was memoised before this cache dir existed (or an
         # earlier persist failed); publish it now so workers can load it.

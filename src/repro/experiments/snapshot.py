@@ -51,6 +51,10 @@ __all__ = [
     "result_digest",
     "save_result",
     "load_result",
+    "hotspot_payload",
+    "hotspot_from_payload",
+    "owner_payload",
+    "owner_from_payload",
 ]
 
 #: Bump when the snapshot layout (or anything it implicitly depends on,
@@ -175,6 +179,105 @@ def _cheat_in(
     raise SimulationError(f"unknown cheat strategy in snapshot: {kind!r}")
 
 
+def hotspot_payload(hotspot: SimHotspot) -> Dict[str, Any]:
+    """One hotspot's snapshot dict (shared with the checkpoint layer)."""
+    backhaul = hotspot.backhaul
+    return {
+        "gateway": hotspot.gateway,
+        "owner": hotspot.owner,
+        "city": [hotspot.city.name, hotspot.city.country],
+        "actual": _latlon_out(hotspot.actual_location),
+        "asserted": _latlon_out(hotspot.asserted_location),
+        "environment": hotspot.environment.name,
+        "gain": hotspot.antenna_gain_dbi,
+        "backhaul": (
+            None
+            if backhaul is None
+            else [backhaul.isp.asn, backhaul.ip, backhaul.behind_nat]
+        ),
+        "is_validator": hotspot.is_validator,
+        "online": hotspot.online,
+        "added_day": hotspot.added_day,
+        "added_block": hotspot.added_block,
+        "ferries_data": hotspot.ferries_data,
+        "assert_nonce": hotspot.assert_nonce,
+        "move_days": hotspot.move_days,
+        "transfer_days": hotspot.transfer_days,
+        "cheat": _cheat_out(hotspot.cheat),
+    }
+
+
+def hotspot_from_payload(
+    payload: Dict[str, Any],
+    city_by_key: Dict[tuple, Any],
+    isps,
+    cliques: Dict[int, GossipClique],
+) -> SimHotspot:
+    """Rebuild one hotspot against the regenerated city/ISP universe."""
+    backhaul = payload["backhaul"]
+    city_key = (payload["city"][0], payload["city"][1])
+    return SimHotspot(
+        gateway=payload["gateway"],
+        owner=payload["owner"],
+        city=city_by_key[city_key],
+        actual_location=_latlon_in(payload["actual"]),
+        asserted_location=_latlon_in(payload["asserted"]),
+        environment=Environment[payload["environment"]],
+        antenna_gain_dbi=float(payload["gain"]),
+        backhaul=(
+            None
+            if backhaul is None
+            else BackhaulAssignment(
+                isp=isps.isp(int(backhaul[0])),
+                ip=backhaul[1],
+                behind_nat=bool(backhaul[2]),
+            )
+        ),
+        is_validator=bool(payload["is_validator"]),
+        online=bool(payload["online"]),
+        added_day=int(payload["added_day"]),
+        added_block=int(payload["added_block"]),
+        ferries_data=bool(payload["ferries_data"]),
+        assert_nonce=int(payload["assert_nonce"]),
+        move_days=[int(d) for d in payload["move_days"]],
+        transfer_days=[int(d) for d in payload["transfer_days"]],
+        cheat=_cheat_in(payload["cheat"], cliques),
+    )
+
+
+def owner_payload(owner: SimOwner) -> Dict[str, Any]:
+    """One owner's snapshot dict (shared with the checkpoint layer)."""
+    return {
+        "wallet": owner.wallet,
+        "archetype": owner.archetype,
+        "home_city": (
+            None
+            if owner.home_city is None
+            else [owner.home_city.name, owner.home_city.country]
+        ),
+        "hotspot_count": owner.hotspot_count,
+        "encashes": owner.encashes,
+        "runs_devices": owner.runs_devices,
+    }
+
+
+def owner_from_payload(
+    payload: Dict[str, Any], city_by_key: Dict[tuple, Any]
+) -> SimOwner:
+    """Rebuild one owner against the regenerated city universe."""
+    home = payload["home_city"]
+    return SimOwner(
+        wallet=payload["wallet"],
+        archetype=payload["archetype"],
+        home_city=(
+            None if home is None else city_by_key[(home[0], home[1])]
+        ),
+        hotspot_count=int(payload["hotspot_count"]),
+        encashes=bool(payload["encashes"]),
+        runs_devices=bool(payload["runs_devices"]),
+    )
+
+
 def save_result(result: SimulationResult, directory: Union[str, Path]) -> None:
     """Write ``result`` into ``directory`` (created if missing)."""
     directory = Path(directory)
@@ -189,45 +292,10 @@ def save_result(result: SimulationResult, directory: Union[str, Path]) -> None:
             cliques.setdefault(
                 hotspot.cheat.clique_id, sorted(hotspot.cheat.members)
             )
-        backhaul = hotspot.backhaul
-        hotspots.append({
-            "gateway": hotspot.gateway,
-            "owner": hotspot.owner,
-            "city": [hotspot.city.name, hotspot.city.country],
-            "actual": _latlon_out(hotspot.actual_location),
-            "asserted": _latlon_out(hotspot.asserted_location),
-            "environment": hotspot.environment.name,
-            "gain": hotspot.antenna_gain_dbi,
-            "backhaul": (
-                None
-                if backhaul is None
-                else [backhaul.isp.asn, backhaul.ip, backhaul.behind_nat]
-            ),
-            "is_validator": hotspot.is_validator,
-            "online": hotspot.online,
-            "added_day": hotspot.added_day,
-            "added_block": hotspot.added_block,
-            "ferries_data": hotspot.ferries_data,
-            "assert_nonce": hotspot.assert_nonce,
-            "move_days": hotspot.move_days,
-            "transfer_days": hotspot.transfer_days,
-            "cheat": _cheat_out(hotspot.cheat),
-        })
+        hotspots.append(hotspot_payload(hotspot))
 
     owners = [
-        {
-            "wallet": owner.wallet,
-            "archetype": owner.archetype,
-            "home_city": (
-                None
-                if owner.home_city is None
-                else [owner.home_city.name, owner.home_city.country]
-            ),
-            "hotspot_count": owner.hotspot_count,
-            "encashes": owner.encashes,
-            "runs_devices": owner.runs_devices,
-        }
-        for owner in result.world.owners.values()
+        owner_payload(owner) for owner in result.world.owners.values()
     ]
 
     snapshot = {
@@ -305,17 +373,7 @@ def load_result(directory: Union[str, Path]) -> SimulationResult:
     }
 
     for payload in snapshot["owners"]:
-        home = payload["home_city"]
-        owner = SimOwner(
-            wallet=payload["wallet"],
-            archetype=payload["archetype"],
-            home_city=(
-                None if home is None else city_by_key[(home[0], home[1])]
-            ),
-            hotspot_count=int(payload["hotspot_count"]),
-            encashes=bool(payload["encashes"]),
-            runs_devices=bool(payload["runs_devices"]),
-        )
+        owner = owner_from_payload(payload, city_by_key)
         world.owners[owner.wallet] = owner
 
     cliques = {
@@ -324,34 +382,8 @@ def load_result(directory: Union[str, Path]) -> SimulationResult:
     }
 
     for payload in snapshot["hotspots"]:
-        backhaul = payload["backhaul"]
-        city_key = (payload["city"][0], payload["city"][1])
-        hotspot = SimHotspot(
-            gateway=payload["gateway"],
-            owner=payload["owner"],
-            city=city_by_key[city_key],
-            actual_location=_latlon_in(payload["actual"]),
-            asserted_location=_latlon_in(payload["asserted"]),
-            environment=Environment[payload["environment"]],
-            antenna_gain_dbi=float(payload["gain"]),
-            backhaul=(
-                None
-                if backhaul is None
-                else BackhaulAssignment(
-                    isp=world.isps.isp(int(backhaul[0])),
-                    ip=backhaul[1],
-                    behind_nat=bool(backhaul[2]),
-                )
-            ),
-            is_validator=bool(payload["is_validator"]),
-            online=bool(payload["online"]),
-            added_day=int(payload["added_day"]),
-            added_block=int(payload["added_block"]),
-            ferries_data=bool(payload["ferries_data"]),
-            assert_nonce=int(payload["assert_nonce"]),
-            move_days=[int(d) for d in payload["move_days"]],
-            transfer_days=[int(d) for d in payload["transfer_days"]],
-            cheat=_cheat_in(payload["cheat"], cliques),
+        hotspot = hotspot_from_payload(
+            payload, city_by_key, world.isps, cliques
         )
         world.hotspots[hotspot.gateway] = hotspot
     world.rebuild_index()

@@ -111,6 +111,7 @@ def run_farm(
     experiment_ids: Sequence[str],
     jobs: int = 1,
     start_method: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> List[FarmOutcome]:
     """Run experiments for one scenario, fanned over ``jobs`` processes.
 
@@ -119,11 +120,14 @@ def run_farm(
     exact same task path (useful as the comparison baseline).
     ``start_method`` overrides the platform default (``"spawn"`` /
     ``"fork"`` / ``"forkserver"``) — mainly for portability tests.
+    ``checkpoint_every`` makes the parent's cold scenario build
+    resumable (see :func:`repro.experiments.context.get_result`);
+    workers only ever rehydrate the finished snapshot.
     """
     from repro.experiments.context import ensure_snapshot
 
     ids = list(experiment_ids)
-    entry = ensure_snapshot(scenario, seed)
+    entry = ensure_snapshot(scenario, seed, checkpoint_every=checkpoint_every)
     snapshot_dir = None if entry is None else str(entry)
     tasks = [(snapshot_dir, scenario, seed, eid) for eid in ids]
 

@@ -30,19 +30,23 @@ from repro.experiments.registry import (
 __all__ = ["format_sweep", "run_sweep"]
 
 
-def _sweep_task(task: Tuple[str, int, Tuple[str, ...]]) -> Tuple[int, List[Dict]]:
+def _sweep_task(
+    task: Tuple[str, int, Tuple[str, ...], Optional[int]]
+) -> Tuple[int, List[Dict]]:
     """Worker entry point: build one seed's scenario, run all experiments.
 
     ``get_result`` consults the persistent cache first, takes the build
     lock on a miss, and publishes the built scenario for everyone else —
     so concurrent sweep workers never duplicate a cold build and the
-    entries remain available for later warm runs.
+    entries remain available for later warm runs. A non-``None``
+    ``checkpoint_every`` additionally makes each cold build resumable
+    across sweep invocations.
     """
-    scenario, seed, experiment_ids = task
+    scenario, seed, experiment_ids, checkpoint_every = task
     from repro.experiments.context import get_result
 
     started = time.perf_counter()
-    result = get_result(scenario, seed)
+    result = get_result(scenario, seed, checkpoint_every=checkpoint_every)
     payloads = [
         report_payload(run_experiment(eid, result)) for eid in experiment_ids
     ]
@@ -62,6 +66,7 @@ def run_sweep(
     experiment_ids: Sequence[str],
     jobs: int = 1,
     start_method: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> Dict:
     """Cross-seed robustness report for one scenario preset.
 
@@ -77,7 +82,7 @@ def run_sweep(
     if len(set(seed_list)) != len(seed_list):
         raise AnalysisError(f"duplicate seeds in sweep: {seed_list}")
     ids = tuple(experiment_ids)
-    tasks = [(scenario, seed, ids) for seed in seed_list]
+    tasks = [(scenario, seed, ids, checkpoint_every) for seed in seed_list]
 
     sweep_started = time.perf_counter()
     obs.trace_event(

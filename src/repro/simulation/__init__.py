@@ -8,12 +8,24 @@ resells them (§4.3.3), runs thinned Proof-of-Coverage over real radio
 geometry (§2.3), generates data traffic including the HIP 10 arbitrage
 episode (§5.3), mints rewards, and assigns backhaul/NAT/relays (§6).
 
+Architecture: all mutable run state lives in
+:class:`~repro.simulation.state.WorldState` (serializable to a
+day-level checkpoint and back, bit-identically); each slice of the day
+loop is a :class:`~repro.simulation.phases.base.Phase` subsystem under
+:mod:`repro.simulation.phases`; the
+:class:`~repro.simulation.scheduler.PhaseScheduler` runs them in order
+and owns the per-phase timings; and
+:class:`~repro.simulation.engine.SimulationEngine` is the thin run loop
+(bootstrap, day iteration, checkpointing, result assembly) on top.
+
 Every marginal the paper reports is a *calibration target*; EXPERIMENTS.md
 records how close the defaults land.
 """
 
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.scenario import ScenarioConfig, paper_scenario, small_scenario
+from repro.simulation.scheduler import PhaseScheduler
+from repro.simulation.state import WorldState
 from repro.simulation.world import SimHotspot, World
 
 __all__ = [
@@ -24,4 +36,6 @@ __all__ = [
     "SimHotspot",
     "SimulationEngine",
     "SimulationResult",
+    "WorldState",
+    "PhaseScheduler",
 ]

@@ -5,6 +5,9 @@ Usage::
     python -m repro.simulation                        # summary only
     python -m repro.simulation --scenario small
     python -m repro.simulation --dump chain.jsonl     # explorer-style dump
+    python -m repro.simulation --checkpoint-every 30 --checkpoint-dir ck/
+    python -m repro.simulation --stop-after 120 --checkpoint-dir ck/
+    python -m repro.simulation --resume ck/           # continue from ck/
 """
 
 from __future__ import annotations
@@ -26,15 +29,59 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--dump", metavar="FILE", default=None,
                         help="write the chain as JSONL")
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="save the full run state every N simulated days into "
+        "--checkpoint-dir (each save atomically replaces the last)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for day-level checkpoints",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume from the checkpoint in DIR instead of starting "
+        "fresh (the result is bit-identical to an uninterrupted run); "
+        "--scenario/--seed are taken from the checkpoint",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="D",
+        help="halt once D days are simulated, saving a checkpoint to "
+        "--checkpoint-dir (exit summary reports the partial state)",
+    )
     args = parser.parse_args(argv)
+    if (args.checkpoint_every or args.stop_after is not None) and not (
+        args.checkpoint_dir or args.resume
+    ):
+        parser.error("--checkpoint-every/--stop-after need --checkpoint-dir")
 
-    builder = paper_scenario if args.scenario == "paper" else small_scenario
-    config = builder(seed=args.seed)
-    print(f"building {args.scenario} scenario "
-          f"({config.target_hotspots} hotspots, {config.n_days} days)...")
     started = time.time()
-    result = SimulationEngine(config).run()
+    if args.resume:
+        engine = SimulationEngine.resume(args.resume)
+        config = engine.config
+        print(f"resuming from {args.resume} at day {engine.state.day} "
+              f"(seed {config.seed}, {config.n_days} days total)...")
+    else:
+        builder = paper_scenario if args.scenario == "paper" else small_scenario
+        config = builder(seed=args.seed)
+        print(f"building {args.scenario} scenario "
+              f"({config.target_hotspots} hotspots, {config.n_days} days)...")
+        engine = SimulationEngine(config)
+
+    checkpoint_dir = args.checkpoint_dir or args.resume
+    result = engine.run(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        stop_after_day=args.stop_after,
+    )
     elapsed = time.time() - started
+
+    if result is None:
+        print(f"stopped after day {engine.state.day} in {elapsed:.1f}s; "
+              f"checkpoint saved to {checkpoint_dir}")
+        print(f"resume with: python -m repro.simulation --resume "
+              f"{checkpoint_dir}")
+        return 0
 
     chain = result.chain
     counts = chain.count_transactions()

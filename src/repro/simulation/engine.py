@@ -1,12 +1,15 @@
-"""Simulation engine: the day loop that writes the synthetic chain.
+"""Simulation engine: phase scheduling over a serializable WorldState.
 
-Each simulated day the engine: updates the HNT price; deploys the day's
-hotspot batch (add_gateway + assert_location, occasionally at (0,0));
-executes scheduled moves (silent movers move *without* re-asserting) and
-resales; toggles online status; runs thinned Proof-of-Coverage over real
-radio geometry; generates data traffic and settles it through state
-channels; mints a daily reward batch; and lets mining-pool owners encash.
-At the end it assembles the p2p peerbook (backhaul, NAT, circuit relays).
+The engine is now a thin shell: all mutable run state lives in
+:class:`repro.simulation.state.WorldState`, each slice of the day's work
+is a :class:`~repro.simulation.phases.base.Phase` subsystem under
+:mod:`repro.simulation.phases`, and
+:class:`~repro.simulation.scheduler.PhaseScheduler` runs them in order —
+deploys, transfers, moves, availability, the weekly index rebuild,
+Proof-of-Coverage, traffic, rewards, encashment, the mint, and the
+growth log. The engine owns only the run loop itself: bootstrap,
+day iteration, day-level checkpointing (``WorldState.save``), and the
+end-of-run peerbook assembly.
 
 The result bundles the chain (what analyses read) with the world (ground
 truth analyses score against).
@@ -14,66 +17,25 @@ truth analyses score against).
 
 from __future__ import annotations
 
-import contextlib
-import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Union
 
-import numpy as np
-
-from repro import obs, units
+from repro import obs
 from repro.chain.blockchain import Blockchain
-from repro.chain.crypto import Address, Keypair
-from repro.chain.transactions import (
-    AddGateway,
-    AssertLocation,
-    OuiRegistration,
-    Payment,
-    StateChannelClose,
-    StateChannelOpen,
-    StateChannelSummary,
-    Transaction,
-    TransferHotspot,
-)
-from repro.chain.varmap import ChainVars
+from repro.chain.crypto import Address
 from repro.economics.oracle import PriceOracle
-from repro.economics.rewards import EpochActivity, RewardEngine
 from repro.errors import SimulationError
-from repro.geo.geodesy import LatLon
-from repro.geo.hexgrid import HexGrid
-from repro.p2p.backhaul import assign_backhaul
 from repro.p2p.peerbook import Peerbook
-from repro.poc.challenge import PocParticipant, run_challenge
-from repro.poc.cheats import GossipClique, RssiLiar, SilentMover
-from repro.poc.validity import WitnessValidityChecker
-from repro.radio.lora import plan_for_country
-from repro.radio.propagation import Environment, environment_for_city
 from repro.rng import RngHub
-from repro.simulation.growth import build_adoption_schedule
-from repro.simulation.moves import MovePlanner, PlannedMove
-from repro.simulation.owners import OwnerModel
-from repro.simulation.resale import PlannedTransfer, ResalePlanner, pick_buyer
+from repro.simulation.phases import Phase
 from repro.simulation.scenario import ScenarioConfig
-from repro.simulation.traffic import TrafficModel
-from repro.simulation.world import SimHotspot, World
+from repro.simulation.scheduler import PhaseScheduler
+from repro.simulation.state import GrowthLogRow, WorldState
+from repro.simulation.world import World
 
 __all__ = ["GrowthLogRow", "SimulationResult", "SimulationEngine"]
-
-#: Blocks per simulated day.
-_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
-
-
-@dataclass
-class GrowthLogRow:
-    """Daily fleet snapshot (drives the Figure 5 reproduction)."""
-
-    day: int
-    added_today: int
-    connected: int
-    online: int
-    online_us: int
-    online_international: int
 
 
 @dataclass
@@ -102,984 +64,166 @@ class SimulationResult:
 
 
 class SimulationEngine:
-    """Runs one scenario end to end. Use :meth:`run`."""
+    """Runs one scenario end to end. Use :meth:`run`.
 
-    def __init__(self, config: ScenarioConfig) -> None:
-        self.config = config
-        self.hub = RngHub(config.seed)
-        # Density-true scaling: shrink city footprints by √scale so the
-        # scaled-down fleet reproduces the real network's local density
-        # (see City.radius_scale).
-        self.world = World(
-            rng_cities=self.hub.stream("cities"),
-            rng_isps=self.hub.stream("isps"),
-            tail_isps=config.tail_isps,
-            city_radius_scale=math.sqrt(config.scale_factor),
-        )
-        self.chain = Blockchain(ChainVars())
-        self.oracle = PriceOracle(self.hub.stream("oracle"))
-        self.owners = OwnerModel(config, self.world)
-        self.moves = MovePlanner(config)
-        self.resale = ResalePlanner(config)
-        self.traffic = TrafficModel(config)
-        self.checker = WitnessValidityChecker(
-            min_distance_km=self.chain.vars.poc_witness_min_distance_km
-        )
-        self.schedule = build_adoption_schedule(config, self.hub.stream("growth"))
-        self._move_queue: Dict[int, List[Tuple[Address, PlannedMove]]] = {}
-        self._transfer_queue: Dict[int, List[Tuple[Address, PlannedTransfer]]] = {}
-        self._participants: Dict[Address, PocParticipant] = {}
-        self._uptime: Dict[Address, float] = {}
-        # Fleet arrays: one slot per deployed hotspot, in deployment
-        # order — the order the old per-gateway dict walks used — so the
-        # batched uptime draw consumes the "uptime" stream identically
-        # and attribution maps keep their deployment-order iteration.
-        self._fleet_hotspots: List[SimHotspot] = []
-        self._fleet_participants: List[Optional[PocParticipant]] = []
-        self._fleet_uptime: List[float] = []
-        self._fleet_in_us: List[bool] = []
-        self._fleet_is_poc: List[bool] = []
-        self._fleet_index: Dict[Address, int] = {}
-        self._fleet_online = np.zeros(0, dtype=bool)
-        self._fleet_poc_online = np.zeros(0, dtype=bool)
-        # Incrementally maintained ferry-weight base: gateway → (hotspot,
-        # weight) for every hotspot that would carry organic data when
-        # online. Maintained on deploy and ownership change; the daily
-        # online filter reads hotspot refs directly.
-        self._ferry_base: Dict[Address, Tuple[SimHotspot, float]] = {}
-        self._ferry_order_stale = False
-        #: Cumulative day-loop wall-clock per phase (see ``--profile``).
-        self.phase_timings: Dict[str, float] = {
-            name: 0.0
-            for name in (
-                "deploy", "transfers", "moves", "online", "index",
-                "poc", "traffic", "rewards", "encash", "mint", "log",
+    Construct from a :class:`ScenarioConfig` for a fresh run, from a
+    prepared :class:`WorldState` (``state=``) to continue one, or via
+    :meth:`resume` to restart from an on-disk checkpoint. A custom
+    ``phases`` list replaces :func:`~repro.simulation.phases.
+    default_phases` — order is semantic, see that function.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        *,
+        state: Optional[WorldState] = None,
+        phases: Optional[List[Phase]] = None,
+    ) -> None:
+        if state is None:
+            if config is None:
+                raise SimulationError(
+                    "SimulationEngine needs a config or a state"
+                )
+            state = WorldState.create(config)
+        elif config is not None and config != state.config:
+            raise SimulationError(
+                "config does not match the supplied state's config"
             )
-        }
-        self._flippers: List[Address] = []
-        self._spammers: List[Address] = []
-        self._clique_registry: Dict[int, GossipClique] = {}
-        self._clique_pending: List[Tuple[int, str, int]] = []  # (id, city, left)
-        self._exchange = Keypair.generate("exchange", "wal").address
-        self._helium_co = Keypair.generate("helium-co", "wal").address
-        self._growth_log: List[GrowthLogRow] = []
-        self._channel_seq = 0
-        for clique_id, (size, city) in enumerate(config.gossip_cliques):
-            clique = GossipClique(clique_id=clique_id)
-            self._clique_registry[clique_id] = clique
-            self._clique_pending.append((clique_id, city, size))
+        self.state = state
+        self.scheduler = PhaseScheduler(phases)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: Union[str, Path],
+        *,
+        phases: Optional[List[Phase]] = None,
+    ) -> "SimulationEngine":
+        """Engine positioned at a checkpoint's next unsimulated day."""
+        return cls(state=WorldState.load(checkpoint_dir), phases=phases)
+
+    # Back-compat accessors: the run state used to live directly on the
+    # engine; analyses, tests, and the CLI still reach it this way.
+
+    @property
+    def config(self) -> ScenarioConfig:
+        return self.state.config
+
+    @property
+    def hub(self) -> RngHub:
+        return self.state.hub
+
+    @property
+    def world(self) -> World:
+        return self.state.world
+
+    @property
+    def chain(self) -> Blockchain:
+        return self.state.chain
+
+    @property
+    def oracle(self) -> PriceOracle:
+        return self.state.oracle
+
+    @property
+    def phase_timings(self) -> Dict[str, float]:
+        """Cumulative per-phase wall-clock (the ``--profile`` source)."""
+        return self.scheduler.timings
 
     # ------------------------------------------------------------------ run --
 
-    @contextlib.contextmanager
-    def _phase(self, name: str):
-        """Accumulate one day-loop phase's wall-clock into
-        :attr:`phase_timings` (the ``--profile`` source; aggregated into
-        ``engine.phase.*`` metrics when the run completes)."""
-        started = perf_counter()
-        try:
-            yield
-        finally:
-            self.phase_timings[name] += perf_counter() - started
+    def run(
+        self,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        stop_after_day: Optional[int] = None,
+    ) -> Optional[SimulationResult]:
+        """Execute the scenario and return the result bundle.
 
-    def run(self) -> SimulationResult:
-        """Execute the scenario and return the result bundle."""
+        With ``checkpoint_every=N`` (requires ``checkpoint_dir``), the
+        full run state is saved after every N-th completed day — each
+        save atomically replaces the previous one, so the directory
+        always holds the latest consistent checkpoint. With
+        ``stop_after_day=D``, the run halts once D days are complete,
+        saves a final checkpoint, and returns ``None``; a later
+        :meth:`resume` continues bit-identically to an uninterrupted
+        run.
+        """
+        state = self.state
+        n_days = state.config.n_days
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SimulationError("checkpoint_every must be >= 1")
+        if checkpoint_every and checkpoint_dir is None:
+            raise SimulationError("checkpoint_every requires checkpoint_dir")
+
         run_started = perf_counter()
-        console_owner, oui_owners = self._bootstrap_routers()
-        reward_engine_pre = RewardEngine(hip10_cap=False)
-        reward_engine_post = RewardEngine(hip10_cap=True)
-        rng_day = self.hub.stream("dayloop")
+        if state.console_owner is None:
+            state.bootstrap_routers()
 
-        phase = self._phase
-        for day in range(self.config.n_days):
-            price = self.oracle.price_on_day(day)
-            self.chain.ledger.oracle_price_usd = price
-            batch: List[Tuple[int, Transaction]] = []
-            activity = EpochActivity(
-                epoch_start_block=day * _BLOCKS_PER_DAY,
-                epoch_end_block=(day + 1) * _BLOCKS_PER_DAY - 1,
-            )
-
-            with phase("deploy"):
-                added = self._deploy_day(day, batch)
-            with phase("transfers"):
-                transferred = self._execute_transfers(day, batch)
-            with phase("moves"):
-                self._execute_moves(day, batch, transferred)
-            with phase("online"):
-                self._update_online(day)
-            with phase("index"):
-                if day % 7 == 0:
-                    self.world.rebuild_index()
-            with phase("poc"):
-                self._run_poc(day, batch, activity)
-            with phase("traffic"):
-                self._run_traffic(
-                    day, batch, activity, console_owner, oui_owners
-                )
-            with phase("rewards"):
-                engine = (
-                    reward_engine_post if day >= self.config.hip10_day
-                    else reward_engine_pre
-                )
-                self._mint_rewards(day, batch, activity, engine, price)
-            with phase("encash"):
-                self._encash(day, batch)
-            with phase("mint"):
-                self._mint_day(day, batch)
-            with phase("log"):
-                self._log_growth(day, added)
+        for day in range(state.day, n_days):
+            self.scheduler.run_day(state, day)
+            state.day = day + 1
+            if state.day >= n_days:
+                break
+            if stop_after_day is not None and state.day >= stop_after_day:
+                if checkpoint_dir is None:
+                    raise SimulationError(
+                        "stop_after_day requires checkpoint_dir"
+                    )
+                self._checkpoint(checkpoint_dir)
+                return None
+            if (
+                checkpoint_every
+                and checkpoint_dir is not None
+                and state.day % checkpoint_every == 0
+            ):
+                self._checkpoint(checkpoint_dir)
 
         peerbook = self._build_peerbook()
         wall_s = perf_counter() - run_started
         obs.counter("engine.runs")
-        obs.counter("engine.days", self.config.n_days)
-        for name, seconds in self.phase_timings.items():
-            obs.observe(f"engine.phase.{name}", seconds)
+        obs.counter("engine.days", state.config.n_days)
+        self.scheduler.publish_metrics()
         obs.trace_event(
             "engine.run",
-            seed=self.config.seed,
-            n_days=self.config.n_days,
-            blocks=self.chain.height,
+            seed=state.config.seed,
+            n_days=state.config.n_days,
+            blocks=state.chain.height,
             wall_s=round(wall_s, 4),
             phases={
                 name: round(seconds, 4)
-                for name, seconds in self.phase_timings.items()
+                for name, seconds in self.scheduler.timings.items()
             },
         )
         return SimulationResult(
-            config=self.config,
-            chain=self.chain,
-            world=self.world,
+            config=state.config,
+            chain=state.chain,
+            world=state.world,
             peerbook=peerbook,
-            oracle=self.oracle,
-            growth_log=self._growth_log,
-            console_owner=console_owner,
-            oui_owners=oui_owners,
-            spammer_owners=list(self._spammers),
-            day_loop_timings=dict(self.phase_timings),
+            oracle=state.oracle,
+            growth_log=state.growth_log,
+            console_owner=state.console_owner,
+            oui_owners=state.oui_owners,
+            spammer_owners=list(state.spammers),
+            day_loop_timings=dict(self.scheduler.timings),
         )
 
-    # -------------------------------------------------------------- plumbing --
-
-    def _mint_day(self, day: int, batch: List[Tuple[int, Transaction]]) -> None:
-        """Mint the day's transactions grouped by target block."""
-        if not batch:
-            return
-        by_block: Dict[int, List[Transaction]] = {}
-        floor = self.chain.height + 1
-        for block, txn in batch:
-            by_block.setdefault(max(block, floor), []).append(txn)
-        for block in sorted(by_block):
-            target = max(block, self.chain.height + 1)
-            self.chain.submit_many(by_block[block])
-            self.chain.mint_block(target)
-
-    def _bootstrap_routers(self) -> Tuple[Address, Dict[int, Address]]:
-        console_owner = Keypair.generate("console", "wal").address
-        oui_owners: Dict[int, Address] = {1: console_owner, 2: console_owner}
-        self.chain.ledger.credit_dc(console_owner, 10 * self.chain.vars.oui_fee_dc)
-        self.chain.submit(OuiRegistration(oui=1, owner=console_owner,
-                                          fee_dc=self.chain.vars.oui_fee_dc))
-        self.chain.submit(OuiRegistration(oui=2, owner=console_owner,
-                                          fee_dc=self.chain.vars.oui_fee_dc))
-        for oui in range(3, 3 + self.config.third_party_ouis):
-            owner = Keypair.generate(f"router-{oui}", "wal").address
-            oui_owners[oui] = owner
-            self.chain.ledger.credit_dc(owner, 2 * self.chain.vars.oui_fee_dc)
-            self.chain.submit(OuiRegistration(oui=oui, owner=owner,
-                                              fee_dc=self.chain.vars.oui_fee_dc))
-        self.chain.mint_block(1)
-        return console_owner, oui_owners
-
-    # ------------------------------------------------------------ deployment --
-
-    def _deploy_day(self, day: int, batch: List[Tuple[int, Transaction]]) -> int:
-        rng = self.hub.stream("deploy")
-        count = self.schedule.daily_counts[day]
-        intl_share = self.schedule.international_share[day]
-        for i in range(count):
-            self._deploy_one(day, intl_share, rng, batch)
-        return count
-
-    def _deploy_one(
-        self,
-        day: int,
-        intl_share: float,
-        rng: np.random.Generator,
-        batch: List[Tuple[int, Transaction]],
-    ) -> None:
-        config = self.config
-        owner = self.owners.assign(day, rng)
-        city = self.owners.deployment_city(owner, day, intl_share, rng)
-        actual = self.world.cities.sample_location_in_city(rng, city)
-        gateway = self.world.new_gateway_address()
-
-        is_validator = float(rng.random()) < config.validator_fraction
-        cheat = None
-        mismatched_assert = False
-        if not is_validator:
-            cheat, mismatched_assert = self._maybe_cheat(gateway, city, rng)
-
-        environment = environment_for_city(
-            city.population,
-            city.location.distance_km(actual),
-            city.scatter_radius_km(),
-        )
-        gain = 1.2
-        if float(rng.random()) < config.high_gain_fraction:
-            gain = float(rng.uniform(5.0, 9.0))
-            environment = (
-                Environment.RURAL if rng.random() < 0.85
-                else Environment.OVER_WATER
-            )
-
-        initial_null = self.moves.initial_assert_is_null(rng)
-        if initial_null:
-            asserted = LatLon(0.0, 0.0)
-        elif mismatched_assert:
-            wrong_city = self.world.cities.sample_city(rng, country=city.country)
-            asserted = self.world.cities.sample_location_in_city(rng, wrong_city)
-        else:
-            asserted = HexGrid.quantize(actual)
-
-        backhaul = assign_backhaul(
-            self.world.isps, city, self.hub.stream("backhaul"), cloud=is_validator
-        )
-        hotspot = SimHotspot(
-            gateway=gateway,
-            owner=owner.wallet,
-            city=city,
-            actual_location=actual,
-            asserted_location=asserted,
-            environment=environment,
-            antenna_gain_dbi=gain,
-            backhaul=backhaul,
-            is_validator=is_validator,
-            added_day=day,
-            assert_nonce=1,
-            cheat=cheat,
-        )
-        hotspot.ferries_data = (
-            city.population > 400_000 and float(rng.random()) < 0.05
-        )
-        self.world.add_hotspot(hotspot)
-        uptime = self._draw_uptime(rng)
-        self._uptime[gateway] = uptime
-
-        block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY // 4))
-        hotspot.added_block = block
-        batch.append((block, AddGateway(gateway=gateway, owner=owner.wallet)))
-        batch.append((block, AssertLocation(
-            gateway=gateway,
-            owner=owner.wallet,
-            location_token=HexGrid.encode_cell(asserted).token,
-            nonce=1,
-        )))
-
-        transfers = self.resale.plan(day, rng)
-        for transfer in transfers:
-            self._transfer_queue.setdefault(transfer.day, []).append(
-                (gateway, transfer)
-            )
-        first_transfer = transfers[0].day if transfers else None
-        planned = self.moves.plan(
-            day, rng,
-            initial_null=initial_null,
-            will_transfer_on=first_transfer,
-        )
-        if isinstance(cheat, SilentMover) and not mismatched_assert:
-            # Guarantee the silent mover actually moves mid-life, early
-            # enough to accumulate contradictory witnessing afterwards.
-            move_day = min(
-                day + float(rng.uniform(20, 120)), config.n_days - 15.0
-            )
-            move_day = max(move_day, day + 3.0)
-            planned.append(PlannedMove(day=move_day, kind="long"))
-        for move in planned:
-            self._move_queue.setdefault(int(move.day), []).append((gateway, move))
-
-        participant = None
-        if not is_validator:
-            participant = PocParticipant(
-                gateway=gateway,
-                owner=owner.wallet,
-                asserted_location=asserted,
-                actual_location=actual,
-                environment=environment,
-                antenna_gain_dbi=gain,
-                online=True,
-                cheat=cheat,
-            )
-            self._participants[gateway] = participant
-        self._register_fleet(hotspot, participant, uptime)
-
-    def _register_fleet(
-        self,
-        hotspot: SimHotspot,
-        participant: Optional[PocParticipant],
-        uptime: float,
-    ) -> None:
-        """Append one deployed hotspot to the fleet arrays (deployment order)."""
-        self._fleet_index[hotspot.gateway] = len(self._fleet_hotspots)
-        self._fleet_hotspots.append(hotspot)
-        self._fleet_participants.append(participant)
-        self._fleet_uptime.append(uptime)
-        self._fleet_in_us.append(hotspot.in_us)
-        self._fleet_is_poc.append(participant is not None)
-        base = self._ferry_base_weight(hotspot)
-        if base is not None:
-            self._ferry_base[hotspot.gateway] = (hotspot, base)
-
-    def _maybe_cheat(self, gateway: Address, city, rng: np.random.Generator):
-        """Assign a cheat strategy (and whether the assert lies from day 1)."""
-        config = self.config
-        for i, (clique_id, clique_city, left) in enumerate(self._clique_pending):
-            if left > 0 and city.name == clique_city:
-                clique = self._clique_registry[clique_id]
-                clique.members.add(gateway)
-                self._clique_pending[i] = (clique_id, clique_city, left - 1)
-                return clique, False
-        roll = float(rng.random())
-        if roll < config.silent_mover_fraction:
-            # Half move later silently; half asserted a lie from day one
-            # (the "Striped Yellow Bird" pattern, §7.1).
-            return SilentMover(), bool(rng.random() < 0.5)
-        if roll < config.silent_mover_fraction + config.rssi_liar_fraction:
-            return RssiLiar(), False
-        return None, False
-
-    def _draw_uptime(self, rng: np.random.Generator) -> float:
-        """Per-hotspot daily availability, mixing to the online target."""
-        target = self.config.online_fraction
-        roll = float(rng.random())
-        # Mixture calibrated so the expected value ≈ the online target:
-        # 0.70·(t+0.15) + 0.22·(t−0.24) + 0.08·0.12 ≈ t for t = 0.78.
-        if roll < 0.70:
-            return min(0.97, target + 0.15)
-        if roll < 0.92:
-            return max(0.05, target - 0.24)
-        return 0.12  # the mostly-dead tail
-
-    # ----------------------------------------------------------------- moves --
-
-    def _execute_moves(
-        self,
-        day: int,
-        batch: List[Tuple[int, Transaction]],
-        transferred_today: Optional[set] = None,
-    ) -> None:
-        rng = self.hub.stream("moves")
-        vars = self.chain.vars
-        transferred_today = transferred_today or set()
-        last_block_today: Dict[Address, int] = {}
-        for gateway, move in self._move_queue.pop(day, []):
-            hotspot = self.world.hotspots.get(gateway)
-            if hotspot is None:
-                continue
-            if gateway in transferred_today:
-                # Transfer and move in one day would interleave blocks
-                # inconsistently with ledger ownership; defer the move.
-                if day + 1 < self.config.n_days:
-                    move.day = float(day + 1)
-                    self._move_queue.setdefault(day + 1, []).append((gateway, move))
-                continue
-            if move.kind == "short":
-                target = self.moves.short_move_target(
-                    hotspot.actual_location, hotspot.city, rng
-                )
-                new_city = hotspot.city
-            elif move.kind == "long":
-                new_city = self.moves.long_move_target(
-                    day, hotspot.in_us, self.world.cities, rng
-                )
-                target = self.world.cities.sample_location_in_city(rng, new_city)
-            elif move.kind == "to_null":
-                target = LatLon(0.0, 0.0)
-                new_city = hotspot.city
-            elif move.kind == "from_null":
-                target = self.world.cities.sample_location_in_city(rng, hotspot.city)
-                new_city = hotspot.city
-            else:
-                raise SimulationError(f"unknown move kind {move.kind!r}")
-
-            silent = isinstance(hotspot.cheat, SilentMover) and move.kind == "long"
-            self.world.relocate(hotspot, target, new_city)
-            self._fleet_in_us[self._fleet_index[gateway]] = hotspot.in_us
-            if hotspot.antenna_gain_dbi <= 2.0:
-                hotspot.environment = environment_for_city(
-                    new_city.population,
-                    new_city.location.distance_km(target),
-                    new_city.scatter_radius_km(),
-                )
-            participant = self._participants.get(gateway)
-            if participant is not None:
-                participant.actual_location = target
-                participant.environment = hotspot.environment
-            if silent:
-                continue  # physically moved, never re-asserts (§7.1)
-
-            nonce = hotspot.assert_nonce + 1
-            fee = 0
-            if nonce > vars.free_location_asserts:
-                fee = vars.assert_location_fee_dc + vars.assert_location_staking_fee_dc
-                self.chain.ledger.credit_dc(hotspot.owner, fee)
-            asserted = (
-                LatLon(0.0, 0.0) if move.kind == "to_null"
-                else HexGrid.quantize(target)
-            )
-            hotspot.asserted_location = asserted
-            hotspot.assert_nonce = nonce
-            hotspot.move_days.append(day)
-            if participant is not None:
-                participant.asserted_location = asserted
-            block = day * _BLOCKS_PER_DAY + int(
-                (move.day - int(move.day)) * _BLOCKS_PER_DAY
-            )
-            # Same-day moves must land after the deployment's block and
-            # after this hotspot's earlier asserts (nonce ordering).
-            block = max(
-                block,
-                hotspot.added_block + 1,
-                last_block_today.get(gateway, -1) + 1,
-            )
-            last_block_today[gateway] = block
-            batch.append((block, AssertLocation(
-                gateway=gateway,
-                owner=hotspot.owner,
-                location_token=HexGrid.encode_cell(asserted).token,
-                nonce=nonce,
-                fee_dc=fee,
-            )))
-
-    # -------------------------------------------------------------- transfers --
-
-    def _execute_transfers(
-        self, day: int, batch: List[Tuple[int, Transaction]]
-    ) -> set:
-        rng = self.hub.stream("resale")
-        transferred = set()
-        for gateway, transfer in self._transfer_queue.pop(day, []):
-            hotspot = self.world.hotspots.get(gateway)
-            if hotspot is None:
-                continue
-            seller = hotspot.owner
-            if transfer.to_flipper and not self._flippers:
-                flipper = self.world.new_owner("repeat")
-                flipper.encashes = True
-                self._flippers.append(flipper.wallet)
-            buyer = pick_buyer(
-                world_owners=[
-                    o.wallet for o in self.world.owners.values()
-                    if o.archetype in ("individual", "repeat")
-                ],
-                new_owner_factory=lambda: self.world.new_owner("individual").wallet,
-                flippers=self._flippers,
-                to_flipper=transfer.to_flipper,
-                seller=seller,
-                rng=rng,
-            )
-            if buyer is None or buyer == seller:
-                continue
-            if transfer.amount_dc > 0:
-                self.chain.ledger.credit_dc(buyer, transfer.amount_dc)
-            block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY))
-            batch.append((block, TransferHotspot(
-                gateway=gateway, seller=seller, buyer=buyer,
-                amount_dc=transfer.amount_dc,
-            )))
-            seller_rec = self.world.owners.get(seller)
-            if seller_rec is not None:
-                seller_rec.hotspot_count -= 1
-            buyer_rec = self.world.owners.get(buyer)
-            if buyer_rec is not None:
-                buyer_rec.hotspot_count += 1
-            hotspot.owner = buyer
-            hotspot.transfer_days.append(day)
-            self._refresh_ferry_entry(hotspot)
-            transferred.add(gateway)
-            participant = self._participants.get(gateway)
-            if participant is not None:
-                participant.owner = buyer
-        return transferred
-
-    # ------------------------------------------------------------------ uptime --
-
-    def _update_online(self, day: int) -> None:
-        """Daily availability flip, fully vectorised.
-
-        One batched roll over the fleet (identical stream consumption to
-        the per-gateway loop it replaced: same count, same deployment
-        order), one array compare against the uptime thresholds, and
-        Python-level writes only where the state actually changed —
-        unchanged hotspots already hold the target value, so skipping
-        them is bit-identical by construction.
-        """
-        rng = self.hub.stream("uptime")
-        n = len(self._fleet_hotspots)
-        if n == 0:
-            return
-        rolls = rng.random(n)
-        flags = rolls < np.asarray(self._fleet_uptime)
-        previous = self._fleet_online
-        if len(previous) < n:
-            # Hotspots deployed since the last update start online (the
-            # SimHotspot/PocParticipant constructor default), so a True
-            # baseline makes "changed" mean "needs a write".
-            previous = np.concatenate(
-                [previous, np.ones(n - len(previous), dtype=bool)]
-            )
-        hotspots = self._fleet_hotspots
-        participants = self._fleet_participants
-        for i in np.flatnonzero(flags != previous).tolist():
-            online = bool(flags[i])
-            hotspots[i].online = online
-            participant = participants[i]
-            if participant is not None:
-                participant.online = online
-        self._fleet_online = flags
-        self._fleet_poc_online = flags & np.asarray(
-            self._fleet_is_poc, dtype=bool
-        )
-
-    def _update_online_reference(self, day: int) -> None:
-        """Pre-vectorisation twin of :meth:`_update_online`.
-
-        Replays the per-gateway Python loop (dict walk, scalar compare,
-        unconditional attribute writes) including its costs; equivalence
-        tests and ``bench_parallel.py`` compare the two paths.
-        """
-        rng = self.hub.stream("uptime")
-        gateways = list(self._uptime.keys())
-        if not gateways:
-            return
-        rolls = rng.random(len(gateways))
-        for gateway, roll in zip(gateways, rolls):
-            online = bool(roll < self._uptime[gateway])
-            self.world.hotspots[gateway].online = online
-            participant = self._participants.get(gateway)
-            if participant is not None:
-                participant.online = online
-
-    # --------------------------------------------------------------------- PoC --
-
-    def _run_poc(
-        self,
-        day: int,
-        batch: List[Tuple[int, Transaction]],
-        activity: EpochActivity,
-    ) -> None:
-        rng = self.hub.stream("poc")
-        online = [p for p in self._participants.values() if p.online]
-        if len(online) < 2:
-            return
-        n_challenges = int(round(
-            len(online) * self.config.challenges_per_hotspot_day
-        ))
-        n_challenges = max(n_challenges, 1 if len(online) >= 10 else 0)
-        for _ in range(n_challenges):
-            challenger = online[int(rng.integers(len(online)))]
-            challengee = challenger
-            while challengee.gateway == challenger.gateway:
-                challengee = online[int(rng.integers(len(online)))]
-            candidates, candidate_km = self._candidates_for(challengee, rng)
-            plan = plan_for_country(
-                self.world.hotspots[challengee.gateway].city.country
-            )
-            outcome = run_challenge(
-                challenger=challenger,
-                challengee=challengee,
-                candidates=candidates,
-                rng=rng,
-                checker=self.checker,
-                plan=plan,
-                distances_km=candidate_km,
-            )
-            block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY))
-            # Challenges involving hotspots deployed today must land
-            # after their add_gateway blocks.
-            block = max(
-                block,
-                self.world.hotspots[challenger.gateway].added_block + 1,
-                self.world.hotspots[challengee.gateway].added_block + 1,
-            )
-            batch.append((block, outcome.request))
-            batch.append((block, outcome.receipts))
-            activity.poc_events.append(outcome.event)
-
-    def _candidates_for(
-        self, challengee: PocParticipant, rng: np.random.Generator
-    ) -> Tuple[List[PocParticipant], Optional[np.ndarray]]:
-        """Capped nearest-first witness candidates, with their distances.
-
-        Returns the candidate list plus the challengee→candidate actual
-        distances already computed by the spatial index (``None`` when
-        gossip-clique members were appended without one), which
-        :func:`run_challenge` accepts to skip its own haversine pass.
-        """
-        nearby, distances = self.world.index.within_radius_distances(
-            challengee.actual_location, 120.0
-        )
-        # Nearest-first cap: every in-range hotspot witnesses on the real
-        # network, and the close ones dominate both counts and the RSSI
-        # distribution — random subsampling would bias toward mid-range.
-        # The stable argsort runs before the online filter (filtering
-        # preserves relative order among equal distances, so the kept set
-        # matches a filter-then-sort), and the boolean mask over the
-        # sorted order plus a [:cap] slice replaces the old Python
-        # nearest-first walk — same candidates, no per-element branching.
-        cap = self.config.max_witness_candidates
-        fleet_index = self._fleet_index
-        idx = np.fromiter(
-            (fleet_index[hotspot.gateway] for _, hotspot in nearby),
-            dtype=np.intp,
-            count=len(nearby),
-        )
-        order = np.argsort(distances, kind="stable")
-        keep = order[self._fleet_poc_online[idx[order]]][:cap]
-        participants_by_slot = self._fleet_participants
-        kept: List[PocParticipant] = [
-            participants_by_slot[int(slot)] for slot in idx[keep]
-        ]
-        # The index may lag a silent mover's relocation until the next
-        # rebuild; its distance would then describe the stale point, so
-        # hand none to the physics (object identity proves liveness).
-        kept_km: Optional[np.ndarray] = distances[keep]
-        for i, participant in zip(keep.tolist(), kept):
-            if nearby[i][0] is not participant.actual_location:
-                kept_km = None
-                break
-        if isinstance(challengee.cheat, GossipClique):
-            participants = self._participants
-            present = {c.gateway for c in kept}
-            for member in sorted(challengee.cheat.members):
-                participant = participants.get(member)
-                if (
-                    participant is not None
-                    and participant.online
-                    and member not in present
-                ):
-                    kept.append(participant)
-                    kept_km = None
-        if kept_km is None:
-            return kept, None
-        return kept, np.asarray(kept_km, dtype=float)
-
-    def _candidates_for_reference(
-        self, challengee: PocParticipant, rng: np.random.Generator
-    ) -> Tuple[List[PocParticipant], Optional[np.ndarray]]:
-        """Pre-vectorisation twin of :meth:`_candidates_for`.
-
-        Replays the ``distances.tolist()`` materialisation and the
-        per-element nearest-first walk; equivalence tests assert the
-        fast path returns exactly the same candidates and distances.
-        """
-        nearby, distances = self.world.index.within_radius_distances(
-            challengee.actual_location, 120.0
-        )
-        cap = self.config.max_witness_candidates
-        participants = self._participants
-        distance_list = distances.tolist()
-        kept: List[PocParticipant] = []
-        kept_km: Optional[List[float]] = []
-        for i in np.argsort(distances, kind="stable").tolist():
-            point, hotspot = nearby[i]
-            participant = participants.get(hotspot.gateway)
-            if participant is not None and participant.online:
-                kept.append(participant)
-                if kept_km is not None:
-                    if point is participant.actual_location:
-                        kept_km.append(distance_list[i])
-                    else:
-                        kept_km = None
-                if len(kept) >= cap:
-                    break
-        if isinstance(challengee.cheat, GossipClique):
-            present = {c.gateway for c in kept}
-            for member in sorted(challengee.cheat.members):
-                participant = participants.get(member)
-                if (
-                    participant is not None
-                    and participant.online
-                    and member not in present
-                ):
-                    kept.append(participant)
-                    kept_km = None
-        if kept_km is None:
-            return kept, None
-        return kept, np.asarray(kept_km, dtype=float)
-
-    # ----------------------------------------------------------------- traffic --
-
-    def _run_traffic(
-        self,
-        day: int,
-        batch: List[Tuple[int, Transaction]],
-        activity: EpochActivity,
-        console_owner: Address,
-        oui_owners: Dict[int, Address],
-    ) -> None:
-        rng = self.hub.stream("traffic")
-        traffic = self.traffic.day_traffic(day, rng)
-        weights = self._ferry_weights(day, rng)
-        if not weights:
-            return
-
-        if traffic.spam_packets > 0 and not self._spammers:
-            self._designate_spammers(rng)
-        spam_weights = {
-            gw: 1.0
-            for gw, hs in self.world.hotspots.items()
-            if hs.owner in self._spammers and hs.online
-        }
-
-        # Console channels: one open/close pair per close slot.
-        closes = max(1, int(1440 / self.config.console_close_blocks / 2))
-        per_close = traffic.console_packets // closes
-        spam_per_close = traffic.spam_packets // closes
-        for slot in range(closes):
-            close_block = day * _BLOCKS_PER_DAY + (slot + 1) * (
-                _BLOCKS_PER_DAY // closes
-            ) - 1
-            open_block = close_block - self.config.console_close_blocks
-            alloc = self.traffic.attribute_packets(per_close, weights, rng)
-            if spam_per_close > 0 and spam_weights:
-                spam_alloc = self.traffic.attribute_packets(
-                    spam_per_close, spam_weights, rng
-                )
-                for gw, count in spam_alloc.items():
-                    alloc[gw] = alloc.get(gw, 0) + count
-            self._emit_channel(
-                batch, activity, console_owner, oui=1 + slot % 2,
-                open_block=open_block, close_block=close_block, alloc=alloc,
-                expire_blocks=self.config.console_close_blocks * 2,
-            )
-
-        # Third-party routers: later, sparser, longer channels.
-        third_closes = self.traffic.channels_per_day(third_party=True)
-        n_third = int(third_closes) + (
-            1 if rng.random() < (third_closes % 1.0) else 0
-        )
-        if traffic.third_party_packets > 0 and n_third > 0:
-            per_third = traffic.third_party_packets // n_third
-            third_ouis = [oui for oui in oui_owners if oui > 2]
-            for i in range(n_third):
-                oui = third_ouis[int(rng.integers(len(third_ouis)))]
-                close_block = day * _BLOCKS_PER_DAY + int(
-                    rng.integers(500, _BLOCKS_PER_DAY)
-                )
-                alloc = self.traffic.attribute_packets(per_third, weights, rng)
-                self._emit_channel(
-                    batch, activity, oui_owners[oui], oui=oui,
-                    open_block=close_block - 480, close_block=close_block,
-                    alloc=alloc, expire_blocks=960,
-                )
-
-    def _emit_channel(
-        self,
-        batch: List[Tuple[int, Transaction]],
-        activity: EpochActivity,
-        owner: Address,
-        oui: int,
-        open_block: int,
-        close_block: int,
-        alloc: Dict[Address, int],
-        expire_blocks: int,
-    ) -> None:
-        self._channel_seq += 1
-        channel_id = f"sc-{oui}-{self._channel_seq}"
-        total_dcs = sum(alloc.values())
-        stake = max(total_dcs, 10_000)
-        self.chain.ledger.credit_dc(owner, stake)
-        batch.append((max(open_block, 2), StateChannelOpen(
-            channel_id=channel_id, owner=owner, oui=oui,
-            amount_dc=stake, expire_within_blocks=expire_blocks,
-        )))
-        summaries = tuple(
-            StateChannelSummary(hotspot=gw, num_packets=count, num_dcs=count)
-            for gw, count in sorted(alloc.items())
-        )
-        batch.append((close_block, StateChannelClose(
-            channel_id=channel_id, owner=owner, oui=oui, summaries=summaries,
-        )))
-        for gw, count in alloc.items():
-            hotspot = self.world.hotspots.get(gw)
-            if hotspot is None:
-                continue
-            key = (gw, hotspot.owner)
-            activity.data_packets[key] = activity.data_packets.get(key, 0) + count
-            activity.data_dcs[key] = activity.data_dcs.get(key, 0) + count
-
-    def _ferry_weights(
-        self, day: int, rng: np.random.Generator
-    ) -> Dict[Address, float]:
-        """Which hotspots ferry organic data: commercial fleets dominate.
-
-        Membership in the ferrying set is a stable property of where
-        devices actually are (``SimHotspot.ferries_data``, fixed at
-        deployment) — not a daily redraw, which would eventually hand
-        every city hotspot a data transaction and erase the paper's
-        application-vs-mining owner split (§4.3).
-
-        The daily O(fleet) rebuild is gone: ``_ferry_base`` holds the
-        would-ferry set (a few percent of the fleet) in deployment
-        order, maintained on deploy and ownership change, and this
-        method only applies the day's online filter to it. No RNG is
-        involved, and the comprehension preserves the base map's
-        deployment order, so packet attribution (which tie-breaks equal
-        weights by insertion order) is bit-identical to the rebuild.
-        """
-        if self._ferry_order_stale:
-            self._rebuild_ferry_base()
-        return {
-            gateway: weight
-            for gateway, (hotspot, weight) in self._ferry_base.items()
-            if hotspot.online
-        }
-
-    def _ferry_weights_reference(
-        self, day: int, rng: np.random.Generator
-    ) -> Dict[Address, float]:
-        """Pre-elimination twin of :meth:`_ferry_weights`: the daily
-        O(fleet) rebuild, kept as equivalence oracle and bench baseline."""
-        weights: Dict[Address, float] = {}
-        for hotspot in self.world.hotspots.values():
-            if not hotspot.online or hotspot.is_validator:
-                continue
-            owner = self.world.owners.get(hotspot.owner)
-            if owner is not None and owner.archetype == "commercial":
-                weights[hotspot.gateway] = 30.0
-            elif hotspot.ferries_data:
-                weights[hotspot.gateway] = 1.0
-        return weights
-
-    def _ferry_base_weight(self, hotspot: SimHotspot) -> Optional[float]:
-        """The weight ``hotspot`` would carry when online, else ``None``."""
-        if hotspot.is_validator:
-            return None
-        owner = self.world.owners.get(hotspot.owner)
-        if owner is not None and owner.archetype == "commercial":
-            return 30.0
-        if hotspot.ferries_data:
-            return 1.0
-        return None
-
-    def _refresh_ferry_entry(self, hotspot: SimHotspot) -> None:
-        """Keep the ferry base map current across an ownership change."""
-        base = self._ferry_base_weight(hotspot)
-        current = self._ferry_base.get(hotspot.gateway)
-        if base is None:
-            if current is not None:
-                del self._ferry_base[hotspot.gateway]
-        elif current is not None:
-            if current[1] != base:
-                # In-place value update: dict position (deployment
-                # order) is preserved.
-                self._ferry_base[hotspot.gateway] = (hotspot, base)
-        else:
-            # Re-inserting would append at the wrong position; rebuild
-            # in deployment order on next use so attribution keeps its
-            # stable tie-break. (Unreachable with the current buyer
-            # model — buyers are never commercial — but cheap to keep
-            # correct by construction.)
-            self._ferry_order_stale = True
-
-    def _rebuild_ferry_base(self) -> None:
-        """Recompute the ferry base map in deployment order."""
-        self._ferry_base = {}
-        for hotspot in self.world.hotspots.values():
-            base = self._ferry_base_weight(hotspot)
-            if base is not None:
-                self._ferry_base[hotspot.gateway] = (hotspot, base)
-        self._ferry_order_stale = False
-
-    def _designate_spammers(self, rng: np.random.Generator) -> None:
-        """Pick the arbitrage gamers once DC rewards go live (§5.3.2)."""
-        individuals = [
-            o.wallet for o in self.world.owners.values()
-            if o.archetype in ("individual", "repeat") and o.hotspot_count >= 1
-        ]
-        n = min(6, len(individuals))
-        if n == 0:
-            return
-        picks = rng.choice(len(individuals), size=n, replace=False)
-        self._spammers = [individuals[int(i)] for i in picks]
-
-    # ----------------------------------------------------------------- rewards --
-
-    def _mint_rewards(
-        self,
-        day: int,
-        batch: List[Tuple[int, Transaction]],
-        activity: EpochActivity,
-        engine: RewardEngine,
-        price: float,
-    ) -> None:
-        emission = (
-            self.chain.vars.monthly_hnt_emission / 30.0
-        ) * self.config.scale_factor
-        owners = list(self.world.owners.keys())
-        rng = self.hub.stream("consensus")
-        if owners:
-            n = min(16, len(owners))
-            picks = rng.choice(len(owners), size=n, replace=False)
-            activity.consensus_members = [owners[int(i)] for i in picks]
-        activity.security_holders = [self._helium_co]
-        rewards = engine.compute(activity, emission, price)
-        if rewards.shares:
-            batch.append((day * _BLOCKS_PER_DAY + _BLOCKS_PER_DAY - 1, rewards))
-
-    def _encash(self, day: int, batch: List[Tuple[int, Transaction]]) -> None:
-        """Weekly: speculator archetypes cash out most of their HNT (§4.3)."""
-        if day % 7 != 3:
-            return
-        for owner in self.world.owners.values():
-            if not owner.encashes:
-                continue
-            wallet = self.chain.ledger.wallets.get(owner.wallet)
-            if wallet is None or wallet.hnt_bones < units.hnt_to_bones(5.0):
-                continue
-            amount = int(wallet.hnt_bones * 0.9)
-            batch.append((day * _BLOCKS_PER_DAY + _BLOCKS_PER_DAY - 1, Payment(
-                payer=owner.wallet, payee=self._exchange, amount_bones=amount,
-            )))
-
-    # ------------------------------------------------------------------ logging --
-
-    def _log_growth(self, day: int, added: int) -> None:
-        # Counted from the fleet arrays _update_online refreshed earlier
-        # the same day (and _execute_moves keeps in_us current), so no
-        # per-hotspot Python walk is needed.
-        flags = self._fleet_online
-        if len(flags) != len(self._fleet_hotspots):
-            # The availability path was swapped out (reference twin in
-            # an equivalence test); fall back to the authoritative
-            # per-object state the twin does maintain.
-            flags = np.fromiter(
-                (hotspot.online for hotspot in self._fleet_hotspots),
-                dtype=bool,
-                count=len(self._fleet_hotspots),
-            )
-        online = int(np.count_nonzero(flags))
-        online_us = int(np.count_nonzero(
-            flags & np.asarray(self._fleet_in_us, dtype=bool)
-        ))
-        self._growth_log.append(GrowthLogRow(
-            day=day,
-            added_today=added,
-            connected=len(self._fleet_hotspots),
-            online=online,
-            online_us=online_us,
-            online_international=online - online_us,
-        ))
+    def _checkpoint(self, directory: Union[str, Path]) -> None:
+        started = perf_counter()
+        self.state.save(directory)
+        obs.counter("engine.checkpoints")
+        obs.observe("engine.checkpoint_save", perf_counter() - started)
 
     # ------------------------------------------------------------------ p2p --
 
     def _build_peerbook(self) -> Peerbook:
-        rng = self.hub.stream("relay")
+        state = self.state
+        rng = state.hub.stream("relay")
         peerbook = Peerbook()
         publics: List[Address] = []
-        for hotspot in self.world.hotspots.values():
+        for hotspot in state.world.hotspots.values():
             if not hotspot.online or hotspot.backhaul is None:
                 continue
             if hotspot.backhaul.has_public_ip:
@@ -1093,14 +237,14 @@ class SimulationEngine:
         # Fig. 10 — one relay carrying dozens of peers.
         weights = rng.pareto(1.7, size=len(publics)) + 0.10
         weights = weights / weights.sum()
-        for hotspot in self.world.hotspots.values():
+        for hotspot in state.world.hotspots.values():
             if not hotspot.online or hotspot.backhaul is None:
                 continue
             if hotspot.backhaul.has_public_ip:
                 continue
             relay = publics[int(rng.choice(len(publics), p=weights))]
             peerbook.add_relayed(hotspot.gateway, relay)
-        for hotspot in self.world.hotspots.values():
+        for hotspot in state.world.hotspots.values():
             if not hotspot.online:
                 peerbook.add_empty(hotspot.gateway)
         return peerbook

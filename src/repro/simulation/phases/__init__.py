@@ -1,0 +1,66 @@
+"""Phase subsystems of the simulation day loop.
+
+Each phase owns one slice of the day's work and exposes
+``run_day(state, day)`` over a shared
+:class:`~repro.simulation.state.WorldState`. The canonical ordering —
+the same ordering the monolithic engine hard-coded — is returned by
+:func:`default_phases`; the scheduler runs them in list order, so a
+custom list is how experiments insert, drop, or reorder subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulation.phases.base import Phase
+from repro.simulation.phases.deploy import DeployPhase
+from repro.simulation.phases.encash import EncashPhase
+from repro.simulation.phases.growthlog import LogPhase
+from repro.simulation.phases.index import IndexPhase
+from repro.simulation.phases.mint import MintPhase
+from repro.simulation.phases.moves import MovesPhase
+from repro.simulation.phases.online import OnlinePhase
+from repro.simulation.phases.poc import PoCPhase
+from repro.simulation.phases.rewards import RewardsPhase
+from repro.simulation.phases.traffic import TrafficPhase
+from repro.simulation.phases.transfers import TransfersPhase
+
+__all__ = [
+    "Phase",
+    "DeployPhase",
+    "TransfersPhase",
+    "MovesPhase",
+    "OnlinePhase",
+    "IndexPhase",
+    "PoCPhase",
+    "TrafficPhase",
+    "RewardsPhase",
+    "EncashPhase",
+    "MintPhase",
+    "LogPhase",
+    "default_phases",
+]
+
+
+def default_phases() -> List[Phase]:
+    """The canonical day-loop ordering.
+
+    Order is semantic: deploys extend the fleet before transfers and
+    moves touch it, availability flips before PoC samples online
+    participants, traffic settles before rewards split the day's
+    activity, and the mint flushes everything before the growth log
+    counts the day.
+    """
+    return [
+        DeployPhase(),
+        TransfersPhase(),
+        MovesPhase(),
+        OnlinePhase(),
+        IndexPhase(),
+        PoCPhase(),
+        TrafficPhase(),
+        RewardsPhase(),
+        EncashPhase(),
+        MintPhase(),
+        LogPhase(),
+    ]

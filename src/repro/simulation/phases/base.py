@@ -1,0 +1,26 @@
+"""Phase protocol: one day-loop subsystem.
+
+A phase owns no mutable run state — everything lives on the
+:class:`~repro.simulation.state.WorldState` it receives — so phases are
+freely reorderable in tests, swappable for reference twins, and a
+resumed run constructs fresh phase objects without any behavioural
+drift. A phase *may* hold immutable configuration built in
+``__init__`` (e.g. the reward engines), never per-run data.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.state import WorldState
+
+__all__ = ["Phase"]
+
+
+class Phase:
+    """One ordered subsystem of the simulation day loop."""
+
+    #: Stable phase key: names the scheduler timing bucket, the
+    #: ``--profile`` entry and the ``engine.phase.<name>`` metric.
+    name: str = ""
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        raise NotImplementedError

@@ -1,0 +1,197 @@
+"""DeployPhase: the day's hotspot batch (add_gateway + assert_location)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import units
+from repro.chain.crypto import Address
+from repro.chain.transactions import AddGateway, AssertLocation
+from repro.geo.geodesy import LatLon
+from repro.geo.hexgrid import HexGrid
+from repro.p2p.backhaul import assign_backhaul
+from repro.poc.challenge import PocParticipant
+from repro.poc.cheats import RssiLiar, SilentMover
+from repro.radio.propagation import Environment, environment_for_city
+from repro.simulation.moves import PlannedMove
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+from repro.simulation.world import SimHotspot
+
+__all__ = ["DeployPhase"]
+
+_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
+
+
+class DeployPhase(Phase):
+    """Deploys the adoption schedule's daily batch of hotspots."""
+
+    name = "deploy"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        rng = state.hub.stream("deploy")
+        count = state.schedule.daily_counts[day]
+        intl_share = state.schedule.international_share[day]
+        for _ in range(count):
+            self._deploy_one(state, day, intl_share, rng)
+        state.added_today = count
+
+    def _deploy_one(
+        self,
+        state: WorldState,
+        day: int,
+        intl_share: float,
+        rng: np.random.Generator,
+    ) -> None:
+        config = state.config
+        batch = state.batch
+        owner = state.owners.assign(day, rng)
+        city = state.owners.deployment_city(owner, day, intl_share, rng)
+        actual = state.world.cities.sample_location_in_city(rng, city)
+        gateway = state.world.new_gateway_address()
+
+        is_validator = float(rng.random()) < config.validator_fraction
+        cheat = None
+        mismatched_assert = False
+        if not is_validator:
+            cheat, mismatched_assert = self._maybe_cheat(
+                state, gateway, city, rng
+            )
+
+        environment = environment_for_city(
+            city.population,
+            city.location.distance_km(actual),
+            city.scatter_radius_km(),
+        )
+        gain = 1.2
+        if float(rng.random()) < config.high_gain_fraction:
+            gain = float(rng.uniform(5.0, 9.0))
+            environment = (
+                Environment.RURAL if rng.random() < 0.85
+                else Environment.OVER_WATER
+            )
+
+        initial_null = state.moves.initial_assert_is_null(rng)
+        if initial_null:
+            asserted = LatLon(0.0, 0.0)
+        elif mismatched_assert:
+            wrong_city = state.world.cities.sample_city(
+                rng, country=city.country
+            )
+            asserted = state.world.cities.sample_location_in_city(
+                rng, wrong_city
+            )
+        else:
+            asserted = HexGrid.quantize(actual)
+
+        backhaul = assign_backhaul(
+            state.world.isps, city, state.hub.stream("backhaul"),
+            cloud=is_validator,
+        )
+        hotspot = SimHotspot(
+            gateway=gateway,
+            owner=owner.wallet,
+            city=city,
+            actual_location=actual,
+            asserted_location=asserted,
+            environment=environment,
+            antenna_gain_dbi=gain,
+            backhaul=backhaul,
+            is_validator=is_validator,
+            added_day=day,
+            assert_nonce=1,
+            cheat=cheat,
+        )
+        hotspot.ferries_data = (
+            city.population > 400_000 and float(rng.random()) < 0.05
+        )
+        state.world.add_hotspot(hotspot)
+        uptime = self._draw_uptime(state, rng)
+        state.uptime[gateway] = uptime
+
+        block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY // 4))
+        hotspot.added_block = block
+        batch.append((block, AddGateway(gateway=gateway, owner=owner.wallet)))
+        batch.append((block, AssertLocation(
+            gateway=gateway,
+            owner=owner.wallet,
+            location_token=HexGrid.encode_cell(asserted).token,
+            nonce=1,
+        )))
+
+        transfers = state.resale.plan(day, rng)
+        for transfer in transfers:
+            state.transfer_queue.setdefault(transfer.day, []).append(
+                (gateway, transfer)
+            )
+        first_transfer = transfers[0].day if transfers else None
+        planned = state.moves.plan(
+            day, rng,
+            initial_null=initial_null,
+            will_transfer_on=first_transfer,
+        )
+        if isinstance(cheat, SilentMover) and not mismatched_assert:
+            # Guarantee the silent mover actually moves mid-life, early
+            # enough to accumulate contradictory witnessing afterwards.
+            move_day = min(
+                day + float(rng.uniform(20, 120)), config.n_days - 15.0
+            )
+            move_day = max(move_day, day + 3.0)
+            planned.append(PlannedMove(day=move_day, kind="long"))
+        for move in planned:
+            state.move_queue.setdefault(int(move.day), []).append(
+                (gateway, move)
+            )
+
+        participant = None
+        if not is_validator:
+            participant = PocParticipant(
+                gateway=gateway,
+                owner=owner.wallet,
+                asserted_location=asserted,
+                actual_location=actual,
+                environment=environment,
+                antenna_gain_dbi=gain,
+                online=True,
+                cheat=cheat,
+            )
+            state.participants[gateway] = participant
+        state.register_fleet(hotspot, participant, uptime)
+
+    @staticmethod
+    def _maybe_cheat(
+        state: WorldState, gateway: Address, city, rng: np.random.Generator
+    ):
+        """Assign a cheat strategy (and whether the assert lies from day 1)."""
+        config = state.config
+        for i, (clique_id, clique_city, left) in enumerate(
+            state.clique_pending
+        ):
+            if left > 0 and city.name == clique_city:
+                clique = state.clique_registry[clique_id]
+                clique.members.add(gateway)
+                state.clique_pending[i] = (clique_id, clique_city, left - 1)
+                return clique, False
+        roll = float(rng.random())
+        if roll < config.silent_mover_fraction:
+            # Half move later silently; half asserted a lie from day one
+            # (the "Striped Yellow Bird" pattern, §7.1).
+            return SilentMover(), bool(rng.random() < 0.5)
+        if roll < config.silent_mover_fraction + config.rssi_liar_fraction:
+            return RssiLiar(), False
+        return None, False
+
+    @staticmethod
+    def _draw_uptime(state: WorldState, rng: np.random.Generator) -> float:
+        """Per-hotspot daily availability, mixing to the online target."""
+        target = state.config.online_fraction
+        roll = float(rng.random())
+        # Mixture calibrated so the expected value ≈ the online target:
+        # 0.70·(t+0.15) + 0.22·(t−0.24) + 0.08·0.12 ≈ t for t = 0.78.
+        if roll < 0.70:
+            return min(0.97, target + 0.15)
+        if roll < 0.92:
+            return max(0.05, target - 0.24)
+        return 0.12  # the mostly-dead tail

@@ -1,0 +1,36 @@
+"""EncashPhase: weekly speculator cash-outs to the exchange."""
+
+from __future__ import annotations
+
+from repro import units
+from repro.chain.transactions import Payment
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["EncashPhase"]
+
+_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
+
+
+class EncashPhase(Phase):
+    """Weekly: speculator archetypes cash out most of their HNT (§4.3)."""
+
+    name = "encash"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        if day % 7 != 3:
+            return
+        for owner in state.world.owners.values():
+            if not owner.encashes:
+                continue
+            wallet = state.chain.ledger.wallets.get(owner.wallet)
+            if wallet is None or wallet.hnt_bones < units.hnt_to_bones(5.0):
+                continue
+            amount = int(wallet.hnt_bones * 0.9)
+            state.batch.append(
+                (day * _BLOCKS_PER_DAY + _BLOCKS_PER_DAY - 1, Payment(
+                    payer=owner.wallet,
+                    payee=state.exchange,
+                    amount_bones=amount,
+                ))
+            )

@@ -1,0 +1,41 @@
+"""LogPhase: end-of-day fleet growth bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import GrowthLogRow, WorldState
+
+__all__ = ["LogPhase"]
+
+
+class LogPhase(Phase):
+    name = "log"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        # Counted from the fleet arrays the online phase refreshed
+        # earlier the same day (and the moves phase keeps in_us
+        # current), so no per-hotspot Python walk is needed.
+        flags = state.fleet_online
+        if len(flags) != len(state.fleet_hotspots):
+            # The availability path was swapped out (reference twin in
+            # an equivalence test); fall back to the authoritative
+            # per-object state the twin does maintain.
+            flags = np.fromiter(
+                (hotspot.online for hotspot in state.fleet_hotspots),
+                dtype=bool,
+                count=len(state.fleet_hotspots),
+            )
+        online = int(np.count_nonzero(flags))
+        online_us = int(np.count_nonzero(
+            flags & np.asarray(state.fleet_in_us, dtype=bool)
+        ))
+        state.growth_log.append(GrowthLogRow(
+            day=day,
+            added_today=state.added_today,
+            connected=len(state.fleet_hotspots),
+            online=online,
+            online_us=online_us,
+            online_international=online - online_us,
+        ))

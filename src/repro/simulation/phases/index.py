@@ -1,0 +1,23 @@
+"""IndexPhase: the weekly spatial-index rebuild.
+
+The index is deliberately *not* rebuilt after every move — candidate
+lookups tolerate a week of staleness (with an object-identity liveness
+check in the PoC phase), which is also why checkpoints persist each
+hotspot's ``index_location``: a resumed run must see the same stale
+index a fresh run would.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["IndexPhase"]
+
+
+class IndexPhase(Phase):
+    name = "index"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        if day % 7 == 0:
+            state.world.rebuild_index()

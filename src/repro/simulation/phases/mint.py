@@ -1,0 +1,30 @@
+"""MintPhase: flush the day's transaction batch into blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.chain.transactions import Transaction
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["MintPhase"]
+
+
+class MintPhase(Phase):
+    """Mints the day's transactions grouped by target block."""
+
+    name = "mint"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        batch = state.batch
+        if not batch:
+            return
+        by_block: Dict[int, List[Transaction]] = {}
+        floor = state.chain.height + 1
+        for block, txn in batch:
+            by_block.setdefault(max(block, floor), []).append(txn)
+        for block in sorted(by_block):
+            target = max(block, state.chain.height + 1)
+            state.chain.submit_many(by_block[block])
+            state.chain.mint_block(target)

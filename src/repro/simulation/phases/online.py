@@ -1,0 +1,63 @@
+"""OnlinePhase: the daily availability flip over the whole fleet."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["OnlinePhase", "update_online"]
+
+
+def update_online(state: WorldState, day: int) -> None:
+    """Daily availability flip, fully vectorised.
+
+    One batched roll over the fleet (identical stream consumption to
+    the per-gateway loop it replaced: same count, same deployment
+    order), one array compare against the uptime thresholds, and
+    Python-level writes only where the state actually changed —
+    unchanged hotspots already hold the target value, so skipping
+    them is bit-identical by construction.
+    """
+    rng = state.hub.stream("uptime")
+    n = len(state.fleet_hotspots)
+    if n == 0:
+        return
+    rolls = rng.random(n)
+    flags = rolls < np.asarray(state.fleet_uptime)
+    previous = state.fleet_online
+    if len(previous) < n:
+        # Hotspots deployed since the last update start online (the
+        # SimHotspot/PocParticipant constructor default), so a True
+        # baseline makes "changed" mean "needs a write".
+        previous = np.concatenate(
+            [previous, np.ones(n - len(previous), dtype=bool)]
+        )
+    hotspots = state.fleet_hotspots
+    participants = state.fleet_participants
+    for i in np.flatnonzero(flags != previous).tolist():
+        online = bool(flags[i])
+        hotspots[i].online = online
+        participant = participants[i]
+        if participant is not None:
+            participant.online = online
+    state.fleet_online = flags
+    state.fleet_poc_online = flags & np.asarray(
+        state.fleet_is_poc, dtype=bool
+    )
+
+
+class OnlinePhase(Phase):
+    """Applies the day's online/offline flips.
+
+    The implementation is swappable: equivalence tests monkeypatch
+    ``impl`` with :func:`repro.simulation.reference.
+    update_online_reference` and assert the digest does not move.
+    """
+
+    name = "online"
+    impl = staticmethod(update_online)
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        self.impl(state, day)

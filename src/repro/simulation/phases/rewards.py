@@ -1,0 +1,50 @@
+"""RewardsPhase: the day's HNT emission split across activity."""
+
+from __future__ import annotations
+
+from repro import units
+from repro.economics.rewards import RewardEngine
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["RewardsPhase"]
+
+_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
+
+
+class RewardsPhase(Phase):
+    """Computes and enqueues the daily rewards transaction.
+
+    The two :class:`RewardEngine` variants are stateless (pure splits
+    over the day's activity), so holding them on the phase — rather
+    than in :class:`WorldState` — is resume-safe.
+    """
+
+    name = "rewards"
+
+    def __init__(self) -> None:
+        self._pre_hip10 = RewardEngine(hip10_cap=False)
+        self._post_hip10 = RewardEngine(hip10_cap=True)
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        engine = (
+            self._post_hip10 if day >= state.config.hip10_day
+            else self._pre_hip10
+        )
+        emission = (
+            state.chain.vars.monthly_hnt_emission / 30.0
+        ) * state.config.scale_factor
+        owners = list(state.world.owners.keys())
+        rng = state.hub.stream("consensus")
+        if owners:
+            n = min(16, len(owners))
+            picks = rng.choice(len(owners), size=n, replace=False)
+            state.activity.consensus_members = [
+                owners[int(i)] for i in picks
+            ]
+        state.activity.security_holders = [state.helium_co]
+        rewards = engine.compute(state.activity, emission, state.price_today)
+        if rewards.shares:
+            state.batch.append(
+                (day * _BLOCKS_PER_DAY + _BLOCKS_PER_DAY - 1, rewards)
+            )

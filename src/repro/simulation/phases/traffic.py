@@ -1,0 +1,171 @@
+"""TrafficPhase: LoRaWAN data traffic settled through state channels."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import units
+from repro.chain.crypto import Address
+from repro.chain.transactions import (
+    StateChannelClose,
+    StateChannelOpen,
+    StateChannelSummary,
+)
+from repro.simulation.phases.base import Phase
+from repro.simulation.state import WorldState
+
+__all__ = ["TrafficPhase", "ferry_weights"]
+
+_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
+
+
+def ferry_weights(
+    state: WorldState, day: int, rng: np.random.Generator
+) -> Dict[Address, float]:
+    """Which hotspots ferry organic data: commercial fleets dominate.
+
+    Membership in the ferrying set is a stable property of where
+    devices actually are (``SimHotspot.ferries_data``, fixed at
+    deployment) — not a daily redraw, which would eventually hand
+    every city hotspot a data transaction and erase the paper's
+    application-vs-mining owner split (§4.3).
+
+    The daily O(fleet) rebuild is gone: ``state.ferry_base`` holds the
+    would-ferry set (a few percent of the fleet) in deployment
+    order, maintained on deploy and ownership change, and this
+    function only applies the day's online filter to it. No RNG is
+    involved, and the comprehension preserves the base map's
+    deployment order, so packet attribution (which tie-breaks equal
+    weights by insertion order) is bit-identical to the rebuild.
+    """
+    if state.ferry_order_stale:
+        state.rebuild_ferry_base()
+    return {
+        gateway: weight
+        for gateway, (hotspot, weight) in state.ferry_base.items()
+        if hotspot.online
+    }
+
+
+class TrafficPhase(Phase):
+    """Generates the day's traffic and its on-chain state channels.
+
+    ``ferry_impl`` is swappable: equivalence tests monkeypatch it with
+    :func:`repro.simulation.reference.ferry_weights_reference`.
+    """
+
+    name = "traffic"
+    ferry_impl = staticmethod(ferry_weights)
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        rng = state.hub.stream("traffic")
+        traffic = state.traffic.day_traffic(day, rng)
+        weights = self.ferry_impl(state, day, rng)
+        if not weights:
+            return
+
+        if traffic.spam_packets > 0 and not state.spammers:
+            self._designate_spammers(state, rng)
+        spam_weights = {
+            gw: 1.0
+            for gw, hs in state.world.hotspots.items()
+            if hs.owner in state.spammers and hs.online
+        }
+
+        # Console channels: one open/close pair per close slot.
+        closes = max(1, int(1440 / state.config.console_close_blocks / 2))
+        per_close = traffic.console_packets // closes
+        spam_per_close = traffic.spam_packets // closes
+        for slot in range(closes):
+            close_block = day * _BLOCKS_PER_DAY + (slot + 1) * (
+                _BLOCKS_PER_DAY // closes
+            ) - 1
+            open_block = close_block - state.config.console_close_blocks
+            alloc = state.traffic.attribute_packets(per_close, weights, rng)
+            if spam_per_close > 0 and spam_weights:
+                spam_alloc = state.traffic.attribute_packets(
+                    spam_per_close, spam_weights, rng
+                )
+                for gw, count in spam_alloc.items():
+                    alloc[gw] = alloc.get(gw, 0) + count
+            self._emit_channel(
+                state, state.console_owner, oui=1 + slot % 2,
+                open_block=open_block, close_block=close_block, alloc=alloc,
+                expire_blocks=state.config.console_close_blocks * 2,
+            )
+
+        # Third-party routers: later, sparser, longer channels.
+        third_closes = state.traffic.channels_per_day(third_party=True)
+        n_third = int(third_closes) + (
+            1 if rng.random() < (third_closes % 1.0) else 0
+        )
+        if traffic.third_party_packets > 0 and n_third > 0:
+            per_third = traffic.third_party_packets // n_third
+            third_ouis = [oui for oui in state.oui_owners if oui > 2]
+            for _ in range(n_third):
+                oui = third_ouis[int(rng.integers(len(third_ouis)))]
+                close_block = day * _BLOCKS_PER_DAY + int(
+                    rng.integers(500, _BLOCKS_PER_DAY)
+                )
+                alloc = state.traffic.attribute_packets(
+                    per_third, weights, rng
+                )
+                self._emit_channel(
+                    state, state.oui_owners[oui], oui=oui,
+                    open_block=close_block - 480, close_block=close_block,
+                    alloc=alloc, expire_blocks=960,
+                )
+
+    @staticmethod
+    def _emit_channel(
+        state: WorldState,
+        owner: Address,
+        oui: int,
+        open_block: int,
+        close_block: int,
+        alloc: Dict[Address, int],
+        expire_blocks: int,
+    ) -> None:
+        state.channel_seq += 1
+        channel_id = f"sc-{oui}-{state.channel_seq}"
+        total_dcs = sum(alloc.values())
+        stake = max(total_dcs, 10_000)
+        state.chain.ledger.credit_dc(owner, stake)
+        state.batch.append((max(open_block, 2), StateChannelOpen(
+            channel_id=channel_id, owner=owner, oui=oui,
+            amount_dc=stake, expire_within_blocks=expire_blocks,
+        )))
+        summaries = tuple(
+            StateChannelSummary(hotspot=gw, num_packets=count, num_dcs=count)
+            for gw, count in sorted(alloc.items())
+        )
+        state.batch.append((close_block, StateChannelClose(
+            channel_id=channel_id, owner=owner, oui=oui, summaries=summaries,
+        )))
+        for gw, count in alloc.items():
+            hotspot = state.world.hotspots.get(gw)
+            if hotspot is None:
+                continue
+            key = (gw, hotspot.owner)
+            activity = state.activity
+            activity.data_packets[key] = (
+                activity.data_packets.get(key, 0) + count
+            )
+            activity.data_dcs[key] = activity.data_dcs.get(key, 0) + count
+
+    @staticmethod
+    def _designate_spammers(
+        state: WorldState, rng: np.random.Generator
+    ) -> None:
+        """Pick the arbitrage gamers once DC rewards go live (§5.3.2)."""
+        individuals = [
+            o.wallet for o in state.world.owners.values()
+            if o.archetype in ("individual", "repeat") and o.hotspot_count >= 1
+        ]
+        n = min(6, len(individuals))
+        if n == 0:
+            return
+        picks = rng.choice(len(individuals), size=n, replace=False)
+        state.spammers = [individuals[int(i)] for i in picks]

@@ -1,0 +1,69 @@
+"""TransfersPhase: scheduled resales change ownership on-chain."""
+
+from __future__ import annotations
+
+from repro import units
+from repro.chain.transactions import TransferHotspot
+from repro.simulation.phases.base import Phase
+from repro.simulation.resale import pick_buyer
+from repro.simulation.state import WorldState
+
+__all__ = ["TransfersPhase"]
+
+_BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
+
+
+class TransfersPhase(Phase):
+    """Executes the day's transfer queue; records who transferred today
+    (the moves phase defers a same-day move to keep block order sane)."""
+
+    name = "transfers"
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        rng = state.hub.stream("resale")
+        batch = state.batch
+        transferred = state.transferred_today
+        for gateway, transfer in state.transfer_queue.pop(day, []):
+            hotspot = state.world.hotspots.get(gateway)
+            if hotspot is None:
+                continue
+            seller = hotspot.owner
+            if transfer.to_flipper and not state.flippers:
+                flipper = state.world.new_owner("repeat")
+                flipper.encashes = True
+                state.flippers.append(flipper.wallet)
+            buyer = pick_buyer(
+                world_owners=[
+                    o.wallet for o in state.world.owners.values()
+                    if o.archetype in ("individual", "repeat")
+                ],
+                new_owner_factory=(
+                    lambda: state.world.new_owner("individual").wallet
+                ),
+                flippers=state.flippers,
+                to_flipper=transfer.to_flipper,
+                seller=seller,
+                rng=rng,
+            )
+            if buyer is None or buyer == seller:
+                continue
+            if transfer.amount_dc > 0:
+                state.chain.ledger.credit_dc(buyer, transfer.amount_dc)
+            block = day * _BLOCKS_PER_DAY + int(rng.integers(_BLOCKS_PER_DAY))
+            batch.append((block, TransferHotspot(
+                gateway=gateway, seller=seller, buyer=buyer,
+                amount_dc=transfer.amount_dc,
+            )))
+            seller_rec = state.world.owners.get(seller)
+            if seller_rec is not None:
+                seller_rec.hotspot_count -= 1
+            buyer_rec = state.world.owners.get(buyer)
+            if buyer_rec is not None:
+                buyer_rec.hotspot_count += 1
+            hotspot.owner = buyer
+            hotspot.transfer_days.append(day)
+            state.refresh_ferry_entry(hotspot)
+            transferred.add(gateway)
+            participant = state.participants.get(gateway)
+            if participant is not None:
+                participant.owner = buyer

@@ -1,0 +1,56 @@
+"""PhaseScheduler: ordered phase execution with per-phase timing.
+
+The scheduler replaces the engine's inline day loop. It owns the only
+phase-timing dict in the codebase — ``--profile`` output, the
+``engine.phase.*`` obs metrics, and ``SimulationResult.day_loop_timings``
+are all derived from :attr:`PhaseScheduler.timings`, so there is no
+hand-kept parallel bookkeeping to drift out of sync.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+from repro import obs
+from repro.simulation.phases import Phase, default_phases
+from repro.simulation.state import WorldState
+
+__all__ = ["PhaseScheduler"]
+
+
+class PhaseScheduler:
+    """Runs registered phases in order, once per simulated day."""
+
+    def __init__(self, phases: Optional[List[Phase]] = None) -> None:
+        self.phases: List[Phase] = (
+            list(phases) if phases is not None else default_phases()
+        )
+        #: Cumulative wall-clock seconds per phase name — the single
+        #: source for ``--profile`` and the ``engine.phase.*`` metrics.
+        self.timings: Dict[str, float] = {
+            phase.name: 0.0 for phase in self.phases
+        }
+
+    @contextlib.contextmanager
+    def _timed(self, name: str) -> Iterator[None]:
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[name] = (
+                self.timings.get(name, 0.0) + perf_counter() - started
+            )
+
+    def run_day(self, state: WorldState, day: int) -> None:
+        """Prepare the day's transients, then run every phase in order."""
+        state.begin_day(day)
+        for phase in self.phases:
+            with self._timed(phase.name):
+                phase.run_day(state, day)
+
+    def publish_metrics(self) -> None:
+        """Flush cumulative per-phase wall-clock into obs metrics."""
+        for name, seconds in self.timings.items():
+            obs.observe(f"engine.phase.{name}", seconds)

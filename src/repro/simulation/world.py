@@ -52,6 +52,15 @@ class SimHotspot:
     move_days: List[int] = field(default_factory=list)
     transfer_days: List[int] = field(default_factory=list)
     cheat: Optional[CheatStrategy] = None
+    #: The point under which this hotspot is currently registered in the
+    #: world's spatial index. Identical *object* to ``actual_location``
+    #: right after an insert/rebuild; goes stale (old object, old coords)
+    #: when the hotspot moves before the next weekly rebuild. Checkpoints
+    #: persist it so a resumed run sees the exact same stale index a
+    #: fresh run would.
+    index_location: Optional[LatLon] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def asserted_token(self) -> Optional[str]:
@@ -130,6 +139,7 @@ class World:
         if hotspot.gateway in self.hotspots:
             raise SimulationError(f"duplicate hotspot: {hotspot.gateway}")
         self.hotspots[hotspot.gateway] = hotspot
+        hotspot.index_location = hotspot.actual_location
         self.index.insert(hotspot.actual_location, hotspot)
         owner = self.owners.get(hotspot.owner)
         if owner is not None:
@@ -147,7 +157,23 @@ class World:
         """Rebuild the actual-location spatial index after moves."""
         self.index = SpatialIndex(cell_deg=0.5)
         for hotspot in self.hotspots.values():
+            hotspot.index_location = hotspot.actual_location
             self.index.insert(hotspot.actual_location, hotspot)
+
+    def restore_index(self) -> None:
+        """Rebuild the spatial index from each hotspot's recorded
+        ``index_location`` (checkpoint restore), reproducing a stale
+        index exactly as the interrupted run last saw it — including the
+        object-identity property hot paths rely on: a hotspot indexed
+        under its live position is indexed under the *same object* as
+        ``actual_location``."""
+        self.index = SpatialIndex(cell_deg=0.5)
+        for hotspot in self.hotspots.values():
+            point = hotspot.index_location
+            if point is None:
+                point = hotspot.actual_location
+                hotspot.index_location = point
+            self.index.insert(point, hotspot)
 
     # -- queries -------------------------------------------------------------------
 

@@ -1,14 +1,17 @@
 """Day-loop hot-path elimination: bit-identity against reference twins.
 
-The engine keeps the pre-optimisation implementations in-tree
-(``_update_online_reference``, ``_ferry_weights_reference``,
-``_candidates_for_reference``) as equivalence oracles. These tests
-assert the two strongest forms of the contract:
+The repo keeps the pre-optimisation implementations in-tree
+(:mod:`repro.simulation.reference`) as equivalence oracles; the fast
+paths hang off their phase classes as swappable ``staticmethod``
+attributes (``OnlinePhase.impl``, ``TrafficPhase.ferry_impl``,
+``PoCPhase.candidates_impl``). These tests assert the two strongest
+forms of the contract:
 
 * a full small-scenario run with every reference twin swapped in
   digests identically to the fast path (same chain, same world bytes);
 * the fast-path digest equals the value pinned *before* the hot-path
-  work landed — the optimisation changed nothing.
+  work landed — neither the optimisation nor the phase/WorldState
+  decomposition changed anything.
 
 The pinned digests also guard the process-independence fix: scenario
 bytes used to depend on ``PYTHONHASHSEED`` through gossip-clique set
@@ -25,10 +28,14 @@ import pytest
 
 from repro.experiments.snapshot import result_digest
 from repro.simulation import SimulationEngine, small_scenario
-from repro.simulation.engine import SimulationEngine as Engine
+from repro.simulation import reference
+from repro.simulation.phases import OnlinePhase, PoCPhase, TrafficPhase
+from repro.simulation.phases.online import update_online
+from repro.simulation.phases.poc import candidates_for
+from repro.simulation.phases.traffic import ferry_weights
 
-#: Captured on the pre-optimisation engine (PR 2 tree); the hot-path
-#: rewrite must not move them.
+#: Captured on the pre-optimisation engine (PR 2 tree); neither the
+#: hot-path rewrite nor the WorldState/phase refactor may move them.
 SMALL_SEED7_DIGEST = (
     "d94b5c8e1d69e9e2bf4bef963b41f187041021b52d7a1364723e1cfe92d10eae"
 )
@@ -77,30 +84,37 @@ class TestReferenceTwins:
     def test_full_run_with_twins_is_bit_identical(self, monkeypatch):
         """Swap every reference twin in and replay the whole scenario."""
         monkeypatch.setattr(
-            Engine, "_update_online", Engine._update_online_reference
+            OnlinePhase, "impl",
+            staticmethod(reference.update_online_reference),
         )
         monkeypatch.setattr(
-            Engine, "_ferry_weights", Engine._ferry_weights_reference
+            TrafficPhase, "ferry_impl",
+            staticmethod(reference.ferry_weights_reference),
         )
         monkeypatch.setattr(
-            Engine, "_candidates_for", Engine._candidates_for_reference
+            PoCPhase, "candidates_impl",
+            staticmethod(reference.candidates_for_reference),
         )
-        reference = SimulationEngine(_trimmed_config()).run()
+        ref = SimulationEngine(_trimmed_config()).run()
         monkeypatch.undo()
+        assert OnlinePhase.impl is update_online
         fast = SimulationEngine(_trimmed_config()).run()
-        assert result_digest(fast) == result_digest(reference)
+        assert result_digest(fast) == result_digest(ref)
 
     def test_candidates_for_matches_reference(self):
         """Satellite check: same candidates, same distances, per call."""
         engine = SimulationEngine(_trimmed_config())
         engine.run()
+        state = engine.state
         rng = np.random.default_rng(0)
         compared = 0
-        for participant in engine._participants.values():
+        for participant in state.participants.values():
             if not participant.online:
                 continue
-            fast, fast_km = engine._candidates_for(participant, rng)
-            ref, ref_km = engine._candidates_for_reference(participant, rng)
+            fast, fast_km = candidates_for(state, participant, rng)
+            ref, ref_km = reference.candidates_for_reference(
+                state, participant, rng
+            )
             assert [c.gateway for c in fast] == [c.gateway for c in ref]
             if fast_km is None:
                 assert ref_km is None
@@ -112,23 +126,29 @@ class TestReferenceTwins:
     def test_ferry_weights_match_reference(self):
         engine = SimulationEngine(_trimmed_config())
         engine.run()
+        state = engine.state
         rng = np.random.default_rng(0)
-        fast = engine._ferry_weights(0, rng)
-        reference = engine._ferry_weights_reference(0, rng)
+        fast = ferry_weights(state, 0, rng)
+        ref = reference.ferry_weights_reference(state, 0, rng)
         # Same mapping *and* same insertion order: packet attribution
         # tie-breaks equal weights by dict order.
-        assert list(fast.items()) == list(reference.items())
+        assert list(fast.items()) == list(ref.items())
         assert len(fast) > 0
 
 
 class TestProfileTimings:
     def test_fresh_run_carries_phase_timings(self):
-        result = SimulationEngine(_trimmed_config()).run()
+        """``--profile`` output is the scheduler's timing dict, nothing
+        hand-kept: every registered phase appears, keyed by its name."""
+        engine = SimulationEngine(_trimmed_config())
+        result = engine.run()
         timings = result.day_loop_timings
         assert timings is not None
+        assert set(timings) == {p.name for p in engine.scheduler.phases}
         for phase in ("deploy", "online", "poc", "traffic", "rewards"):
             assert timings[phase] >= 0.0
         assert sum(timings.values()) > 0.0
+        assert timings == engine.phase_timings
 
     def test_timings_stay_out_of_the_snapshot(self, tmp_path):
         from repro.experiments.snapshot import load_result, save_result
