@@ -24,7 +24,7 @@ from repro.field.reconcile import (
     prr,
 )
 from repro.field.walks import WalkExperiment, generate_walk
-from repro.geo.geodesy import LatLon
+from repro.geo.geodesy import LatLon, haversine_km_many, latlon_arrays
 from repro.lorawan.network import NetworkHotspot
 from repro.radio.propagation import Environment
 from repro.simulation.world import World
@@ -47,11 +47,31 @@ def hotspot_field_near(
 
     Relay status comes from the hotspot's backhaul NAT flag, which is
     what slows its downlinks (Fig. 16's rarely-chosen relayed hotspot).
+
+    Deliberately *not* served by ``world.index``: the live index lags a
+    silent mover's relocation until its next rebuild and returns hits
+    in bucket-insertion order, so the same world produces a different
+    field in-memory than after a snapshot round-trip — and downstream
+    field experiments consume RNG per hotspot in field order. One
+    vectorised haversine pass over the fleet plus a gateway sort makes
+    the field a pure function of the world's contents, so serial runs,
+    farm workers and shard workers all produce byte-identical reports.
     """
+    fleet = list(world.hotspots.values())
+    if not fleet:
+        raise AnalysisError(f"no online hotspots within {radius_km} km of {center}")
+    lats, lons = latlon_arrays(h.actual_location for h in fleet)
+    km = haversine_km_many(center.lat, center.lon, lats, lons)
+    near = [
+        sim_hotspot
+        for sim_hotspot, distance in zip(fleet, km.tolist())
+        if distance <= radius_km
+        and sim_hotspot.online
+        and not sim_hotspot.is_validator
+    ]
+    near.sort(key=lambda sim_hotspot: sim_hotspot.gateway)
     hotspots: List[NetworkHotspot] = []
-    for _, sim_hotspot in world.index.within_radius(center, radius_km):
-        if not sim_hotspot.online or sim_hotspot.is_validator:
-            continue
+    for sim_hotspot in near:
         relayed = (
             sim_hotspot.backhaul.behind_nat
             if sim_hotspot.backhaul is not None

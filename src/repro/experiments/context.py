@@ -126,6 +126,7 @@ def get_result(
     seed: int = 2021,
     *,
     checkpoint_every: Optional[int] = None,
+    shard_workers: int = 0,
 ) -> SimulationResult:
     """A memoised simulation result for the named scenario preset.
 
@@ -134,7 +135,10 @@ def get_result(
     the cache entry, a later cold call resumes from it instead of
     restarting at day 0 (resume is bit-identical to a fresh run), and
     the checkpoint is deleted once the finished entry is published.
-    Ignored on memo/disk hits and when persistence is disabled.
+    ``shard_workers=N`` runs a cold build's day loop with an intra-run
+    shard pool (byte-identical output, see
+    :meth:`~repro.simulation.engine.SimulationEngine.run`). Both are
+    ignored on memo/disk hits and when persistence is disabled.
     """
     key = (scenario, seed)
     cached = _CACHE.get(key)
@@ -166,7 +170,8 @@ def get_result(
                 )
                 with obs.timer("cache.build_s") as timing:
                     cached = _build_result(
-                        config, scenario, entry, checkpoint_every
+                        config, scenario, entry, checkpoint_every,
+                        shard_workers,
                     )
                 obs.trace_event(
                     "cache.build.done", scenario=scenario, seed=seed,
@@ -193,6 +198,7 @@ def _build_result(
     scenario: str,
     entry: Optional[Path],
     checkpoint_every: Optional[int],
+    shard_workers: int = 0,
 ) -> SimulationResult:
     """Cold-build a scenario, resuming a day-level checkpoint if one
     is present (and discarding it when stale or corrupt)."""
@@ -224,10 +230,11 @@ def _build_result(
     if engine is None:
         engine = SimulationEngine(config)
     if ckpt is None:
-        result = engine.run()
+        result = engine.run(shard_workers=shard_workers)
     else:
         result = engine.run(
-            checkpoint_every=checkpoint_every, checkpoint_dir=ckpt
+            checkpoint_every=checkpoint_every, checkpoint_dir=ckpt,
+            shard_workers=shard_workers,
         )
     assert result is not None  # no stop_after_day → always completes
     return result
@@ -255,14 +262,15 @@ def ensure_snapshot(
     seed: int = 2021,
     *,
     checkpoint_every: Optional[int] = None,
+    shard_workers: int = 0,
 ) -> Optional[Path]:
     """Materialise the on-disk cache entry and return its directory.
 
     Parallel workers rehydrate from this path instead of receiving the
     result over IPC. Returns ``None`` when persistence is disabled (the
     farm then falls back to per-worker :func:`get_result` builds).
-    ``checkpoint_every`` makes a cold build resumable — see
-    :func:`get_result`.
+    ``checkpoint_every`` makes a cold build resumable and
+    ``shard_workers`` shards its day loop — see :func:`get_result`.
     """
     builder = _BUILDERS.get(scenario)
     if builder is None:
@@ -272,7 +280,10 @@ def ensure_snapshot(
     entry = _entry_dir(scenario, builder(seed=seed))
     if entry is None:
         return None
-    result = get_result(scenario, seed, checkpoint_every=checkpoint_every)
+    result = get_result(
+        scenario, seed, checkpoint_every=checkpoint_every,
+        shard_workers=shard_workers,
+    )
     if not (entry / "meta.json").exists():
         # The result was memoised before this cache dir existed (or an
         # earlier persist failed); publish it now so workers can load it.

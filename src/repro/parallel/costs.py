@@ -1,0 +1,88 @@
+"""Static experiment cost model for farm scheduling.
+
+The farm used to dispatch tasks in registry order, which parked the
+18-second ``s8_1`` monolith at whatever position the registry gave it —
+often the tail of the queue, where it alone set the makespan (the
+measured 1.01× "speedup" in earlier ``BENCH_parallel.json`` revisions).
+Longest-processing-time-first is the classic 4/3-approximation for
+minimising makespan on identical machines, and it only needs a rough
+cost ordering, not accurate walls — so a static table seeded from the
+benchmark's measured per-experiment walls is enough, with a small
+default for experiments the table has never met.
+
+Costs are keyed by ``(experiment_id, unit)``: ``s8_1`` decomposes into
+four independent stationary-trial units (see
+:mod:`repro.experiments.s8_1`), and the May unit (24 simulated hours)
+costs roughly three September units (8 hours each).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_COST_S", "longest_first", "task_cost"]
+
+#: Whole-experiment walls (seconds) from ``BENCH_parallel.json``'s
+#: ``per_experiment_wall_s`` on the recording host. Relative order is
+#: what matters; absolute values just make the table auditable.
+EXPERIMENT_COST_S = {
+    "s8_1": 18.01,
+    "fig12": 0.8952,
+    "fig15": 0.3765,
+    "fig13": 0.1091,
+    "s7_1": 0.0656,
+    "fig03": 0.026,
+    "fig08": 0.0127,
+    "fig10": 0.0127,
+    "s7_2": 0.0108,
+    "fig11": 0.0101,
+    "fig09": 0.0092,
+    "fig06": 0.0084,
+    "fig04": 0.008,
+    "fig07": 0.0076,
+    "fig05": 0.0044,
+    "s9_1": 0.0032,
+    "fig02": 0.003,
+    "fig14": 0.0025,
+    "table1": 0.0025,
+    "headline_s3": 0.0022,
+    "s4_3": 0.001,
+}
+
+#: Per-unit walls for decomposable experiments. The §8.1 units split the
+#: experiment's wall in proportion to simulated hours (24 + 3×8).
+UNIT_COST_S = {
+    ("s8_1", "may"): 9.0,
+    ("s8_1", "sept-0"): 3.0,
+    ("s8_1", "sept-1"): 3.0,
+    ("s8_1", "sept-2"): 3.0,
+}
+
+#: Experiments absent from the table (new figures, test doubles) are
+#: assumed cheap — they sort behind every measured experiment but keep
+#: a deterministic relative order via the id tie-break.
+DEFAULT_COST_S = 0.05
+
+
+def task_cost(experiment_id: str, unit: Optional[str] = None) -> float:
+    """Estimated wall seconds for one farm task."""
+    if unit is not None:
+        cost = UNIT_COST_S.get((experiment_id, unit))
+        if cost is not None:
+            return cost
+    return EXPERIMENT_COST_S.get(experiment_id, DEFAULT_COST_S)
+
+
+def longest_first(
+    tasks: Sequence[Tuple[str, Optional[str]]]
+) -> list:
+    """Sort ``(experiment_id, unit)`` pairs longest-first.
+
+    Ties (and unknown experiments, which all get the default cost)
+    break on the id/unit pair so the dispatch order — and therefore the
+    worker scheduling — is deterministic for a given task set.
+    """
+    return sorted(
+        tasks,
+        key=lambda task: (-task_cost(task[0], task[1]), task[0], task[1] or ""),
+    )

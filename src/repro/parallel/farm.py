@@ -2,19 +2,29 @@
 
 ``python -m repro.experiments --jobs N`` lands here. The parent
 materialises the scenario's persistent cache entry once (building it if
-cold), then fans experiment ids out over a ``multiprocessing`` pool.
+cold), then fans experiment tasks out over a ``multiprocessing`` pool.
 Each worker receives only ``(snapshot_dir, scenario, seed,
-experiment_id)`` — a few hundred bytes — rehydrates the
+experiment_id, unit)`` — a few hundred bytes — rehydrates the
 :class:`~repro.simulation.engine.SimulationResult` from the snapshot on
 first use, and memoises it for the rest of its life, so a worker pays
-the load cost once no matter how many experiments it draws.
+the load cost once no matter how many tasks it draws.
 
-Determinism: every experiment seeds its own named streams from
-``RngHub(result.config.seed)`` and never touches global RNG state, and
-cache rehydration is bit-identical to a cold build (asserted by the
-scenario-cache tests). Results therefore do not depend on which worker
-runs what, and ``Pool.imap`` returns them in submission order — the
-farm's output is byte-identical to the serial path.
+Scheduling: tasks dispatch **longest-first** using the static cost
+table in :mod:`repro.parallel.costs` (seeded from the benchmark's
+measured walls), the classic LPT makespan heuristic — so the expensive
+work starts immediately instead of straggling at the tail of a
+registry-ordered queue. Experiments that decompose into independent
+units (``s8_1``'s four stationary trials, see
+:mod:`repro.experiments.s8_1`) additionally fan out as one task per
+unit when ``jobs > 1``, which is what actually breaks the farm's old
+Amdahl ceiling: the 18-second monolith becomes a 9-second longest unit.
+
+Determinism: every experiment (and every unit) seeds its own named
+streams from ``RngHub(result.config.seed)`` and never touches global
+RNG state, cache rehydration is bit-identical to a cold build (asserted
+by the scenario-cache tests), and results are reassembled by
+``(experiment_id, unit)`` key rather than arrival order — the farm's
+output is byte-identical to the serial path however the workers race.
 
 Portability: the worker entry point is a module-level function and the
 task tuples carry only primitives, so the farm is safe under ``spawn``
@@ -30,19 +40,25 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.errors import AnalysisError
 from repro.experiments.registry import (
     ExperimentReport,
     report_from_payload,
     report_payload,
     run_experiment,
 )
+from repro.parallel.costs import longest_first
 
 __all__ = ["FarmOutcome", "run_farm"]
 
 
 @dataclass
 class FarmOutcome:
-    """One experiment's report plus its worker-side cost."""
+    """One experiment's report plus its worker-side cost.
+
+    For a unit-decomposed experiment the wall/CPU figures are summed
+    over its units (total compute, not elapsed time).
+    """
 
     experiment_id: str
     report: ExperimentReport
@@ -82,27 +98,99 @@ def _worker_result(snapshot_dir: Optional[str], scenario: str, seed: int):
     return _WORKER_RESULT
 
 
-def _run_one(task: Tuple[Optional[str], str, int, str]) -> Dict:
-    """Worker entry point: rehydrate (memoised), run one experiment."""
-    snapshot_dir, scenario, seed, experiment_id = task
+def _run_one(task: Tuple[Optional[str], str, int, str, Optional[str]]) -> Dict:
+    """Worker entry point: rehydrate (memoised), run one task.
+
+    A task is a whole experiment (``unit is None``) or one unit of a
+    decomposed experiment; either way the return value is keyed by
+    ``(experiment_id, unit)`` so the parent can reassemble
+    deterministically.
+    """
+    snapshot_dir, scenario, seed, experiment_id, unit = task
     result = _worker_result(snapshot_dir, scenario, seed)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    report = run_experiment(experiment_id, result)
+    if unit is None:
+        payload = report_payload(run_experiment(experiment_id, result))
+    else:
+        from repro.experiments import s8_1
+
+        payload = s8_1.run_unit(result, unit)
     wall_s = time.perf_counter() - wall0
     cpu_s = time.process_time() - cpu0
     obs.counter("farm.tasks")
     obs.observe("farm.task_s", wall_s, experiment=experiment_id)
     obs.trace_event(
-        "worker.task", experiment=experiment_id, scenario=scenario,
-        seed=seed, wall_s=round(wall_s, 4), cpu_s=round(cpu_s, 4),
+        "worker.task", experiment=experiment_id, unit=unit,
+        scenario=scenario, seed=seed,
+        wall_s=round(wall_s, 4), cpu_s=round(cpu_s, 4),
     )
     return {
         "experiment_id": experiment_id,
-        "report": report_payload(report),
+        "unit": unit,
+        "payload": payload,
         "wall_s": wall_s,
         "cpu_s": cpu_s,
     }
+
+
+def _expand(
+    ids: Sequence[str], jobs: int
+) -> List[Tuple[str, Optional[str]]]:
+    """(experiment_id, unit) pairs for the task queue.
+
+    Serial runs keep whole experiments (the registry path is the
+    comparison baseline); multi-worker runs decompose ``s8_1`` into its
+    four independent units so no single task dominates the makespan.
+    """
+    pairs: List[Tuple[str, Optional[str]]] = []
+    for eid in ids:
+        if jobs > 1 and eid == "s8_1":
+            from repro.experiments.s8_1 import UNITS
+
+            pairs.extend((eid, unit) for unit in UNITS)
+        else:
+            pairs.append((eid, None))
+    return pairs
+
+
+def _assemble(
+    ids: Sequence[str], raw: List[Dict]
+) -> List[FarmOutcome]:
+    """Merge task results into per-experiment outcomes, in ``ids`` order."""
+    by_key = {(item["experiment_id"], item["unit"]): item for item in raw}
+    outcomes = []
+    for eid in ids:
+        whole = by_key.get((eid, None))
+        if whole is not None:
+            outcomes.append(FarmOutcome(
+                experiment_id=eid,
+                report=report_from_payload(whole["payload"]),
+                wall_s=whole["wall_s"],
+                cpu_s=whole["cpu_s"],
+            ))
+            continue
+        from repro.experiments import s8_1
+
+        units = {}
+        wall_s = 0.0
+        cpu_s = 0.0
+        for unit in s8_1.UNITS:
+            item = by_key.get((eid, unit))
+            if item is None:
+                raise AnalysisError(
+                    f"farm lost unit {unit!r} of experiment {eid!r}"
+                )
+            units[unit] = item["payload"]
+            wall_s += item["wall_s"]
+            cpu_s += item["cpu_s"]
+        outcomes.append(FarmOutcome(
+            experiment_id=eid,
+            report=s8_1.merge_units(units),
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+        ))
+    return outcomes
 
 
 def run_farm(
@@ -112,6 +200,7 @@ def run_farm(
     jobs: int = 1,
     start_method: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
+    shard_workers: int = 0,
 ) -> List[FarmOutcome]:
     """Run experiments for one scenario, fanned over ``jobs`` processes.
 
@@ -121,20 +210,27 @@ def run_farm(
     ``start_method`` overrides the platform default (``"spawn"`` /
     ``"fork"`` / ``"forkserver"``) — mainly for portability tests.
     ``checkpoint_every`` makes the parent's cold scenario build
-    resumable (see :func:`repro.experiments.context.get_result`);
-    workers only ever rehydrate the finished snapshot.
+    resumable and ``shard_workers`` runs it with an intra-run shard
+    pool (see :func:`repro.experiments.context.get_result`); workers
+    only ever rehydrate the finished snapshot.
     """
     from repro.experiments.context import ensure_snapshot
 
     ids = list(experiment_ids)
-    entry = ensure_snapshot(scenario, seed, checkpoint_every=checkpoint_every)
+    entry = ensure_snapshot(
+        scenario, seed, checkpoint_every=checkpoint_every,
+        shard_workers=shard_workers,
+    )
     snapshot_dir = None if entry is None else str(entry)
-    tasks = [(snapshot_dir, scenario, seed, eid) for eid in ids]
+    tasks = [
+        (snapshot_dir, scenario, seed, eid, unit)
+        for eid, unit in longest_first(_expand(ids, jobs))
+    ]
 
     farm_started = time.perf_counter()
     obs.trace_event(
         "farm.start", scenario=scenario, seed=seed, jobs=jobs,
-        experiments=len(ids),
+        experiments=len(ids), tasks=len(tasks),
     )
     obs.gauge("farm.queue_depth", len(tasks))
     raw = []
@@ -149,9 +245,11 @@ def run_farm(
             else multiprocessing.get_context()
         )
         with context.Pool(processes=jobs) as pool:
-            # imap streams results in submission order; the parent-side
-            # gauge tracks how many tasks are still queued or running.
-            for item in pool.imap(_run_one, tasks):
+            # Tasks enter the queue longest-first; results stream back
+            # in completion order (the queue gauge tracks reality) and
+            # are reassembled by key below, so arrival order is
+            # irrelevant to the output.
+            for item in pool.imap_unordered(_run_one, tasks):
                 raw.append(item)
                 obs.gauge("farm.queue_depth", len(tasks) - len(raw))
     obs.trace_event(
@@ -160,12 +258,4 @@ def run_farm(
         wall_s=round(time.perf_counter() - farm_started, 4),
     )
 
-    return [
-        FarmOutcome(
-            experiment_id=item["experiment_id"],
-            report=report_from_payload(item["report"]),
-            wall_s=item["wall_s"],
-            cpu_s=item["cpu_s"],
-        )
-        for item in raw
-    ]
+    return _assemble(ids, raw)

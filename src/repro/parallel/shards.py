@@ -1,0 +1,269 @@
+"""Persistent shard pool: intra-run parallelism with a deterministic
+scatter/gather protocol.
+
+The farm (:mod:`repro.parallel.farm`) parallelises *across* runs; this
+module parallelises *inside* one. A :class:`ShardPool` is created once
+per run (``--shard-workers N``), lives for the run's whole duration, and
+executes small typed tasks:
+
+* ``"poc_finish"`` — the deterministic half of a batch of PoC
+  challenges. The leader thread owns the ``"poc"`` RNG stream and runs
+  :func:`~repro.poc.challenge.plan_challenge` serially (randomness is
+  consumed in exactly the serial order); workers run
+  :func:`~repro.poc.challenge.finish_challenge` over region-partitioned
+  chunks of plans, which consumes no randomness at all. Outcomes carry
+  their challenge index, so the gather step reassembles the day in
+  challenge order — the chain, the digests and the RNG stream are
+  byte-identical to serial for any worker count.
+* ``"s8_unit"`` — one independent §8.1 stationary trial. Each unit
+  seeds its own named streams from ``RngHub(seed)`` (derivation is a
+  pure function of seed and name, so a fresh hub in a worker draws the
+  same bytes the serial loop would). Workers rehydrate the simulation
+  result from the scenario cache snapshot and memoise it for the life
+  of the pool, exactly like farm workers.
+
+Portability mirrors the farm: worker entry points are module-level
+functions, task payloads are built from picklable primitives
+(:class:`~repro.poc.challenge.ChallengePlan` is primitives all the way
+down), and nothing depends on ``fork`` semantics, so the pool is safe
+under ``spawn`` and ``forkserver`` too.
+
+Observability: the parent exports a ``parallel.shard.queue_depth``
+gauge and per-scatter ``parallel.shard.run_s`` timings; workers record
+``parallel.shard.task_s`` histograms (labelled by task kind), task
+counters, rehydration cost, and trace events that join the parent's
+trace via the inherited ``REPRO_TRACE`` environment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import SimulationError
+
+__all__ = [
+    "ShardPool",
+    "configure_experiment_pool",
+    "dispatch_s8_units",
+    "experiment_pool",
+    "shutdown_experiment_pool",
+]
+
+
+# --------------------------------------------------------------- handlers --
+# Dispatched by kind string so the cross-process surface is one stable
+# module-level function (`_run_task`) no matter how many task types the
+# pool learns; payloads stay picklable primitive bundles.
+
+
+def _handle_poc_finish(payload: Tuple) -> List[Tuple[int, Any]]:
+    """Finish a chunk of planned challenges; tag outcomes with their
+    challenge indices so the parent can merge in challenge order."""
+    from repro.poc.challenge import finish_challenge
+
+    checker, plans, indices = payload
+    return [
+        (index, finish_challenge(plan, checker=checker))
+        for index, plan in zip(indices, plans)
+    ]
+
+
+#: Per-worker-process memo of rehydrated results keyed by snapshot dir —
+#: a worker pays the snapshot load once however many units it draws.
+_RESULT_MEMO: Dict[str, Any] = {}
+
+
+def _shard_result(snapshot_dir: str):
+    result = _RESULT_MEMO.get(snapshot_dir)
+    if result is None:
+        from repro.experiments.snapshot import load_result
+
+        with obs.timer("parallel.shard.rehydrate_s") as timing:
+            result = load_result(snapshot_dir)
+        obs.counter("parallel.shard.rehydrates")
+        obs.trace_event(
+            "shard.rehydrate", snapshot=snapshot_dir,
+            wall_s=round(timing.elapsed, 4),
+        )
+        _RESULT_MEMO[snapshot_dir] = result
+    return result
+
+
+def _handle_s8_unit(payload: Tuple) -> Any:
+    snapshot_dir, unit = payload
+    from repro.experiments.s8_1 import run_unit
+
+    return run_unit(_shard_result(snapshot_dir), unit)
+
+
+def _handle_echo(payload: Any) -> Any:
+    """Round-trip a payload unchanged (pool plumbing tests)."""
+    return payload
+
+
+_HANDLERS: Dict[str, Callable[[Any], Any]] = {
+    "poc_finish": _handle_poc_finish,
+    "s8_unit": _handle_s8_unit,
+    "echo": _handle_echo,
+}
+
+
+def _run_task(indexed: Tuple[int, Tuple[str, Any]]) -> Tuple[int, Any]:
+    """Worker entry point: run one typed task, keep its scatter index."""
+    index, (kind, payload) = indexed
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        raise SimulationError(f"unknown shard task kind {kind!r}")
+    started = time.perf_counter()
+    result = handler(payload)
+    wall_s = time.perf_counter() - started
+    obs.counter("parallel.shard.tasks", kind=kind)
+    obs.observe("parallel.shard.task_s", wall_s, kind=kind)
+    return index, result
+
+
+# ------------------------------------------------------------------- pool --
+
+
+class ShardPool:
+    """A persistent worker pool with deterministic scatter/gather.
+
+    Created once per run and reused for every scatter — workers keep
+    their rehydrated state (and warm caches) across days, so the pool's
+    startup cost amortises over the whole run. :meth:`run` returns
+    results aligned with the submitted task order regardless of which
+    worker finished what first, which is the property every caller's
+    determinism argument rests on.
+    """
+
+    def __init__(
+        self, workers: int, *, start_method: Optional[str] = None
+    ) -> None:
+        if workers < 1:
+            raise SimulationError("ShardPool needs at least 1 worker")
+        self.workers = workers
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool = context.Pool(processes=workers)
+        self._closed = False
+        obs.counter("parallel.shard.pools")
+
+    def run(self, tasks: Sequence[Tuple[str, Any]]) -> List[Any]:
+        """Scatter ``tasks`` over the workers; gather in task order.
+
+        Uses ``imap_unordered`` so the queue-depth gauge tracks actual
+        completion, then reassembles by scatter index — the returned
+        list is positionally aligned with ``tasks``.
+        """
+        if self._closed:
+            raise SimulationError("ShardPool is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        started = time.perf_counter()
+        obs.gauge("parallel.shard.queue_depth", len(tasks))
+        results: List[Any] = [None] * len(tasks)
+        pending = len(tasks)
+        for index, result in self._pool.imap_unordered(
+            _run_task, list(enumerate(tasks))
+        ):
+            results[index] = result
+            pending -= 1
+            obs.gauge("parallel.shard.queue_depth", pending)
+        obs.observe(
+            "parallel.shard.run_s",
+            time.perf_counter() - started,
+            kind=tasks[0][0],
+        )
+        return results
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------- experiment pool (singleton) --
+# `python -m repro.experiments --shard-workers N` configures one pool for
+# the process; experiments that decompose into independent units (§8.1)
+# discover it here. The snapshot-dir handshake keeps the contract safe:
+# a pool configured for one scenario never serves another's units.
+
+_EXPERIMENT_POOL: Optional[ShardPool] = None
+_EXPERIMENT_SNAPSHOT: Optional[str] = None
+
+
+def configure_experiment_pool(
+    workers: int,
+    snapshot_dir: Optional[str],
+    *,
+    start_method: Optional[str] = None,
+) -> Optional[ShardPool]:
+    """Install the process-wide experiment pool.
+
+    Returns ``None`` (and installs nothing) when ``snapshot_dir`` is
+    ``None`` — without a cache entry workers cannot rehydrate, so unit
+    dispatch silently stays serial.
+    """
+    global _EXPERIMENT_POOL, _EXPERIMENT_SNAPSHOT
+    shutdown_experiment_pool()
+    if workers < 1 or snapshot_dir is None:
+        return None
+    _EXPERIMENT_POOL = ShardPool(workers, start_method=start_method)
+    _EXPERIMENT_SNAPSHOT = snapshot_dir
+    return _EXPERIMENT_POOL
+
+
+def experiment_pool() -> Optional[ShardPool]:
+    """The configured experiment pool, if any."""
+    return _EXPERIMENT_POOL
+
+
+def shutdown_experiment_pool() -> None:
+    """Tear down the experiment pool; safe to call when none exists."""
+    global _EXPERIMENT_POOL, _EXPERIMENT_SNAPSHOT
+    if _EXPERIMENT_POOL is not None:
+        _EXPERIMENT_POOL.close()
+    _EXPERIMENT_POOL = None
+    _EXPERIMENT_SNAPSHOT = None
+
+
+def dispatch_s8_units(result, units: Sequence[str]) -> Optional[Dict[str, Any]]:
+    """Run §8.1 units on the experiment pool, if one matches ``result``.
+
+    Returns ``{unit: StationaryReport}`` or ``None`` when no pool is
+    configured or the pool serves a different scenario — the cache
+    entry name embeds the config digest, so the match is exact, not
+    just a seed comparison. The caller runs serially on ``None``.
+    Results are gathered by unit name, so the merge is
+    order-independent.
+    """
+    pool = _EXPERIMENT_POOL
+    snapshot_dir = _EXPERIMENT_SNAPSHOT
+    if pool is None or snapshot_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.experiments.snapshot import config_digest
+
+    if config_digest(result.config)[:12] not in Path(snapshot_dir).name:
+        return None
+    gathered = pool.run(
+        [("s8_unit", (snapshot_dir, unit)) for unit in units]
+    )
+    return dict(zip(units, gathered))

@@ -49,6 +49,12 @@ def main(argv=None) -> int:
         help="halt once D days are simulated, saving a checkpoint to "
         "--checkpoint-dir (exit summary reports the partial state)",
     )
+    parser.add_argument(
+        "--shard-workers", type=int, default=0, metavar="N",
+        help="scatter the day loop's randomness-free work over N "
+        "worker processes (0 = serial); the chain is byte-identical "
+        "to the serial run for any N",
+    )
     args = parser.parse_args(argv)
     if (args.checkpoint_every or args.stop_after is not None) and not (
         args.checkpoint_dir or args.resume
@@ -73,6 +79,7 @@ def main(argv=None) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         stop_after_day=args.stop_after,
+        shard_workers=args.shard_workers,
     )
     elapsed = time.time() - started
 

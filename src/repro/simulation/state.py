@@ -241,6 +241,16 @@ class WorldState:
         default=None, repr=False, compare=False
     )
 
+    #: The run's intra-run shard pool (``--shard-workers N``), attached
+    #: by the engine for the duration of :meth:`SimulationEngine.run`
+    #: and read by phases that can scatter randomness-free work.
+    #: Process-local and never serialized: a checkpoint resumed with a
+    #: different worker count is still byte-identical, because sharding
+    #: never changes what is computed — only where.
+    shard_pool: Optional[Any] = field(
+        default=None, repr=False, compare=False
+    )
+
     # ------------------------------------------------------------- create --
 
     @classmethod

@@ -134,12 +134,12 @@ _RACER = textwrap.dedent("""
 
     _real_run = SimulationEngine.run
 
-    def _instrumented(self):
+    def _instrumented(self, **kwargs):
         marker = os.path.join(
             os.environ["RACE_MARKER_DIR"], f"built-{os.getpid()}"
         )
         open(marker, "w").close()
-        return _real_run(self)
+        return _real_run(self, **kwargs)
 
     SimulationEngine.run = _instrumented
 

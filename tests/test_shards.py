@@ -1,0 +1,219 @@
+"""Intra-run sharding: byte-identity, checkpoint interaction, obs.
+
+The contract under test is the strongest one the module claims: a run
+with ``shard_workers=N`` — for any N, interrupted and resumed or not —
+produces *byte-identical* output to the serial path, because the leader
+thread consumes every RNG draw in serial order and workers only execute
+the randomness-free finish half. The same holds for the §8.1 unit
+decomposition: farm-dispatched and pool-dispatched units merge into a
+report byte-identical to the serial experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.experiments.context as context
+from repro import obs
+from repro.errors import SimulationError
+from repro.experiments.registry import reports_digest, run_experiment
+from repro.experiments.snapshot import result_digest
+from repro.parallel import ShardPool, longest_first, run_farm, task_cost
+from repro.parallel import shards
+from repro.simulation import SimulationEngine, paper_scenario, small_scenario
+
+from tests.test_engine_hotpath import (
+    PAPER_SEED2021_DIGEST,
+    SMALL_SEED7_DIGEST,
+    _trimmed_config,
+)
+
+
+@pytest.fixture()
+def seeded_cache(monkeypatch, tmp_path, small_result):
+    """A fresh cache dir with the small/seed-7 result memoised."""
+    monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
+    monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+    return tmp_path
+
+
+class TestShardPool:
+    def test_gather_preserves_task_order(self):
+        with ShardPool(2) as pool:
+            results = pool.run([("echo", i) for i in range(17)])
+        assert results == list(range(17))
+
+    def test_empty_scatter(self):
+        with ShardPool(2) as pool:
+            assert pool.run([]) == []
+
+    def test_unknown_kind_rejected(self):
+        with ShardPool(1) as pool:
+            with pytest.raises(SimulationError):
+                pool.run([("no_such_kind", None)])
+
+    def test_closed_pool_rejected(self):
+        pool = ShardPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(SimulationError):
+            pool.run([("echo", 1)])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(SimulationError):
+            ShardPool(0)
+
+
+class TestShardedDayLoopByteIdentity:
+    """Sharded ≡ serial on the trimmed scenario, for several worker
+    counts — including workers that outnumber some days' challenges."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_trimmed_scenario(self, workers):
+        serial = SimulationEngine(_trimmed_config()).run()
+        sharded = SimulationEngine(_trimmed_config()).run(
+            shard_workers=workers
+        )
+        assert result_digest(sharded) == result_digest(serial)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(_trimmed_config()).run(shard_workers=-1)
+
+    def test_pool_detached_after_run(self):
+        engine = SimulationEngine(_trimmed_config())
+        engine.run(shard_workers=2)
+        assert engine.state.shard_pool is None
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_small_scenario_sharded_matches_pinned_digest(workers):
+    """The pinned seed-7 digest holds with sharding on — the exact
+    acceptance criterion: sharded runs change nothing, anywhere."""
+    result = SimulationEngine(small_scenario(seed=7)).run(
+        shard_workers=workers
+    )
+    assert result_digest(result) == SMALL_SEED7_DIGEST
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_PAPER_DIGEST"),
+    reason="paper-scale build (~30s); set REPRO_PAPER_DIGEST=1 to enable",
+)
+@pytest.mark.parametrize("workers", [2, 4])
+def test_paper_scenario_sharded_matches_pinned_digest(workers):
+    result = SimulationEngine(paper_scenario(seed=2021)).run(
+        shard_workers=workers
+    )
+    assert result_digest(result) == PAPER_SEED2021_DIGEST
+
+
+class TestCheckpointUnderSharding:
+    """Mid-run checkpoints compose with sharding in every direction:
+    shard → resume serial, serial → resume sharded, shard → resume
+    shard — all byte-identical to the uninterrupted serial run."""
+
+    @pytest.mark.parametrize(
+        "first_workers,resume_workers",
+        [(2, 0), (0, 2), (2, 4)],
+    )
+    def test_resume_bit_identity(self, tmp_path, first_workers, resume_workers):
+        config = _trimmed_config(seed=17)
+        fresh = result_digest(SimulationEngine(config).run())
+        ckpt = tmp_path / "ckpt"
+        out = SimulationEngine(config).run(
+            stop_after_day=25, checkpoint_dir=ckpt,
+            shard_workers=first_workers,
+        )
+        assert out is None
+        resumed = SimulationEngine.resume(ckpt).run(
+            shard_workers=resume_workers
+        )
+        assert result_digest(resumed) == fresh
+
+
+class TestS8UnitDecomposition:
+    def test_farm_units_match_serial(self, seeded_cache, small_result):
+        serial = run_experiment("s8_1", small_result)
+        outcomes = run_farm("small", 7, ["s8_1"], jobs=2)
+        assert outcomes[0].experiment_id == "s8_1"
+        assert reports_digest([outcomes[0].report]) == reports_digest(
+            [serial]
+        )
+
+    def test_experiment_pool_matches_serial(self, seeded_cache, small_result):
+        serial = run_experiment("s8_1", small_result)
+        entry = context.ensure_snapshot("small", 7)
+        assert entry is not None
+        try:
+            pool = shards.configure_experiment_pool(2, str(entry))
+            assert pool is not None
+            pooled = run_experiment("s8_1", small_result)
+        finally:
+            shards.shutdown_experiment_pool()
+        assert reports_digest([pooled]) == reports_digest([serial])
+
+    def test_pool_refuses_foreign_scenario(self, seeded_cache, small_result):
+        """A pool configured for another cache entry must not serve
+        this result's units — dispatch falls back to serial."""
+        foreign = seeded_cache / "not-a-matching-entry"
+        foreign.mkdir()
+        try:
+            shards.configure_experiment_pool(2, str(foreign))
+            assert shards.dispatch_s8_units(small_result, ("may",)) is None
+        finally:
+            shards.shutdown_experiment_pool()
+
+    def test_pool_without_snapshot_is_noop(self):
+        assert shards.configure_experiment_pool(2, None) is None
+        assert shards.experiment_pool() is None
+
+
+class TestCostTable:
+    def test_longest_first_puts_s8_units_ahead(self):
+        tasks = [
+            ("fig02", None), ("s8_1", "sept-1"), ("fig12", None),
+            ("s8_1", "may"),
+        ]
+        ordered = longest_first(tasks)
+        assert ordered[0] == ("s8_1", "may")
+        assert ordered[1] == ("s8_1", "sept-1")
+        assert ordered[-1] == ("fig02", None)
+
+    def test_unknown_experiment_gets_default_cost(self):
+        assert task_cost("fig99") == pytest.approx(0.05)
+        # Deterministic tie-break among unknowns.
+        assert longest_first([("zz", None), ("aa", None)]) == [
+            ("aa", None), ("zz", None),
+        ]
+
+    def test_unit_cost_falls_back_to_experiment(self):
+        assert task_cost("s8_1", "no-such-unit") == task_cost("s8_1")
+
+
+class TestObsExport:
+    def test_shard_metrics_registered(self):
+        """The registry sees parallel.shard.* after pool use (worker
+        counters live in worker processes; the parent records pool
+        lifecycle, queue depth and per-scatter timings)."""
+        obs.reset()
+        with ShardPool(2) as pool:
+            pool.run([("echo", i) for i in range(4)])
+        snap = obs.snapshot()
+        assert snap["counters"].get("parallel.shard.pools") == 1
+        assert "parallel.shard.queue_depth" in snap["gauges"]
+        assert snap["gauges"]["parallel.shard.queue_depth"] == 0
+        run_keys = [
+            key for key in snap["timers"]
+            if key.startswith("parallel.shard.run_s")
+        ]
+        assert run_keys, snap["timers"].keys()
+
+    def test_sharded_run_exports_to_prometheus(self):
+        obs.reset()
+        SimulationEngine(_trimmed_config()).run(shard_workers=2)
+        text = obs.to_prometheus()
+        assert "repro_parallel_shard_queue_depth" in text
+        assert "repro_parallel_shard_run_s" in text
