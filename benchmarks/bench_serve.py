@@ -1,0 +1,192 @@
+"""Serving-tier benchmark: repro.serve vs the legacy explorer, same run.
+
+Starts both tiers as subprocesses over the *same* WAL store (separate
+interpreters, so neither shares a GIL with the generator), then drives
+each with the identical zipf/bursty workload at increasing concurrency.
+What the numbers show is the tentpole claim: a fixed worker pool with
+checkpoint-keyed caching and 304 revalidation sustains multiples of the
+legacy thread-per-connection, render-every-time throughput — and the
+gap widens with concurrency.
+
+Writes ``BENCH_serve.json`` at the repo root (per-level p50/p99, rps,
+cache hit ratio and shed counts, ``cpu_count`` recorded) so the numbers
+travel with the repo like ``BENCH_etl.json``.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.etl import EtlStore, ingest_chain
+from repro.serve.loadgen import discover_paths, fetch_metrics, run_load
+
+from tests.etl_chains import ChainBuilder
+
+_REPO = Path(__file__).resolve().parent.parent
+_RESULTS_PATH = _REPO / "BENCH_serve.json"
+
+#: Concurrency ladder; the acceptance claim is judged at >= 64.
+_LEVELS = (16, 64, 256)
+_DURATION_S = 4.0
+_SEED = 2021
+
+_LISTENING = re.compile(r"listening on http://([\d.]+):(\d+)/")
+
+_LEGACY_SCRIPT = """\
+import sys
+from repro.etl.store import EtlStore
+from repro.etl.server import serve
+serve(EtlStore(sys.argv[1], create=False), port=0, verbose=False)
+"""
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    src = str(_REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+class _ServerProc:
+    """A server subprocess plus the base URL it reported on stdout."""
+
+    def __init__(self, argv, timeout_s: float = 30.0) -> None:
+        self.process = subprocess.Popen(
+            argv, env=_child_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        deadline = time.monotonic() + timeout_s
+        self.base_url = None
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line and self.process.poll() is not None:
+                break
+            match = _LISTENING.search(line or "")
+            if match:
+                self.base_url = f"http://{match.group(1)}:{match.group(2)}"
+                return
+        self.stop()
+        raise RuntimeError(f"server never came up: {argv}")
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def serve_db(tmp_path_factory):
+    """One WAL store both tiers serve: a mid-sized randomized chain."""
+    path = str(tmp_path_factory.mktemp("bench_serve") / "etl.db")
+    builder = ChainBuilder(seed=_SEED, n_hotspots=48)
+    builder.grow(30)
+    with EtlStore(path) as store:
+        ingest_chain(builder.chain, store)
+    return path
+
+
+def _measure(base_url: str, clients: int, collect_server_cache: bool):
+    before = fetch_metrics(base_url).get("counters", {})
+    report = run_load(
+        base_url,
+        clients=clients,
+        duration_s=_DURATION_S,
+        seed=_SEED + clients,
+        paths=discover_paths(base_url),
+    )
+    summary = report.summary()
+    if collect_server_cache:
+        after = fetch_metrics(base_url).get("counters", {})
+        hits = (after.get("serve.cache.hit", 0)
+                - before.get("serve.cache.hit", 0))
+        misses = (after.get("serve.cache.miss", 0)
+                  - before.get("serve.cache.miss", 0))
+        summary["server_cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "revalidated_304": (after.get("serve.cache.revalidated", 0)
+                                - before.get("serve.cache.revalidated", 0)),
+            "hit_ratio": round(hits / (hits + misses), 4)
+            if hits + misses else None,
+        }
+        summary["shed"] = (after.get("serve.shed", 0)
+                           - before.get("serve.shed", 0))
+    return summary
+
+
+def test_bench_serve_vs_legacy(serve_db):
+    legacy = _ServerProc([
+        sys.executable, "-u", "-c", _LEGACY_SCRIPT, serve_db,
+    ])
+    tier = _ServerProc([
+        sys.executable, "-u", "-m", "repro.serve", "serve",
+        "--db", serve_db, "--port", "0", "--quiet",
+    ])
+    levels = []
+    try:
+        for clients in _LEVELS:
+            legacy_run = _measure(
+                legacy.base_url, clients, collect_server_cache=False
+            )
+            serve_run = _measure(
+                tier.base_url, clients, collect_server_cache=True
+            )
+            speedup = (
+                serve_run["requests_per_s"] / legacy_run["requests_per_s"]
+                if legacy_run["requests_per_s"] else float("inf")
+            )
+            levels.append({
+                "clients": clients,
+                "legacy": legacy_run,
+                "serve": serve_run,
+                "speedup_rps": round(speedup, 2),
+            })
+    finally:
+        legacy.stop()
+        tier.stop()
+
+    summary = {
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "duration_s_per_level": _DURATION_S,
+        "workload": {
+            "zipf_s": 1.1, "mean_on_s": 0.5, "mean_off_s": 0.5,
+            "revalidate": True, "seed": _SEED,
+        },
+        "levels": levels,
+    }
+    _RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    for level in levels:
+        # Both tiers actually served traffic, with a clean error tail.
+        assert level["legacy"]["requests"] > 0
+        assert level["serve"]["requests"] > 0
+        assert level["serve"]["status"]["errors"] <= (
+            level["serve"]["requests"] * 0.02 + 5
+        )
+        # The cache did the work the rps numbers credit it with.
+        assert level["serve"]["status"]["304"] > 0
+        assert level["serve"]["server_cache"]["hit_ratio"] is None or \
+            level["serve"]["server_cache"]["hit_ratio"] > 0.5
+    # The acceptance claim: >= 5x requests/s at concurrency >= 64,
+    # measured against the legacy tier in the same run.
+    for level in levels:
+        if level["clients"] >= 64:
+            assert level["speedup_rps"] >= 5.0, level

@@ -22,9 +22,16 @@ Errors come back as ``{"error": …}`` with a 4xx status: 404 for unknown
 resources, 400 for malformed query parameters — a negative or
 non-integer ``limit``/``offset`` is rejected, and an oversized ``limit``
 clamps to :data:`repro.etl.store.MAX_PAGE_LIMIT` so no request dumps an
-unbounded table. The server is strictly read-only — there is no
-mutating route — and serialises store access behind one lock, which is
-plenty for an explorer UI while the heavy lifting stays in indexed SQL.
+unbounded table. ``HEAD`` is answered with the same headers (correct
+``Content-Length``) and no body; any other method is a ``405`` with an
+``Allow: GET, HEAD`` header. The server is strictly read-only — there
+is no mutating route. File-backed stores give every request thread its
+own read-only WAL connection (:class:`repro.etl.store.ReadReplicas`),
+so readers run concurrently; only an in-memory store falls back to one
+shared handle behind a lock, since ``:memory:`` databases are invisible
+to other connections. This tier stays the simple explorer; the
+production front end with response caching, cursor pagination and load
+shedding is :mod:`repro.serve`.
 
 Every request increments ``http.requests{route=,status=}`` and lands in
 the ``http.latency_s{route=}`` histogram (:mod:`repro.obs`); the
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 import json
 import threading
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
@@ -48,7 +56,7 @@ from urllib.parse import parse_qs, unquote, urlparse
 from repro import obs
 from repro.core.explorer import Explorer, HotspotPage, OwnerPage, WitnessEvent
 from repro.errors import AnalysisError
-from repro.etl.store import MAX_PAGE_LIMIT, EtlStore
+from repro.etl.store import MAX_PAGE_LIMIT, EtlStore, ReadReplicas
 
 __all__ = ["create_server", "serve", "page_to_json", "owner_to_json"]
 
@@ -151,13 +159,24 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self._send(body, "application/json", status)
 
-    def _send(self, body: bytes, content_type: str, status: int) -> None:
+    def _send(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        # A HEAD response carries the headers the GET would have —
+        # including the true Content-Length — but no body.
+        if self.command != "HEAD":
+            self.wfile.write(body)
 
     def _error(self, message: str, status: int = 404) -> None:
         self._reply({"error": message}, status=status)
@@ -197,6 +216,30 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
     # -- dispatch ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch()
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch()
+
+    def _method_not_allowed(self) -> None:
+        started = perf_counter()
+        body = json.dumps(
+            {"error": f"method {self.command} not allowed; this API is "
+             "read-only", "allow": "GET, HEAD"},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._send(body, "application/json", 405, {"Allow": "GET, HEAD"})
+        obs.counter("http.requests", route="method", status=405)
+        obs.observe("http.latency_s", perf_counter() - started, route="method")
+
+    # Every mutating verb gets the same 405 + Allow answer.
+    do_POST = _method_not_allowed  # noqa: N815 - http.server API
+    do_PUT = _method_not_allowed  # noqa: N815
+    do_DELETE = _method_not_allowed  # noqa: N815
+    do_PATCH = _method_not_allowed  # noqa: N815
+    do_OPTIONS = _method_not_allowed  # noqa: N815
+
+    def _dispatch(self) -> None:
         parsed = urlparse(self.path)
         parts = [unquote(p) for p in parsed.path.split("/") if p]
         params = parse_qs(parsed.query)
@@ -206,12 +249,13 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
         started = perf_counter()
         try:
             if parts == ["metrics"]:
-                # Served off the process registry: no store lock needed,
-                # so metrics stay reachable while a query runs.
+                # Served off the process registry: no store access, so
+                # metrics stay reachable while queries run.
                 self._metrics(params)
             else:
-                with server.lock:
-                    self._route(server.explorer, server.store, parts, params)
+                store, explorer, guard = server.request_context()
+                with guard:
+                    self._route(explorer, store, parts, params)
         except (ValueError, KeyError) as exc:
             self._error(f"bad request: {exc}", status=400)
         except AnalysisError as exc:
@@ -311,7 +355,14 @@ class _ExplorerHandler(BaseHTTPRequestHandler):
 
 
 class _ExplorerServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared store + explorer."""
+    """ThreadingHTTPServer giving each request thread its own replica.
+
+    File-backed stores answer every request from a per-thread read-only
+    WAL connection (no shared handle, no lock, concurrent readers). An
+    in-memory store is reachable only through the handle that created
+    it, so that one case keeps the legacy shared-handle-behind-a-lock
+    arrangement.
+    """
 
     daemon_threads = True
 
@@ -326,6 +377,31 @@ class _ExplorerServer(ThreadingHTTPServer):
         self.explorer = Explorer.from_store(store)
         self.lock = threading.Lock()
         self.verbose = verbose
+        self.replicas: Optional[ReadReplicas] = (
+            None if store.path == ":memory:" else ReadReplicas(store.path)
+        )
+        self._tls = threading.local()
+
+    def request_context(self) -> Tuple[EtlStore, Explorer, Any]:
+        """``(store, explorer, guard)`` for the calling request thread.
+
+        With replicas available the guard is a no-op context manager —
+        the thread owns its connection outright. Only the in-memory
+        fallback still hands back the serialising lock.
+        """
+        if self.replicas is None:
+            return self.store, self.explorer, self.lock
+        context = getattr(self._tls, "context", None)
+        if context is None:
+            replica = self.replicas.get()
+            context = (replica, Explorer.from_store(replica), nullcontext())
+            self._tls.context = context
+        return context
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.replicas is not None:
+            self.replicas.close_all()
 
 
 def create_server(

@@ -14,16 +14,20 @@ share:
   plus the coverage-dot view as JSON.
 
 A store handle is cheap; the data lives in the ``.db`` file. Open a
-fresh handle per thread (SQLite connections are not shared across
-threads here — the HTTP server opens one read-only handle per request
-thread via :meth:`EtlStore.reopen`).
+fresh handle per thread — :class:`ReadReplicas` is the factory the HTTP
+tiers use: one ``mode=ro`` connection per serving thread over a
+WAL-journalled file, so concurrent readers never queue behind each
+other or behind the ingest writer.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
+from urllib.parse import quote
 
 from repro import units
 from repro.chain.crypto import Address
@@ -33,7 +37,7 @@ from repro.errors import EtlError
 from repro.etl import schema
 from repro.geo.hexgrid import HexCell
 
-__all__ = ["MAX_PAGE_LIMIT", "EtlStore", "clamp_page"]
+__all__ = ["MAX_PAGE_LIMIT", "EtlStore", "ReadReplicas", "clamp_page"]
 
 _MEMORY = ":memory:"
 
@@ -71,6 +75,14 @@ class EtlStore:
         path: database file, or ``":memory:"`` for an ephemeral store.
         create: apply the schema to an empty database. When False, an
             empty or missing database raises :class:`EtlError`.
+        read_only: open the file through SQLite's ``mode=ro`` URI — the
+            handle can never write, which is what the serving tiers hand
+            to each worker thread. Requires a file-backed store.
+
+    File-backed stores run with ``journal_mode=WAL`` (set on every
+    writable open; the mode is persistent), so readers see consistent
+    snapshots and never block behind the ingest writer, and
+    ``synchronous=NORMAL`` — the WAL-recommended durability point.
 
     Raises:
         EtlError: if the file is not an ETL store, is corrupt, or was
@@ -78,23 +90,48 @@ class EtlStore:
     """
 
     def __init__(
-        self, path: Union[str, Path] = _MEMORY, create: bool = True
+        self,
+        path: Union[str, Path] = _MEMORY,
+        create: bool = True,
+        read_only: bool = False,
     ) -> None:
         self.path = str(path)
-        if not create and self.path != _MEMORY and not Path(self.path).exists():
+        self.read_only = read_only
+        if read_only and self.path == _MEMORY:
+            raise EtlError("read-only replicas need a file-backed store")
+        if (read_only or not create) and (
+            self.path != _MEMORY and not Path(self.path).exists()
+        ):
             raise EtlError(f"no ETL store at {self.path}")
         try:
-            # check_same_thread=False: the HTTP server shares one handle
-            # across request threads behind its own lock.
-            self.connection = sqlite3.connect(
-                self.path, check_same_thread=False
-            )
-            self.connection.execute("PRAGMA synchronous=NORMAL")
+            if read_only:
+                # mode=ro cannot write even by accident; isolation_level
+                # None leaves transaction control to read_snapshot().
+                uri = "file:{}?mode=ro".format(quote(str(Path(self.path).resolve())))
+                self.connection = sqlite3.connect(
+                    uri, uri=True, check_same_thread=False,
+                    isolation_level=None,
+                )
+                self.connection.execute("PRAGMA busy_timeout=5000")
+            else:
+                # check_same_thread=False: the legacy HTTP server may
+                # share one in-memory handle across request threads
+                # behind its own lock.
+                self.connection = sqlite3.connect(
+                    self.path, check_same_thread=False
+                )
+                self.connection.execute("PRAGMA synchronous=NORMAL")
+                self.connection.execute("PRAGMA busy_timeout=5000")
+                if self.path != _MEMORY:
+                    # Persistent: every later open (including mode=ro
+                    # replicas) finds the database already in WAL.
+                    self.connection.execute("PRAGMA journal_mode=WAL")
             existing = self._schema_version()
         except sqlite3.DatabaseError as exc:
             raise EtlError(f"unreadable ETL store {self.path}: {exc}") from exc
         if existing is None:
-            if not create:
+            if not create or read_only:
+                self.connection.close()
                 raise EtlError(f"{self.path} is not an ETL store")
             schema.apply_schema(self.connection)
             with self.connection:
@@ -106,6 +143,13 @@ class EtlStore:
                 f"expected {schema.SCHEMA_VERSION}"
             )
 
+    @property
+    def journal_mode(self) -> str:
+        """The active SQLite journal mode (``wal`` for file stores)."""
+        return str(
+            self.connection.execute("PRAGMA journal_mode").fetchone()[0]
+        ).lower()
+
     def _schema_version(self) -> Optional[int]:
         try:
             row = self.connection.execute(
@@ -115,9 +159,29 @@ class EtlStore:
             return None  # no etl_meta table: empty or foreign database
         return None if row is None else int(row[0])
 
-    def reopen(self) -> "EtlStore":
+    def reopen(self, read_only: bool = False) -> "EtlStore":
         """A fresh handle onto the same database (for other threads)."""
-        return EtlStore(self.path, create=False)
+        return EtlStore(self.path, create=False, read_only=read_only)
+
+    @contextmanager
+    def read_snapshot(self) -> Iterator["EtlStore"]:
+        """All reads inside the block see one committed snapshot.
+
+        On a read-only WAL replica this wraps the block in an explicit
+        ``BEGIN``/``COMMIT``, so a multi-query page (checkpoint plus the
+        rows it covers) can never straddle an ingest commit — the
+        property the checkpoint-keyed response cache needs to be exact.
+        On a writable or in-memory handle it is a no-op (those callers
+        already serialise access themselves).
+        """
+        if not self.read_only:
+            yield self
+            return
+        self.connection.execute("BEGIN")
+        try:
+            yield self
+        finally:
+            self.connection.execute("COMMIT")
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -308,6 +372,50 @@ class EtlStore:
             (limit, offset),
         ).fetchall()
 
+    def hotspot_cursor_rows(
+        self, after_rowid: int = 0, limit: int = 50
+    ) -> List[Tuple[int, Address, str, Optional[str]]]:
+        """Keyset page: ``(rowid, gateway, name, token)`` after a rowid.
+
+        The serving tier's cursor pagination walks ``rowid`` (ledger
+        insertion order, stable across incremental ingests because the
+        ledger only appends) instead of ``OFFSET``, so a walk is O(page)
+        per request at any depth and never skips or repeats a row that
+        existed when the walk started. Fetches one row beyond ``limit``
+        so the caller can tell whether a next page exists.
+        """
+        limit, _ = clamp_page(limit)
+        return self.connection.execute(
+            "SELECT rowid, gateway, name, location_token FROM hotspots "
+            "WHERE rowid > ? ORDER BY rowid LIMIT ?",
+            (int(after_rowid), limit + 1),
+        ).fetchall()
+
+    def gateway_by_name(self, name: str) -> Optional[Address]:
+        """The gateway address for a three-word name (case-insensitive).
+
+        Unlike the in-memory explorer's name index (built once per
+        handle), this reads the live table — a hotspot added by an
+        ingest that ran after the handle opened is still found.
+        """
+        row = self.connection.execute(
+            "SELECT gateway FROM hotspots WHERE name=? COLLATE NOCASE",
+            (name,),
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def search_names(
+        self, query: str, limit: int = 10
+    ) -> List[Tuple[Address, str]]:
+        """Substring search over hotspot names, sorted by name."""
+        limit, _ = clamp_page(limit)
+        needle = query.lower()
+        return self.connection.execute(
+            "SELECT gateway, name FROM hotspots "
+            "WHERE instr(lower(name), ?) > 0 ORDER BY name LIMIT ?",
+            (needle, limit),
+        ).fetchall()
+
     @property
     def hotspot_count(self) -> int:
         """Number of hotspots on the ledger (state table)."""
@@ -435,3 +543,46 @@ class EtlStore:
         )
         for height, gateway, seller, buyer, amount_dc in cursor:
             yield int(height), gateway, seller, buyer, int(amount_dc)
+
+
+class ReadReplicas:
+    """Per-thread read-only :class:`EtlStore` handles over one file.
+
+    The connection factory both HTTP tiers draw from: the first call on
+    a thread opens a ``mode=ro`` connection onto the WAL database and
+    caches it in thread-local storage, so request threads never share a
+    handle (no lock, no ``database is locked`` queueing) while the
+    ingest writer commits concurrently.
+
+    >>> replicas = ReadReplicas("/tmp/etl.db")        # doctest: +SKIP
+    >>> store = replicas.get()  # this thread's handle # doctest: +SKIP
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._opened: List[EtlStore] = []
+        # Fail fast (missing file, wrong schema) before any worker runs.
+        EtlStore(self.path, create=False, read_only=True).close()
+
+    def get(self) -> EtlStore:
+        """This thread's read-only store, opened on first use."""
+        store = getattr(self._tls, "store", None)
+        if store is None:
+            store = EtlStore(self.path, create=False, read_only=True)
+            self._tls.store = store
+            with self._lock:
+                self._opened.append(store)
+        return store
+
+    def close_all(self) -> None:
+        """Close every replica opened so far (server shutdown)."""
+        with self._lock:
+            stores, self._opened = self._opened, []
+        for store in stores:
+            try:
+                store.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        self._tls = threading.local()

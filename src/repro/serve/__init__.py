@@ -1,0 +1,37 @@
+"""repro.serve — the production serving tier over the ETL replica.
+
+Layers a traffic-worthy HTTP front end on :mod:`repro.etl`:
+
+* :mod:`repro.serve.server` — a bounded-queue, fixed-pool server where
+  each worker owns a read-only WAL connection; sheds with 503 +
+  ``Retry-After`` at saturation and drains gracefully on SIGTERM.
+* :mod:`repro.serve.cache` — ETag/TTL response caching keyed on the
+  ingest checkpoint, so cached bodies are never stale relative to the
+  replica and ``If-None-Match`` revalidations collapse to 304s.
+* :mod:`repro.serve.cursor` — opaque keyset-pagination tokens for the
+  list endpoints (``next_cursor``), stable under concurrent ingest.
+* :mod:`repro.serve.loadgen` — a zipf/bursty synthetic traffic
+  generator (one selectors loop, thousands of simulated clients) that
+  feeds ``benchmarks/bench_serve.py`` and ``BENCH_serve.json``.
+
+CLI: ``python -m repro.serve serve|load`` (see :mod:`repro.serve.cli`).
+"""
+
+from repro.serve.cache import CacheEntry, ResponseCache, etag_for
+from repro.serve.cursor import CursorError, decode_cursor, encode_cursor
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.server import ServeServer, create_server, serve
+
+__all__ = [
+    "CacheEntry",
+    "CursorError",
+    "LoadReport",
+    "ResponseCache",
+    "ServeServer",
+    "create_server",
+    "decode_cursor",
+    "encode_cursor",
+    "etag_for",
+    "run_load",
+    "serve",
+]

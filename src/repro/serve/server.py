@@ -1,0 +1,741 @@
+"""The production serving tier: pooled workers over read-only replicas.
+
+Where :mod:`repro.etl.server` is a browse-the-replica convenience, this
+module is built for sustained concurrent traffic:
+
+* **A fixed worker pool, not a thread per connection.** Accepted
+  sockets go onto a bounded queue; N long-lived workers drain it. Each
+  worker owns one read-only WAL connection
+  (:class:`repro.etl.store.ReadReplicas`), so requests run genuinely in
+  parallel with each other and with the ingest writer — there is no
+  shared handle and no lock on the request path.
+* **Checkpoint-keyed response caching.** Every cacheable response
+  carries an ETag that embeds the store's ingest checkpoint
+  (:mod:`repro.serve.cache`); repeats are served from memory and
+  ``If-None-Match`` revalidations collapse to empty 304s — and all of
+  it invalidates exactly when ingest commits a new checkpoint.
+* **Snapshot-consistent reads.** A request renders inside one SQLite
+  read transaction (:meth:`EtlStore.read_snapshot`), so a multi-query
+  page can never mix rows from two ingest commits; the checkpoint in
+  the ETag is exactly the checkpoint the body reflects.
+* **Bounded backpressure.** When the queue is full the server sheds the
+  connection immediately with ``503`` + ``Retry-After`` instead of
+  letting latency (or thread count) grow without bound; ``drain()``
+  stops accepting, finishes what is queued, and joins the workers —
+  the CLI wires it to ``SIGTERM``.
+* **Cursor pagination.** List endpoints accept an opaque ``cursor``
+  token (:mod:`repro.serve.cursor`) and return ``next_cursor``,
+  alongside the legacy ``offset`` form.
+
+Routes match the legacy explorer (``/stats``, ``/hotspots``,
+``/hotspot/<id>[/witnesses]``, ``/owner/<addr>``, ``/coverage/dots``,
+``/search``, ``/metrics``) with two additions: list responses carry
+``checkpoint`` and ``next_cursor``, and ``/healthz`` reports queue and
+cache state. ``HEAD`` mirrors ``GET`` headers; other methods are 405.
+
+Observability (:mod:`repro.obs`): ``serve.requests{route=,status=}``
+counters, ``serve.latency_s{route=}`` histograms,
+``serve.cache.{hit,miss,revalidated,...}`` counters, a
+``serve.queue_depth`` gauge and a ``serve.shed`` counter — all visible
+on ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from time import perf_counter, sleep
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlencode, urlparse
+
+from repro import obs
+from repro.errors import EtlError
+from repro.etl.server import owner_to_json, page_to_json
+from repro.etl.store import MAX_PAGE_LIMIT, EtlStore, ReadReplicas
+from repro.serve.cache import ResponseCache, etag_for, etag_matches
+from repro.serve.cursor import CursorError, decode_cursor, encode_cursor
+
+__all__ = ["ServeServer", "create_server", "default_workers", "serve"]
+
+#: Poison pill that tells a worker thread to exit its loop.
+_STOP = object()
+
+_SHED_BODY = json.dumps(
+    {"error": "server overloaded, retry shortly"}, separators=(",", ":")
+).encode("utf-8")
+
+_DRAIN_BODY = json.dumps(
+    {"error": "server draining"}, separators=(",", ":")
+).encode("utf-8")
+
+_ROUTES = [
+    "/stats",
+    "/hotspots?limit=&cursor=|offset=",
+    "/hotspot/<name-or-address>",
+    "/hotspot/<name-or-address>/witnesses?limit=",
+    "/owner/<address>",
+    "/coverage/dots",
+    "/search?q=&limit=",
+    "/healthz",
+    "/metrics?format=json|prometheus",
+]
+
+_KNOWN_HEADS = {"stats", "hotspots", "coverage", "search", "metrics",
+                "healthz"}
+
+#: Routes whose 200 bodies go through the checkpoint-keyed cache.
+#: ``/metrics`` and ``/healthz`` describe the process, not the replica,
+#: so caching them would be wrong twice over.
+_UNCACHED = {"metrics", "healthz", "index", "unknown"}
+
+
+def default_workers() -> int:
+    """Worker-pool size when the caller does not pick one.
+
+    Readers block on SQLite I/O and page rendering releases the GIL at
+    the socket writes, so a small multiple of the cores keeps the pool
+    busy without thrashing; clamped so a 1-core CI box still overlaps
+    I/O and a 128-core box does not open 512 connections.
+    """
+    return max(4, min(32, 4 * (os.cpu_count() or 1)))
+
+
+def _route_key(parts: List[str]) -> str:
+    """Bounded metric label for a request path (shape, not resource)."""
+    if not parts:
+        return "index"
+    head = parts[0]
+    if head == "hotspot":
+        return "hotspot/witnesses" if len(parts) > 2 else "hotspot"
+    if head == "owner":
+        return "owner"
+    if head == "coverage":
+        return "coverage/dots" if parts == ["coverage", "dots"] else "unknown"
+    if head in _KNOWN_HEADS and len(parts) == 1:
+        return head
+    return "unknown"
+
+
+def _canonical(parts: List[str], params: Dict[str, List[str]]) -> str:
+    """One cache key per logical request: sorted, normalised query."""
+    path = "/" + "/".join(parts)
+    if not params:
+        return path
+    flat = sorted((k, v) for k, values in params.items() for v in values)
+    return path + "?" + urlencode(flat)
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One HTTP request, executed on a pool worker's replica."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _reply(
+        self,
+        payload: Any,
+        status: int = 200,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._send(body, "application/json", status, extra_headers)
+
+    def _error(self, message: str, status: int) -> None:
+        self._reply({"error": message}, status=status)
+
+    def _int_param(
+        self,
+        params: Dict[str, List[str]],
+        name: str,
+        default: int,
+        max_value: Optional[int] = None,
+    ) -> int:
+        values = params.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[0])
+        except ValueError:
+            raise ValueError(
+                f"query parameter {name!r} must be an integer, "
+                f"got {values[0]!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"query parameter {name!r} must be >= 0, got {value}"
+            )
+        if max_value is not None and value > max_value:
+            return max_value
+        return value
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch()
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch()
+
+    def _method_not_allowed(self) -> None:
+        started = perf_counter()
+        self._reply(
+            {"error": f"method {self.command} not allowed; this API is "
+             "read-only", "allow": "GET, HEAD"},
+            status=405,
+            extra_headers={"Allow": "GET, HEAD"},
+        )
+        obs.counter("serve.requests", route="method", status=405)
+        obs.observe(
+            "serve.latency_s", perf_counter() - started, route="method"
+        )
+
+    do_POST = _method_not_allowed  # noqa: N815 - http.server API
+    do_PUT = _method_not_allowed  # noqa: N815
+    do_DELETE = _method_not_allowed  # noqa: N815
+    do_PATCH = _method_not_allowed  # noqa: N815
+    do_OPTIONS = _method_not_allowed  # noqa: N815
+
+    def _dispatch(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        # keep_blank_values: ``?cursor=`` must be rejected as a bad
+        # cursor, not silently treated as "no cursor".
+        params = parse_qs(parsed.query, keep_blank_values=True)
+        server: "ServeServer" = self.server  # type: ignore[assignment]
+        route = _route_key(parts)
+        self._status = 200
+        started = perf_counter()
+        try:
+            if route == "metrics":
+                self._metrics(params)
+            elif route == "healthz":
+                self._healthz(server)
+            elif route == "index":
+                entries, cap = server.cache.stats()
+                self._reply({
+                    "service": "repro.serve",
+                    "routes": _ROUTES,
+                    "workers": server.workers,
+                    "cache_entries": entries,
+                    "cache_max_entries": cap,
+                })
+            elif (
+                server.test_routes
+                and parts
+                and parts[0] == "debug"
+            ):
+                self._debug(parts, params)
+            else:
+                self._serve_route(server, route, parts, params)
+        except CursorError as exc:
+            self._error(str(exc), status=400)
+        except (ValueError, KeyError) as exc:
+            self._error(f"bad request: {exc}", status=400)
+        finally:
+            elapsed = perf_counter() - started
+            obs.counter("serve.requests", route=route, status=self._status)
+            obs.observe("serve.latency_s", elapsed, route=route)
+            obs.trace_event(
+                "serve.request", route=route, path=self.path,
+                status=self._status, wall_s=round(elapsed, 6),
+            )
+
+    def _metrics(self, params: Dict[str, List[str]]) -> None:
+        fmt = params.get("format", ["json"])[0].lower()
+        if fmt in ("prometheus", "prom", "text"):
+            self._send(
+                obs.to_prometheus().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+                200,
+            )
+        elif fmt == "json":
+            self._reply(obs.snapshot())
+        else:
+            raise ValueError(f"unknown metrics format {fmt!r}")
+
+    def _healthz(self, server: "ServeServer") -> None:
+        entries, cap = server.cache.stats()
+        self._reply({
+            "status": "draining" if server.draining else "ok",
+            "workers": server.workers,
+            "queue_depth": server.queue_size(),
+            "queue_limit": server.queue_depth,
+            "cache_entries": entries,
+        })
+
+    def _debug(
+        self, parts: List[str], params: Dict[str, List[str]]
+    ) -> None:
+        """Test-only routes (``test_routes=True``): a sleeping handler
+        lets the backpressure tests hold workers busy deterministically.
+        """
+        if parts == ["debug", "sleep"]:
+            seconds = float(params.get("s", ["0.1"])[0])
+            sleep(min(seconds, 5.0))
+            self._reply({"slept_s": seconds})
+        else:
+            self._error(f"no such route: /{'/'.join(parts)}", status=404)
+
+    # -- the cached, snapshot-consistent store routes ----------------------
+
+    def _serve_route(
+        self,
+        server: "ServeServer",
+        route: str,
+        parts: List[str],
+        params: Dict[str, List[str]],
+    ) -> None:
+        store = server.worker_store()
+        canonical = _canonical(parts, params)
+        with store.read_snapshot():
+            # Everything below — checkpoint, conditional check, cache
+            # lookup, render — sees one committed snapshot, so the ETag
+            # names exactly the data the body was rendered from.
+            checkpoint = store.checkpoint_height
+            etag = etag_for(canonical, checkpoint)
+            if route not in _UNCACHED:
+                if etag_matches(self.headers.get("If-None-Match"), etag):
+                    obs.counter("serve.cache.revalidated")
+                    self._send(
+                        b"", "application/json", 304,
+                        {"ETag": etag, "X-Checkpoint": str(checkpoint)},
+                    )
+                    return
+                entry = server.cache.get(canonical, checkpoint)
+                if entry is not None:
+                    self._send(
+                        entry.body, entry.content_type, 200,
+                        {"ETag": entry.etag,
+                         "X-Checkpoint": str(entry.checkpoint)},
+                    )
+                    return
+            payload, status = self._render(store, parts, params, checkpoint)
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        headers = {"X-Checkpoint": str(checkpoint)}
+        if status == 200 and route not in _UNCACHED:
+            server.cache.put(canonical, checkpoint, body, "application/json")
+            headers["ETag"] = etag
+        self._send(body, "application/json", status, headers)
+
+    def _render(
+        self,
+        store: EtlStore,
+        parts: List[str],
+        params: Dict[str, List[str]],
+        checkpoint: int,
+    ) -> Tuple[Any, int]:
+        """``(payload, status)`` for a store-backed route."""
+        if parts == ["stats"]:
+            return {
+                "checkpoint_height": checkpoint,
+                "tip_hash": store.get_meta("tip_hash"),
+                "tables": store.counts(),
+            }, 200
+        if parts == ["hotspots"]:
+            return self._render_hotspots(store, params, checkpoint)
+        if parts[0] == "hotspot" and len(parts) in (2, 3):
+            return self._render_hotspot(store, parts, params)
+        if parts[0] == "owner" and len(parts) == 2:
+            page = store.query_owner_page(parts[1])
+            if page is None:
+                return {"error": f"unknown wallet: {parts[1]}"}, 404
+            return owner_to_json(page), 200
+        if parts == ["coverage", "dots"]:
+            return {
+                "dots": [
+                    {"token": token, "lat": lat, "lon": lon,
+                     "hotspots": count}
+                    for token, lat, lon, count in store.coverage_dot_rows()
+                ],
+            }, 200
+        if parts == ["search"]:
+            query = params.get("q", [""])[0]
+            limit = self._int_param(params, "limit", 10, MAX_PAGE_LIMIT)
+            matches = store.search_names(query, limit) if query else []
+            return {
+                "query": query,
+                "matches": [
+                    {"gateway": gateway, "name": name}
+                    for gateway, name in matches
+                ],
+            }, 200
+        return {"error": f"no such route: /{'/'.join(parts)}"}, 404
+
+    def _render_hotspots(
+        self,
+        store: EtlStore,
+        params: Dict[str, List[str]],
+        checkpoint: int,
+    ) -> Tuple[Any, int]:
+        limit = self._int_param(params, "limit", 50, MAX_PAGE_LIMIT)
+        cursor_token = params.get("cursor", [None])[0]
+        if cursor_token is not None and "offset" in params:
+            raise ValueError(
+                "pass either cursor= or offset=, not both"
+            )
+        if cursor_token is not None or "offset" not in params:
+            # Keyset paging is the default; an explicit offset= selects
+            # the legacy compatibility form. A walk starts with no
+            # cursor at all and follows next_cursor to the end.
+            after = (
+                0 if cursor_token is None
+                else decode_cursor(cursor_token, "hotspots")
+            )
+            rows = store.hotspot_cursor_rows(after, limit)
+            page, extra = rows[:limit], rows[limit:]
+            if extra or (limit == 0 and page):
+                # More rows exist past this page; resume after the last
+                # row served (or from the same position for limit=0).
+                resume = page[-1][0] if page else after
+                next_cursor: Optional[str] = encode_cursor(
+                    "hotspots", resume
+                )
+            else:
+                next_cursor = None
+            return {
+                "total": store.hotspot_count,
+                "checkpoint": checkpoint,
+                "hotspots": [
+                    {"gateway": gateway, "name": name, "location_token": tok}
+                    for _, gateway, name, tok in page
+                ],
+                "next_cursor": next_cursor,
+            }, 200
+        offset = self._int_param(params, "offset", 0)
+        rows = store.hotspot_page_rows(limit, offset)
+        return {
+            "total": store.hotspot_count,
+            "checkpoint": checkpoint,
+            "hotspots": [
+                {"gateway": gateway, "name": name, "location_token": tok}
+                for gateway, name, tok in rows
+            ],
+            "next_cursor": None,
+        }, 200
+
+    def _render_hotspot(
+        self,
+        store: EtlStore,
+        parts: List[str],
+        params: Dict[str, List[str]],
+    ) -> Tuple[Any, int]:
+        key = parts[1]
+        gateway: Optional[str] = key if key.startswith("hs_") else (
+            store.gateway_by_name(key.replace("-", " "))
+        )
+        page = (
+            store.query_hotspot_page(gateway) if gateway is not None else None
+        )
+        if page is None:
+            return {"error": f"unknown hotspot: {key}"}, 404
+        if len(parts) == 2:
+            return page_to_json(page), 200
+        if parts[2] != "witnesses":
+            return {"error": f"unknown hotspot subresource: {parts[2]}"}, 404
+        limit = self._int_param(params, "limit", 100, MAX_PAGE_LIMIT)
+        events = store.witness_events(
+            page.gateway, direction="witnessing", limit=limit
+        )
+        return {
+            "gateway": page.gateway,
+            "name": page.name,
+            "witnesses": [
+                {
+                    "block": e.block,
+                    "counterparty": e.counterparty,
+                    "counterparty_name": e.counterparty_name,
+                    "rssi_dbm": e.rssi_dbm,
+                    "distance_km": e.distance_km,
+                    "valid": e.valid,
+                }
+                for e in events
+            ],
+        }, 200
+
+
+class ServeServer(HTTPServer):
+    """Bounded-queue, fixed-pool HTTP server over read replicas.
+
+    The accept loop (``serve_forever``) only enqueues sockets; ``N``
+    worker threads own the request lifecycle end to end. A full queue
+    sheds with 503 + ``Retry-After`` at accept time — the cheapest
+    possible rejection — so latency stays bounded at saturation instead
+    of growing a thread pile.
+    """
+
+    allow_reuse_address = True
+    request_queue_size = 512  # kernel listen(2) backlog
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        db_path: str,
+        workers: Optional[int] = None,
+        queue_depth: int = 128,
+        cache_entries: int = 1024,
+        cache_ttl_s: float = 30.0,
+        retry_after_s: int = 1,
+        verbose: bool = False,
+        test_routes: bool = False,
+    ) -> None:
+        super().__init__(address, ServeHandler)
+        self.db_path = str(db_path)
+        self.workers = int(workers) if workers else default_workers()
+        self.queue_depth = int(queue_depth)
+        self.retry_after_s = int(retry_after_s)
+        self.verbose = verbose
+        self.test_routes = test_routes
+        self.cache = ResponseCache(
+            max_entries=cache_entries, ttl_s=cache_ttl_s
+        )
+        self.replicas = ReadReplicas(self.db_path)  # fails fast on a bad db
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._accepting = False
+        self._drained = threading.Event()
+        self.draining = False
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def start_workers(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        obs.gauge("serve.workers", self.workers)
+
+    def serve_forever(self, poll_interval: float = 0.25) -> None:
+        self.start_workers()
+        self._accepting = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._accepting = False
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                request, client_address = item
+                obs.gauge("serve.queue_depth", self._queue.qsize())
+                try:
+                    self.finish_request(request, client_address)
+                except Exception:  # noqa: BLE001 - peer may vanish anytime
+                    self.handle_error(request, client_address)
+                finally:
+                    self.shutdown_request(request)
+            finally:
+                self._queue.task_done()
+
+    def worker_store(self) -> EtlStore:
+        """The calling worker thread's read-only replica."""
+        return self.replicas.get()
+
+    # -- accept path -------------------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        """Enqueue, or shed with 503 when the queue is full."""
+        if self.draining:
+            self._refuse(request, _DRAIN_BODY)
+            return
+        try:
+            self._queue.put_nowait((request, client_address))
+        except queue.Full:
+            obs.counter("serve.shed")
+            obs.counter("serve.requests", route="shed", status=503)
+            self._refuse(request, _SHED_BODY)
+            return
+        obs.gauge("serve.queue_depth", self._queue.qsize())
+
+    def _refuse(self, request, body: bytes) -> None:
+        """A minimal 503 written straight onto the socket.
+
+        No handler object, no parsing of the request we are refusing —
+        shedding must stay orders of magnitude cheaper than serving,
+        or the queue limit would not protect anything.
+        """
+        try:
+            request.sendall(
+                b"HTTP/1.0 503 Service Unavailable\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Retry-After: {self.retry_after_s}\r\n".encode("ascii")
+                + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+        except OSError:
+            pass  # the peer gave up first; nothing to refuse
+        finally:
+            self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        # Client disconnects are traffic, not stack traces.
+        if self.verbose:
+            super().handle_error(request, client_address)
+        obs.counter("serve.handler_errors")
+
+    # -- drain -------------------------------------------------------------
+
+    def queue_size(self) -> int:
+        """Requests currently waiting for a worker."""
+        return self._queue.qsize()
+
+    def drain(self, timeout_s: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, finish the queue, join.
+
+        New connections get an immediate 503 while queued ones complete;
+        the worker threads exit once the queue is empty. Safe to call
+        from a signal-handling thread while ``serve_forever`` runs in
+        another.
+        """
+        if self._drained.is_set():
+            return
+        self.draining = True
+        obs.trace_event("serve.drain", queued=self.queue_size())
+        if self._accepting:
+            self.shutdown()  # stops the accept loop; waits until it did
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        deadline = perf_counter() + timeout_s
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - perf_counter()))
+        self._drained.set()
+        obs.trace_event("serve.drained")
+
+    def server_close(self) -> None:
+        self.drain()
+        super().server_close()
+        self.replicas.close_all()
+
+
+def create_server(
+    db_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8700,
+    workers: Optional[int] = None,
+    queue_depth: int = 128,
+    cache_entries: int = 1024,
+    cache_ttl_s: float = 30.0,
+    verbose: bool = False,
+    test_routes: bool = False,
+) -> ServeServer:
+    """Build (but do not start) the serving tier.
+
+    Pass ``port=0`` for an ephemeral port (``server.server_address``).
+    Raises :class:`repro.errors.EtlError` if ``db_path`` is not a
+    readable ETL store.
+    """
+    if not os.path.exists(db_path):
+        raise EtlError(f"no ETL store at {db_path}")
+    return ServeServer(
+        (host, port),
+        db_path,
+        workers=workers,
+        queue_depth=queue_depth,
+        cache_entries=cache_entries,
+        cache_ttl_s=cache_ttl_s,
+        verbose=verbose,
+        test_routes=test_routes,
+    )
+
+
+def serve(
+    db_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8700,
+    workers: Optional[int] = None,
+    queue_depth: int = 128,
+    cache_entries: int = 1024,
+    cache_ttl_s: float = 30.0,
+    verbose: bool = True,
+) -> None:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    The accept loop runs on a helper thread; the calling thread waits
+    for a shutdown signal so the signal handler only has to set an
+    event — ``drain()`` (stop accepting → flush the queue → join the
+    workers) runs outside handler context.
+    """
+    import signal
+
+    server = create_server(
+        db_path, host=host, port=port, workers=workers,
+        queue_depth=queue_depth, cache_entries=cache_entries,
+        cache_ttl_s=cache_ttl_s, verbose=verbose,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro.serve listening on http://{bound_host}:{bound_port}/ "
+        f"({server.workers} workers, queue depth {server.queue_depth})"
+    )
+    obs.trace_event(
+        "serve.start", host=bound_host, port=bound_port, db=db_path,
+        workers=server.workers, queue_depth=server.queue_depth,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    accept_thread = threading.Thread(
+        target=server.serve_forever, name="serve-accept", daemon=True
+    )
+    accept_thread.start()
+    try:
+        # Poll rather than block forever: CPython delivers signal
+        # handlers on the main thread only between bytecodes, and an
+        # untimed Event.wait() can park in an uninterruptible acquire.
+        while not stop.wait(timeout=0.5):
+            pass
+        print("repro.serve draining…")
+        server.drain()
+        accept_thread.join(timeout=5)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        obs.trace_event("serve.stop", host=bound_host, port=bound_port)

@@ -8,12 +8,16 @@ import repro.experiments.svg
 import repro.geo.hexgrid
 import repro.geo.spatialindex
 import repro.rng
+import repro.serve.cache
+import repro.serve.cursor
 
 _MODULES = [
     repro.rng,
     repro.geo.hexgrid,
     repro.geo.spatialindex,
     repro.experiments.svg,
+    repro.serve.cursor,
+    repro.serve.cache,
 ]
 
 

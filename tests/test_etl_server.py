@@ -255,3 +255,92 @@ class TestMetricsRoute:
         base, _ = served
         payload = _get(base, "/")
         assert any("/metrics" in route for route in payload["routes"])
+
+
+class TestHttpMethods:
+    """HEAD mirrors GET's headers; mutating verbs get 405 + Allow."""
+
+    def _raw(self, base, path, method):
+        import http.client
+        from urllib.parse import urlparse as _parse
+
+        parsed = _parse(base)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=10
+        )
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), \
+                response.read()
+        finally:
+            conn.close()
+
+    def test_head_has_get_headers_and_no_body(self, served):
+        base, _ = served
+        get_status, _, body = self._raw(base, "/stats", "GET")
+        head_status, headers, head_body = self._raw(base, "/stats", "HEAD")
+        assert (get_status, head_status) == (200, 200)
+        assert head_body == b""
+        assert headers["Content-Length"] == str(len(body))
+        assert headers["Content-Type"] == "application/json"
+
+    @pytest.mark.parametrize("method", [
+        "POST", "PUT", "DELETE", "PATCH", "OPTIONS",
+    ])
+    def test_mutating_methods_are_405(self, served, method):
+        base, _ = served
+        status, headers, body = self._raw(base, "/stats", method)
+        assert status == 405
+        assert headers["Allow"] == "GET, HEAD"
+        payload = json.loads(body.decode("utf-8"))
+        assert payload["allow"] == "GET, HEAD"
+
+
+class TestFileBackedReplicas:
+    """A file-backed store is served off per-thread read-only replicas
+    (no shared handle); an in-memory store keeps the lock fallback."""
+
+    def test_file_store_serves_through_replicas(self, tmp_path):
+        from tests.etl_chains import ChainBuilder as _Builder
+
+        builder = _Builder(seed=42, n_hotspots=4)
+        builder.grow(6)
+        store = EtlStore(tmp_path / "etl.db")
+        ingest_chain(builder.chain, store)
+        server = create_server(store, port=0)
+        assert server.replicas is not None
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            payload = _get(base, "/stats")
+            assert payload["checkpoint_height"] == builder.chain.height
+            # Concurrent readers all succeed with no lock contention.
+            results = []
+
+            def _hit():
+                results.append(_get(base, "/hotspots")["total"])
+
+            readers = [
+                threading.Thread(target=_hit) for _ in range(8)
+            ]
+            for reader in readers:
+                reader.start()
+            for reader in readers:
+                reader.join(timeout=10)
+            assert results == [len(builder.gateways)] * 8
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            store.close()
+
+    def test_memory_backed_server_has_no_replicas(self):
+        store = EtlStore()
+        server = create_server(store, port=0)
+        try:
+            assert server.replicas is None
+        finally:
+            server.server_close()

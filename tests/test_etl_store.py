@@ -117,3 +117,101 @@ class TestContentDigest:
         builder.grow(2)
         ingest_chain(builder.chain, store)
         assert store.content_digest() != before
+
+
+class TestWalAndReplicas:
+    """The concurrency satellites: WAL at build time, per-thread
+    read-only replicas, and snapshot-consistent reads."""
+
+    def test_file_store_runs_in_wal_with_synchronous_normal(self, tmp_path):
+        with EtlStore(tmp_path / "etl.db") as store:
+            assert store.journal_mode == "wal"
+            assert store.connection.execute(
+                "PRAGMA synchronous"
+            ).fetchone()[0] == 1  # NORMAL
+
+    def test_memory_store_keeps_its_default_journal(self):
+        # WAL needs a file; the in-memory convenience store must not
+        # pretend otherwise.
+        assert EtlStore().journal_mode == "memory"
+
+    def test_read_only_replica_sees_wal_and_cannot_write(self, tmp_path):
+        path = tmp_path / "etl.db"
+        EtlStore(path).close()
+        replica = EtlStore(path, create=False, read_only=True)
+        assert replica.journal_mode == "wal"
+        with pytest.raises(sqlite3.OperationalError, match="readonly"):
+            replica.connection.execute(
+                "INSERT OR REPLACE INTO etl_meta (key, value) "
+                "VALUES ('x', 'y')"
+            )
+        replica.close()
+
+    def test_read_only_requires_a_file(self, tmp_path):
+        with pytest.raises(EtlError, match="file-backed"):
+            EtlStore(read_only=True)
+        with pytest.raises(EtlError, match="no ETL store"):
+            EtlStore(tmp_path / "absent.db", read_only=True)
+
+    def test_replica_sees_committed_ingest(self, tmp_path):
+        path = tmp_path / "etl.db"
+        builder = ChainBuilder(seed=6, n_hotspots=3)
+        builder.grow(4)
+        writer = EtlStore(path)
+        replica = writer.reopen(read_only=True)
+        assert replica.checkpoint_height == -1
+        ingest_chain(builder.chain, writer)
+        # No reopen needed: WAL readers see each commit as it lands.
+        assert replica.checkpoint_height == builder.chain.height
+        writer.close()
+        replica.close()
+
+    def test_read_snapshot_pins_one_commit(self, tmp_path):
+        path = tmp_path / "etl.db"
+        builder = ChainBuilder(seed=7, n_hotspots=3)
+        builder.grow(3)
+        writer = EtlStore(path)
+        ingest_chain(builder.chain, writer)
+        replica = writer.reopen(read_only=True)
+        with replica.read_snapshot():
+            before = replica.checkpoint_height
+            builder.grow(2)
+            ingest_chain(builder.chain, writer)  # commits mid-snapshot
+            assert replica.checkpoint_height == before  # pinned
+        assert replica.checkpoint_height == builder.chain.height
+        writer.close()
+        replica.close()
+
+    def test_read_replicas_hand_each_thread_its_own_connection(
+        self, tmp_path
+    ):
+        from repro.etl.store import ReadReplicas
+
+        path = tmp_path / "etl.db"
+        EtlStore(path).close()
+        replicas = ReadReplicas(path)
+        stores = {}
+
+        def _grab(name):
+            stores[name] = replicas.get()
+            # Stable within a thread: repeated get() is the same handle.
+            assert replicas.get() is stores[name]
+
+        threads = [
+            __import__("threading").Thread(target=_grab, args=(i,))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        handles = list(stores.values())
+        assert len({id(store) for store in handles}) == 3
+        assert all(store.read_only for store in handles)
+        replicas.close_all()
+
+    def test_read_replicas_reject_missing_database(self, tmp_path):
+        from repro.etl.store import ReadReplicas
+
+        with pytest.raises(EtlError, match="no ETL store"):
+            ReadReplicas(tmp_path / "absent.db")

@@ -1,0 +1,543 @@
+"""The production serving tier, end-to-end over real sockets.
+
+Covers the four tentpole behaviours of :mod:`repro.serve`:
+
+* checkpoint-keyed ETags — ``If-None-Match`` collapses to 304 while the
+  checkpoint stands still and *stops validating* the moment ingest
+  advances it;
+* cursor pagination — a ``next_cursor`` walk visits every row exactly
+  once, stays stable under concurrent ingest, and rejects tampered
+  tokens as clean 400s;
+* bounded backpressure — a full queue sheds 503 + ``Retry-After``, and
+  ``drain()`` finishes queued work before the workers exit;
+* reads-under-ingest — N reader threads against a store being actively
+  ingested see no "database is locked" and only snapshot-consistent
+  bodies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EtlError
+from repro.etl import EtlStore, ingest_chain
+from repro.serve.cache import ResponseCache, etag_for, etag_matches
+from repro.serve.cursor import CursorError, decode_cursor, encode_cursor
+from repro.serve.server import create_server, default_workers
+
+from tests.etl_chains import ChainBuilder
+
+
+# -- harness ---------------------------------------------------------------
+
+
+class LiveServer:
+    """A running ServeServer plus plain http.client access to it."""
+
+    def __init__(self, server):
+        self.server = server
+        self.thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.host, self.port = server.server_address[:2]
+
+    def request(self, path, method="GET", headers=None):
+        """``(status, headers_dict, body_bytes)`` for one request."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=10)
+        try:
+            conn.request(method, path, headers=headers or {})
+            response = conn.getresponse()
+            body = response.read()
+            return response.status, dict(response.getheaders()), body
+        finally:
+            conn.close()
+
+    def get_json(self, path, headers=None):
+        status, resp_headers, body = self.request(path, headers=headers)
+        payload = json.loads(body.decode("utf-8")) if body else None
+        return status, resp_headers, payload
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+def _build_db(path, seed=21, n_hotspots=8, blocks=12):
+    """Ingest a fresh randomized chain into ``path``; returns builder."""
+    builder = ChainBuilder(seed=seed, n_hotspots=n_hotspots)
+    builder.grow(blocks)
+    with EtlStore(str(path)) as store:
+        ingest_chain(builder.chain, store)
+    return builder
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "serve.db")
+
+
+@pytest.fixture()
+def live(db_path):
+    """A live serving tier over a freshly ingested store."""
+    builder = _build_db(db_path)
+    server = create_server(db_path, port=0, workers=4, test_routes=True)
+    live = LiveServer(server)
+    live.builder = builder
+    live.db_path = db_path
+    yield live
+    live.close()
+
+
+def _walk_cursor(live, limit):
+    """Follow next_cursor from the start; returns the gateways seen."""
+    seen = []
+    path = f"/hotspots?limit={limit}"
+    for _ in range(1000):  # bounded: a broken walk must not hang the test
+        status, _, payload = live.get_json(path)
+        assert status == 200
+        seen.extend(h["gateway"] for h in payload["hotspots"])
+        if payload["next_cursor"] is None:
+            return seen
+        path = f"/hotspots?limit={limit}&cursor={payload['next_cursor']}"
+    raise AssertionError("cursor walk did not terminate")
+
+
+# -- ETag / caching --------------------------------------------------------
+
+
+class TestEtagCaching:
+    def test_200_carries_etag_and_checkpoint(self, live):
+        status, headers, payload = live.get_json("/hotspots")
+        assert status == 200
+        assert headers["ETag"].startswith('W/"ck')
+        assert int(headers["X-Checkpoint"]) == live.builder.chain.height
+        assert payload["checkpoint"] == live.builder.chain.height
+
+    def test_if_none_match_revalidates_to_304(self, live):
+        _, headers, _ = live.get_json("/stats")
+        etag = headers["ETag"]
+        status, headers_304, body = live.request(
+            "/stats", headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers_304["ETag"] == etag
+
+    def test_repeat_request_is_a_cache_hit(self, live):
+        live.server.cache.clear()
+        live.get_json("/coverage/dots")
+        entries_before, _ = live.server.cache.stats()
+        assert entries_before >= 1
+        _, _, first = live.get_json("/coverage/dots")
+        _, _, second = live.get_json("/coverage/dots")
+        assert first == second
+
+    def test_checkpoint_advance_invalidates_stale_etag(self, live):
+        """The acceptance-criteria staleness test: grow the chain, ingest
+        it into the live store, and the old ETag must stop validating —
+        the conditional request gets a fresh 200 at the new checkpoint.
+        """
+        _, headers, payload = live.get_json("/hotspots")
+        old_etag = headers["ETag"]
+        old_checkpoint = int(headers["X-Checkpoint"])
+
+        live.builder.grow(3)  # ingest advances the checkpoint
+        with EtlStore(live.db_path) as writer:
+            ingest_chain(live.builder.chain, writer)
+
+        status, headers, payload = live.get_json(
+            "/hotspots", headers={"If-None-Match": old_etag}
+        )
+        assert status == 200  # not 304: the old tag no longer validates
+        assert headers["ETag"] != old_etag
+        assert int(headers["X-Checkpoint"]) > old_checkpoint
+        assert payload["checkpoint"] == live.builder.chain.height
+
+        # ... and the *new* tag does validate.
+        status, _, _ = live.request(
+            "/hotspots", headers={"If-None-Match": headers["ETag"]}
+        )
+        assert status == 304
+
+    def test_metrics_and_healthz_are_never_cached(self, live):
+        for path in ("/metrics", "/healthz"):
+            _, headers, _ = live.get_json(path)
+            assert "ETag" not in headers
+
+
+class TestCacheUnit:
+    def test_etag_embeds_checkpoint(self):
+        assert etag_for("/stats", 7) != etag_for("/stats", 8)
+        assert etag_for("/stats", 7) == etag_for("/stats", 7)
+
+    def test_etag_matches_weak_and_star(self):
+        etag = etag_for("/stats", 7)
+        assert etag_matches(etag, etag)
+        assert etag_matches(etag[2:], etag)  # strong form of same tag
+        assert etag_matches(f"{etag}, W/\"other\"", etag)
+        assert etag_matches("*", etag)
+        assert not etag_matches(None, etag)
+        assert not etag_matches(etag_for("/stats", 8), etag)
+
+    def test_checkpoint_mismatch_drops_entry(self):
+        cache = ResponseCache(max_entries=4, ttl_s=60.0)
+        cache.put("/a", 1, b"{}", "application/json")
+        assert cache.get("/a", 2) is None
+        assert cache.get("/a", 1) is None  # dropped, not resurrected
+
+    def test_ttl_expiry_bounds_memory(self):
+        cache = ResponseCache(max_entries=4, ttl_s=10.0)
+        cache.put("/a", 1, b"{}", "application/json", now=0.0)
+        assert cache.get("/a", 1, now=5.0) is not None
+        assert cache.get("/a", 1, now=20.0) is None
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ResponseCache(max_entries=2, ttl_s=60.0)
+        cache.put("/a", 1, b"a", "t")
+        cache.put("/b", 1, b"b", "t")
+        cache.get("/a", 1)  # touch /a so /b is the LRU victim
+        cache.put("/c", 1, b"c", "t")
+        assert cache.get("/b", 1) is None
+        assert cache.get("/a", 1) is not None
+
+
+# -- cursor pagination -----------------------------------------------------
+
+
+class TestCursorPagination:
+    def test_walk_visits_every_hotspot_once(self, live):
+        expected = sorted(live.builder.gateways)
+        for limit in (1, 3, 50):
+            seen = _walk_cursor(live, limit)
+            assert sorted(seen) == expected
+            assert len(seen) == len(set(seen))  # no duplicates
+
+    def test_offset_form_still_works_and_has_no_cursor(self, live):
+        status, _, payload = live.get_json("/hotspots?limit=2&offset=1")
+        assert status == 200
+        assert payload["next_cursor"] is None
+        _, _, full = live.get_json("/hotspots?limit=50")
+        assert payload["hotspots"] == full["hotspots"][1:3]
+
+    def test_cursor_and_offset_together_is_400(self, live):
+        token = encode_cursor("hotspots", 1)
+        status, _, payload = live.get_json(
+            f"/hotspots?cursor={token}&offset=2"
+        )
+        assert status == 400
+        assert "error" in payload
+
+    @pytest.mark.parametrize("token", [
+        "notacursor",
+        encode_cursor("hotspots", 3)[:-4] + "AAAA",  # tampered tag
+        encode_cursor("witnesses", 3),  # wrong kind
+        "",
+        "x" * 300,  # oversized
+    ])
+    def test_invalid_cursor_is_400(self, live, token):
+        status, _, payload = live.get_json(f"/hotspots?cursor={token}")
+        assert status == 400
+        assert "error" in payload
+
+    def test_walk_is_stable_under_concurrent_ingest(self, live):
+        """No dups and no gaps: every hotspot present before the walk
+        started is seen exactly once, even while ingest rewrites the
+        ledger tables between pages.
+        """
+        before = set(live.builder.gateways)
+        seen = []
+        path = "/hotspots?limit=2"
+        page_index = 0
+        while True:
+            status, _, payload = live.get_json(path)
+            assert status == 200
+            seen.extend(h["gateway"] for h in payload["hotspots"])
+            if page_index == 1:
+                # Mid-walk: advance the chain and re-ingest.
+                live.builder.grow(2)
+                with EtlStore(live.db_path) as writer:
+                    ingest_chain(live.builder.chain, writer)
+            if payload["next_cursor"] is None:
+                break
+            path = f"/hotspots?limit=2&cursor={payload['next_cursor']}"
+            page_index += 1
+        assert len(seen) == len(set(seen)), "cursor walk produced dups"
+        assert before <= set(seen), "cursor walk dropped a pre-walk row"
+
+
+class TestCursorUnit:
+    @given(after=st.integers(min_value=0, max_value=2**53))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, after):
+        assert decode_cursor(encode_cursor("hotspots", after),
+                             "hotspots") == after
+
+    @given(junk=st.text(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_text_never_decodes_silently(self, junk):
+        try:
+            value = decode_cursor(junk, "hotspots")
+        except CursorError:
+            return
+        # Only a genuine token may decode — and then it must roundtrip.
+        assert encode_cursor("hotspots", value) == junk
+
+    def test_kind_namespacing(self):
+        token = encode_cursor("hotspots", 9)
+        with pytest.raises(CursorError):
+            decode_cursor(token, "owners")
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(CursorError):
+            decode_cursor(encode_cursor("hotspots", -1), "hotspots")
+
+
+class TestStoreCursorRows:
+    @given(
+        limits=st.lists(
+            st.integers(min_value=1, max_value=7), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_keyset_pages_tile_the_table(self, limits):
+        """Pages fetched with varying limits concatenate to exactly the
+        full listing — no row repeated, none skipped.
+        """
+        store = _keyset_store()
+        full = [
+            (gateway, name, token)
+            for _, gateway, name, token in store.hotspot_cursor_rows(
+                0, 10_000
+            )
+        ]
+        collected = []
+        after = 0
+        index = 0
+        while True:
+            limit = limits[index % len(limits)]
+            index += 1
+            rows = store.hotspot_cursor_rows(after, limit)
+            page = rows[:limit]
+            if not page:
+                break
+            collected.extend(
+                (gateway, name, token) for _, gateway, name, token in page
+            )
+            if len(rows) <= limit:
+                break
+            after = page[-1][0]
+        assert collected == full
+
+
+_KEYSET_STORE = None
+
+
+def _keyset_store():
+    """One shared in-memory store for the Hypothesis tiling test."""
+    global _KEYSET_STORE
+    if _KEYSET_STORE is None:
+        builder = ChainBuilder(seed=5, n_hotspots=12)
+        builder.grow(8)
+        _KEYSET_STORE = EtlStore()
+        ingest_chain(builder.chain, _KEYSET_STORE)
+    return _KEYSET_STORE
+
+
+# -- HTTP conformance ------------------------------------------------------
+
+
+class TestHttpConformance:
+    def test_head_matches_get_headers_with_empty_body(self, live):
+        get_status, get_headers, body = live.request("/stats")
+        head_status, head_headers, head_body = live.request(
+            "/stats", method="HEAD"
+        )
+        assert (get_status, head_status) == (200, 200)
+        assert head_body == b""
+        assert head_headers["Content-Length"] == str(len(body))
+        assert head_headers["Content-Type"] == get_headers["Content-Type"]
+
+    @pytest.mark.parametrize("method", [
+        "POST", "PUT", "DELETE", "PATCH", "OPTIONS",
+    ])
+    def test_write_methods_are_405_with_allow(self, live, method):
+        status, headers, body = live.request("/stats", method=method)
+        assert status == 405
+        assert headers["Allow"] == "GET, HEAD"
+        assert "error" in json.loads(body.decode("utf-8"))
+
+    def test_unknown_route_is_404(self, live):
+        status, _, payload = live.get_json("/no/such/route")
+        assert status == 404
+        assert "error" in payload
+
+    def test_healthz_reports_pool_state(self, live):
+        status, _, payload = live.get_json("/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 4
+        assert payload["queue_limit"] == live.server.queue_depth
+
+    def test_index_lists_routes(self, live):
+        status, _, payload = live.get_json("/")
+        assert status == 200
+        assert any("cursor" in route for route in payload["routes"])
+
+    def test_metrics_counts_serve_requests(self, live):
+        live.get_json("/stats")
+        _, _, payload = live.get_json("/metrics")
+        keys = [k for k in payload["counters"]
+                if k.startswith("serve.requests{route=stats")]
+        assert keys, payload["counters"]
+
+    def test_create_server_rejects_missing_db(self, tmp_path):
+        with pytest.raises(EtlError):
+            create_server(str(tmp_path / "absent.db"))
+
+
+# -- backpressure and drain ------------------------------------------------
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_503_with_retry_after(self, db_path):
+        """One worker held busy + a one-slot queue: the next connections
+        must be refused immediately with 503 + Retry-After, not queued.
+        """
+        _build_db(db_path, seed=3, n_hotspots=3, blocks=4)
+        server = create_server(
+            db_path, port=0, workers=1, queue_depth=1, test_routes=True
+        )
+        live = LiveServer(server)
+        try:
+            # Hold the only worker on a slow handler, then stuff the
+            # queue; spare requests land on a full queue and shed.
+            blocker = threading.Thread(
+                target=live.request, args=("/debug/sleep?s=1.5",),
+                daemon=True,
+            )
+            blocker.start()
+            time.sleep(0.3)  # let the worker pick the sleeper up
+            statuses, retry_after = [], []
+            lock = threading.Lock()
+
+            def _probe():
+                status, headers, _ = live.request("/stats")
+                with lock:
+                    statuses.append(status)
+                    if status == 503:
+                        retry_after.append(headers.get("Retry-After"))
+
+            probes = [
+                threading.Thread(target=_probe, daemon=True)
+                for _ in range(6)
+            ]
+            for thread in probes:  # concurrent: they must pile up
+                thread.start()
+            for thread in probes:
+                thread.join(timeout=10)
+            assert 503 in statuses, statuses
+            assert all(value is not None for value in retry_after)
+            blocker.join(timeout=5)
+            _, _, metrics = live.get_json("/metrics")
+            assert metrics["counters"].get("serve.shed", 0) >= 1
+        finally:
+            live.close()
+
+    def test_drain_finishes_queued_work_and_joins_workers(self, db_path):
+        _build_db(db_path, seed=4, n_hotspots=3, blocks=4)
+        server = create_server(
+            db_path, port=0, workers=2, test_routes=True
+        )
+        live = LiveServer(server)
+        results = []
+
+        def _slow_get():
+            results.append(live.request("/debug/sleep?s=0.4")[0])
+
+        inflight = [threading.Thread(target=_slow_get) for _ in range(2)]
+        for thread in inflight:
+            thread.start()
+        time.sleep(0.1)  # both workers now mid-request
+        server.drain(timeout_s=10)
+        for thread in inflight:
+            thread.join(timeout=5)
+        # Queued/in-flight requests completed despite the drain...
+        assert results == [200, 200]
+        # ...and the pool is gone.
+        assert all(not t.is_alive() for t in server._threads)
+        server.server_close()
+        live.thread.join(timeout=5)
+
+    def test_drain_without_serve_forever_does_not_hang(self, db_path):
+        _build_db(db_path, seed=5, n_hotspots=3, blocks=4)
+        server = create_server(db_path, port=0, workers=2)
+        server.start_workers()
+        server.drain(timeout_s=5)  # must return, not deadlock
+        server.server_close()
+
+    def test_default_workers_is_bounded(self):
+        assert 4 <= default_workers() <= 32
+
+
+# -- reads under ingest ----------------------------------------------------
+
+
+class TestReadsUnderIngest:
+    def test_readers_never_block_and_stay_consistent(self, db_path):
+        """The satellite acceptance test: one ingest thread committing
+        batches while N reader threads hammer the API. No reader may see
+        "database is locked" (or any 5xx), and every ``/stats`` body
+        must be internally consistent with *some* checkpoint — the
+        blocks count equals ``checkpoint_height + 1`` (genesis included)
+        because each response renders inside one read snapshot.
+        """
+        builder = _build_db(db_path, seed=11, n_hotspots=6, blocks=6)
+        server = create_server(db_path, port=0, workers=4)
+        live = LiveServer(server)
+        errors = []
+        inconsistent = []
+        stop = threading.Event()
+
+        def _reader():
+            while not stop.is_set():
+                try:
+                    status, _, payload = live.get_json("/stats")
+                    if status != 200:
+                        errors.append(("status", status, payload))
+                    elif (payload["tables"]["blocks"]
+                          != payload["checkpoint_height"] + 1):
+                        inconsistent.append(payload)
+                    status, _, _ = live.get_json("/hotspots?limit=3")
+                    if status != 200:
+                        errors.append(("status", status, None))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("exception", repr(exc), None))
+
+        readers = [
+            threading.Thread(target=_reader, daemon=True) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            with EtlStore(db_path) as writer:
+                for _ in range(6):  # six separate ingest commits
+                    builder.grow(2)
+                    ingest_chain(builder.chain, writer)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+            live.close()
+        assert not errors, errors[:5]
+        assert not inconsistent, inconsistent[:2]
+        # The final state is visible to a fresh request path too.
+        with EtlStore(db_path, create=False) as check:
+            assert check.checkpoint_height == builder.chain.height
