@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -248,3 +250,79 @@ def test_bench_poc_day(benchmark, result):
     # batching draws across challenges. ~2.5× is the honest end-to-end
     # ceiling; guard against regressing below 2×.
     assert speedup > 2.0
+
+
+# -- scale tier: paper vs paper-10x ----------------------------------------
+
+#: Day cap for the scale benches. The default keeps a casual bench run
+#: quick; set ``REPRO_SCALE_DAYS=full`` for the committed end-to-end
+#: numbers (paper-10x full length runs in minutes on one core).
+_SCALE_DAYS = os.environ.get("REPRO_SCALE_DAYS", "90")
+
+_SCALE_SCRIPT = """\
+import dataclasses, json, sys, time
+from repro.experiments.snapshot import result_digest
+from repro.simulation import (
+    SimulationEngine, paper_10x_scenario, paper_scenario,
+)
+from repro import obs
+scenario, days = sys.argv[1], sys.argv[2]
+builder = {"paper": paper_scenario, "paper-10x": paper_10x_scenario}
+config = builder[scenario](seed=2021)
+if days != "full":
+    config = dataclasses.replace(config, n_days=int(days))
+t0 = time.time()
+result = SimulationEngine(config).run()
+print(json.dumps({
+    "wall_s": round(time.time() - t0, 1),
+    "peak_rss_bytes": obs.peak_rss_bytes(),
+    "digest": result_digest(result),
+    "days": config.n_days,
+    "hotspots": len(result.world.hotspots),
+    "blocks": len(result.chain),
+}))
+"""
+
+
+def _run_scale(scenario: str) -> dict:
+    """One scenario end-to-end in a fresh interpreter, so each run's
+    ``ru_maxrss`` high-water mark is its own, not the bench suite's."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCALE_SCRIPT, scenario, _SCALE_DAYS],
+        env=env, capture_output=True, text=True, timeout=3600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_bench_scale_tier():
+    paper = _run_scale("paper")
+    tenx = _run_scale("paper-10x")
+    _summary["scale"] = {
+        "days": _SCALE_DAYS,
+        "paper": paper,
+        "paper_10x": tenx,
+    }
+    _summary["memory"] = {
+        "peak_rss_bytes": {
+            "paper": paper["peak_rss_bytes"],
+            "paper_10x": tenx["peak_rss_bytes"],
+        },
+    }
+    _RESULTS_PATH.write_text(json.dumps(_summary, indent=2) + "\n")
+
+    assert tenx["hotspots"] >= 10 * paper["hotspots"] * 0.9
+    # Columnar fleet state: 10x the hotspots must not cost 10x the
+    # memory — the object graph, not the columns, dominates RSS, and
+    # the tier has to fit comfortably on a laptop.
+    assert tenx["peak_rss_bytes"] < 32 * 1024**3
+    if _SCALE_DAYS == "full":
+        from tests.test_engine_hotpath import PAPER_SEED2021_DIGEST
+
+        assert paper["digest"] == PAPER_SEED2021_DIGEST

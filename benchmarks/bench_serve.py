@@ -39,6 +39,9 @@ _RESULTS_PATH = _REPO / "BENCH_serve.json"
 _LEVELS = (16, 64, 256)
 _DURATION_S = 4.0
 _SEED = 2021
+#: Concurrency for the keep-alive A/B — moderate on purpose, since a
+#: persistent connection holds a pool worker for its whole burst.
+_KA_CLIENTS = 32
 
 _LISTENING = re.compile(r"listening on http://([\d.]+):(\d+)/")
 
@@ -102,7 +105,10 @@ def serve_db(tmp_path_factory):
     return path
 
 
-def _measure(base_url: str, clients: int, collect_server_cache: bool):
+def _measure(
+    base_url: str, clients: int, collect_server_cache: bool,
+    keep_alive: bool = False,
+):
     before = fetch_metrics(base_url).get("counters", {})
     report = run_load(
         base_url,
@@ -110,6 +116,7 @@ def _measure(base_url: str, clients: int, collect_server_cache: bool):
         duration_s=_DURATION_S,
         seed=_SEED + clients,
         paths=discover_paths(base_url),
+        keep_alive=keep_alive,
     )
     summary = report.summary()
     if collect_server_cache:
@@ -162,6 +169,41 @@ def test_bench_serve_vs_legacy(serve_db):
         legacy.stop()
         tier.stop()
 
+    # Keep-alive A/B: same workload, fresh connection per request vs
+    # one connection per on-burst. Runs against a pool with one worker
+    # per client — a persistent connection pins its worker for the
+    # whole burst, so with fewer workers than clients the A/B would
+    # measure worker starvation, not connection reuse.
+    ka_tier = _ServerProc([
+        sys.executable, "-u", "-m", "repro.serve", "serve",
+        "--db", serve_db, "--port", "0", "--quiet",
+        "--workers", str(_KA_CLIENTS),
+    ])
+    try:
+        ka_off = _measure(
+            ka_tier.base_url, _KA_CLIENTS, collect_server_cache=False
+        )
+        ka_on = _measure(
+            ka_tier.base_url, _KA_CLIENTS, collect_server_cache=False,
+            keep_alive=True,
+        )
+    finally:
+        ka_tier.stop()
+
+    keep_alive = {
+        "clients": _KA_CLIENTS,
+        "workers": _KA_CLIENTS,
+        "per_request_connections": ka_off,
+        "keep_alive_connections": ka_on,
+        "rps_delta": round(
+            ka_on["requests_per_s"] / ka_off["requests_per_s"], 3
+        ) if ka_off["requests_per_s"] else None,
+        # On a single-core box rps is CPU-bound either way; the connect
+        # round-trip keep-alive removes shows up in p50 instead.
+        "p50_speedup": round(
+            ka_off["latency_ms"]["p50"] / ka_on["latency_ms"]["p50"], 2
+        ) if ka_on["latency_ms"]["p50"] else None,
+    }
     summary = {
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
@@ -171,6 +213,7 @@ def test_bench_serve_vs_legacy(serve_db):
             "revalidate": True, "seed": _SEED,
         },
         "levels": levels,
+        "keep_alive": keep_alive,
     }
     _RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
 
@@ -190,3 +233,7 @@ def test_bench_serve_vs_legacy(serve_db):
     for level in levels:
         if level["clients"] >= 64:
             assert level["speedup_rps"] >= 5.0, level
+    # Both halves of the keep-alive A/B served real traffic cleanly.
+    for half in (ka_off, ka_on):
+        assert half["requests"] > 0
+        assert half["status"]["errors"] <= half["requests"] * 0.02 + 5

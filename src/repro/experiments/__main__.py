@@ -45,7 +45,10 @@ def _sweep_main(argv) -> int:
         "--seeds", type=_parse_seeds, required=True, metavar="A..B|A,B,C",
         help="seed range (inclusive) or comma list",
     )
-    parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
+    parser.add_argument(
+        "--scenario", default="paper",
+        choices=["paper", "paper-10x", "small"],
+    )
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
@@ -105,7 +108,10 @@ def main(argv=None) -> int:
         "--list", action="store_true",
         help="list registered figures/tables with descriptions and exit",
     )
-    parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
+    parser.add_argument(
+        "--scenario", default="paper",
+        choices=["paper", "paper-10x", "small"],
+    )
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -246,6 +252,11 @@ def main(argv=None) -> int:
             "day_loop_phases": result.day_loop_timings,
             "experiments": timings,
             "experiments_wall_s": experiments_wall_s,
+            # High-water-mark RSS: this process, plus the max over
+            # reaped shard/farm workers when any ran.
+            "memory": {
+                "peak_rss_bytes": obs.peak_rss_bytes(children=True),
+            },
         }
         out_dir = Path(args.export) if args.export else Path(".")
         out_dir.mkdir(parents=True, exist_ok=True)

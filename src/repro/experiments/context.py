@@ -39,6 +39,7 @@ from repro.experiments import snapshot
 from repro.simulation import (
     SimulationEngine,
     SimulationResult,
+    paper_10x_scenario,
     paper_scenario,
     small_scenario,
 )
@@ -55,6 +56,7 @@ _STORES: Dict[Tuple[str, int], EtlStore] = {}
 
 _BUILDERS = {
     "paper": paper_scenario,
+    "paper-10x": paper_10x_scenario,
     "small": small_scenario,
 }
 

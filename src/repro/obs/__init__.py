@@ -37,6 +37,7 @@ from repro.obs.registry import (
     enabled,
     gauge,
     observe,
+    peak_rss_bytes,
     reset,
     set_enabled,
     snapshot,
@@ -68,6 +69,7 @@ __all__ = [
     "enabled",
     "gauge",
     "observe",
+    "peak_rss_bytes",
     "reset",
     "set_enabled",
     "snapshot",

@@ -54,6 +54,7 @@ __all__ = [
     "enabled",
     "gauge",
     "observe",
+    "peak_rss_bytes",
     "reset",
     "set_enabled",
     "snapshot",
@@ -328,3 +329,30 @@ def set_enabled(flag: bool) -> None:
 def enabled() -> bool:
     """Whether the process registry is recording."""
     return REGISTRY.enabled
+
+
+def peak_rss_bytes(children: bool = False) -> int:
+    """High-water-mark resident set size of this process, in bytes.
+
+    Reads ``getrusage`` — ``ru_maxrss`` is kilobytes on Linux, bytes on
+    macOS — and records the value as the ``process.peak_rss_bytes``
+    gauge as a side effect, so any snapshot/Prometheus export taken
+    afterwards carries it. With ``children=True`` the maximum over
+    reaped child processes (shard/farm workers) is folded in. Returns 0
+    on platforms without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    import sys
+
+    unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    if children:
+        peak = max(
+            peak,
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit,
+        )
+    gauge("process.peak_rss_bytes", float(peak))
+    return int(peak)

@@ -26,36 +26,37 @@ __all__ = ["DEFAULT_COST_S", "longest_first", "task_cost"]
 #: ``per_experiment_wall_s`` on the recording host. Relative order is
 #: what matters; absolute values just make the table auditable.
 EXPERIMENT_COST_S = {
-    "s8_1": 18.01,
-    "fig12": 0.8952,
-    "fig15": 0.3765,
-    "fig13": 0.1091,
-    "s7_1": 0.0656,
-    "fig03": 0.026,
-    "fig08": 0.0127,
-    "fig10": 0.0127,
-    "s7_2": 0.0108,
-    "fig11": 0.0101,
-    "fig09": 0.0092,
-    "fig06": 0.0084,
-    "fig04": 0.008,
-    "fig07": 0.0076,
-    "fig05": 0.0044,
-    "s9_1": 0.0032,
-    "fig02": 0.003,
-    "fig14": 0.0025,
-    "table1": 0.0025,
-    "headline_s3": 0.0022,
-    "s4_3": 0.001,
+    "s8_1": 20.1226,
+    "fig12": 1.1006,
+    "fig15": 0.451,
+    "fig13": 0.1938,
+    "s7_1": 0.0944,
+    "fig03": 0.0247,
+    "fig08": 0.0222,
+    "fig09": 0.012,
+    "s7_2": 0.0109,
+    "fig10": 0.0103,
+    "fig04": 0.0101,
+    "fig06": 0.0098,
+    "fig11": 0.0098,
+    "fig07": 0.0089,
+    "fig05": 0.0054,
+    "s9_1": 0.0036,
+    "table1": 0.0029,
+    "fig02": 0.002,
+    "headline_s3": 0.002,
+    "fig14": 0.0017,
+    "s4_3": 0.0008,
 }
 
-#: Per-unit walls for decomposable experiments. The §8.1 units split the
-#: experiment's wall in proportion to simulated hours (24 + 3×8).
+#: Per-unit walls for decomposable experiments, from the benchmark's
+#: ``s8_1_unit_wall_s``. The May unit (24 simulated hours) costs roughly
+#: three September units (8 hours each), as the hour split predicts.
 UNIT_COST_S = {
-    ("s8_1", "may"): 9.0,
-    ("s8_1", "sept-0"): 3.0,
-    ("s8_1", "sept-1"): 3.0,
-    ("s8_1", "sept-2"): 3.0,
+    ("s8_1", "may"): 9.1808,
+    ("s8_1", "sept-0"): 3.3338,
+    ("s8_1", "sept-1"): 3.2631,
+    ("s8_1", "sept-2"): 3.3163,
 }
 
 #: Experiments absent from the table (new figures, test doubles) are

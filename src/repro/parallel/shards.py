@@ -71,6 +71,19 @@ def _handle_poc_finish(payload: Tuple) -> List[Tuple[int, Any]]:
     ]
 
 
+def _handle_traffic_finish(payload: Tuple) -> List[Tuple[int, Any]]:
+    """Finish a chunk of planned state channels (transaction assembly
+    only — the plan half consumed every draw on the leader); tag the
+    open/close pairs with their channel indices for an in-order merge."""
+    from repro.simulation.phases.traffic import finish_channel
+
+    plans, indices = payload
+    return [
+        (index, finish_channel(plan))
+        for index, plan in zip(indices, plans)
+    ]
+
+
 #: Per-worker-process memo of rehydrated results keyed by snapshot dir —
 #: a worker pays the snapshot load once however many units it draws.
 _RESULT_MEMO: Dict[str, Any] = {}
@@ -99,6 +112,39 @@ def _handle_s8_unit(payload: Tuple) -> Any:
     return run_unit(_shard_result(snapshot_dir), unit)
 
 
+#: Per-worker memo of unpickled coverage models keyed by (path, digest):
+#: one scatter ships the model file once and every chunk a worker draws
+#: reuses the loaded object. Bounded: a process only ever sees a
+#: handful of models (one per figure-12 variant).
+_COVERAGE_MEMO: Dict[Tuple[str, str], Any] = {}
+_COVERAGE_MEMO_CAP = 8
+
+
+def _handle_coverage_chunk(payload: Tuple) -> Tuple[Any, Any]:
+    """Resolve shape ownership for one chunk of Monte-Carlo sample
+    points. ``first_covering_many`` is pure per point (lowest-index
+    covering shape), so chunk boundaries cannot change any answer —
+    the parent merges by the returned index array."""
+    import hashlib
+    import pickle
+
+    path, sha, lats, lons, indices = payload
+    model = _COVERAGE_MEMO.get((path, sha))
+    if model is None:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != sha:
+            raise SimulationError(
+                f"coverage model payload digest mismatch for {path}"
+            )
+        model = pickle.loads(blob)
+        if len(_COVERAGE_MEMO) >= _COVERAGE_MEMO_CAP:
+            _COVERAGE_MEMO.pop(next(iter(_COVERAGE_MEMO)))
+        _COVERAGE_MEMO[(path, sha)] = model
+    return indices, model.first_covering_many(lats, lons)
+
+
 def _handle_echo(payload: Any) -> Any:
     """Round-trip a payload unchanged (pool plumbing tests)."""
     return payload
@@ -106,7 +152,9 @@ def _handle_echo(payload: Any) -> Any:
 
 _HANDLERS: Dict[str, Callable[[Any], Any]] = {
     "poc_finish": _handle_poc_finish,
+    "traffic_finish": _handle_traffic_finish,
     "s8_unit": _handle_s8_unit,
+    "coverage_chunk": _handle_coverage_chunk,
     "echo": _handle_echo,
 }
 

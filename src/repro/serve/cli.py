@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ingest this scenario first if the store is missing/stale",
     )
     serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument(
+        "--no-keep-alive", action="store_true",
+        help="serve HTTP/1.0 (one request per connection) instead of "
+        "the default HTTP/1.1 keep-alive",
+    )
     serve.add_argument("--quiet", action="store_true")
 
     load = sub.add_parser("load", help="drive a server with zipf traffic")
@@ -97,6 +102,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="do not send If-None-Match (suppresses the 304 fast path)",
     )
     load.add_argument(
+        "--keep-alive", action="store_true",
+        help="reuse each client's connection per burst (HTTP/1.1)",
+    )
+    load.add_argument(
         "--report", metavar="FILE", default=None,
         help="also write the JSON report here",
     )
@@ -118,6 +127,7 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         cache_entries=args.cache_entries,
         cache_ttl_s=args.cache_ttl,
+        keep_alive=not args.no_keep_alive,
         verbose=not args.quiet,
     )
     return 0
@@ -136,6 +146,7 @@ def _cmd_load(args) -> int:
         mean_on_s=args.mean_on,
         mean_off_s=args.mean_off,
         revalidate=not args.no_revalidate,
+        keep_alive=args.keep_alive,
     )
     after = fetch_metrics(args.url).get("counters", {})
     summary = report.summary()

@@ -19,9 +19,14 @@ population of analysts and dashboards hammering a shared replica, where
 
 Implementation: one thread, one ``selectors`` event loop, thousands of
 non-blocking sockets — a thread per simulated client would cap the
-generator far below the server under test. Every request opens a fresh
-connection (HTTP/1.0 semantics, identical treatment for both servers)
-and measures connect-to-close latency, which is what a user sees.
+generator far below the server under test. In the default HTTP/1.0
+mode every request opens a fresh connection and measures
+connect-to-close latency, which is what a cold user sees. With
+``keep_alive=True`` each client speaks HTTP/1.1 and reuses its
+connection for every request in an on-burst (responses framed by
+``Content-Length``), tearing it down when the burst ends — the way a
+browser actually behaves — and a request sent on a connection the
+server idled out is retried once on a fresh one.
 
 ``run_load`` returns a :class:`LoadReport`; the CLI (``python -m
 repro.serve load``) and ``benchmarks/bench_serve.py`` both build on it.
@@ -174,7 +179,7 @@ class _Client:
 
     __slots__ = (
         "index", "rng", "etags", "state", "sock", "sendbuf", "recvbuf",
-        "started", "path", "on_until",
+        "started", "path", "on_until", "reused",
     )
 
     def __init__(self, index: int, seed: int) -> None:
@@ -188,6 +193,9 @@ class _Client:
         self.started = 0.0
         self.path = ""
         self.on_until = 0.0
+        #: This request went out on a reused keep-alive connection (so
+        #: a dead socket means "idled out", retried fresh, not an error).
+        self.reused = False
 
 
 class _Loop:
@@ -205,6 +213,7 @@ class _Loop:
         mean_off_s: float,
         revalidate: bool,
         rst_close: bool,
+        keep_alive: bool,
     ) -> None:
         self.host = host
         self.port = port
@@ -212,6 +221,7 @@ class _Loop:
         self.duration_s = duration_s
         self.revalidate = revalidate
         self.rst_close = rst_close
+        self.keep_alive = keep_alive
         self.mean_on_s = mean_on_s
         self.mean_off_s = mean_off_s
         self.selector = selectors.DefaultSelector()
@@ -224,7 +234,11 @@ class _Loop:
     def _schedule(self, client: _Client, now: float) -> None:
         """Move a client into its next on-period (maybe after an off)."""
         if now >= client.on_until:
-            # Burst over: draw an off gap, then a fresh on-period.
+            # Burst over: draw an off gap, then a fresh on-period. A
+            # keep-alive connection is torn down here — holding a
+            # server worker through the idle gap would model a leak,
+            # not a browser.
+            self._teardown(client)
             off = client.rng.expovariate(1.0 / self.mean_off_s)
             client.on_until = now + off + client.rng.expovariate(
                 1.0 / self.mean_on_s
@@ -235,23 +249,44 @@ class _Loop:
 
     def _start_request(self, client: _Client, now: float) -> None:
         client.path = self.paths.sample(client.rng)
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setblocking(False)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        client.sock = sock
         client.started = now
+        self._send_request(client, now)
+
+    def _send_request(self, client: _Client, now: float) -> None:
         client.recvbuf = b""
-        headers = f"GET {client.path} HTTP/1.0\r\nHost: {self.host}\r\n"
+        version = "HTTP/1.1" if self.keep_alive else "HTTP/1.0"
+        headers = f"GET {client.path} {version}\r\nHost: {self.host}\r\n"
         etag = self.revalidate and client.etags.get(client.path)
         if etag:
             headers += f"If-None-Match: {etag}\r\n"
         client.sendbuf = (headers + "\r\n").encode("ascii")
+        if self.keep_alive and client.sock is not None:
+            # Reuse the burst's connection; a send/read on a socket the
+            # server already idled out is retried once on a fresh one.
+            client.reused = True
+            client.state = _SENDING
+            self.selector.register(
+                client.sock, selectors.EVENT_WRITE, client
+            )
+            return
+        client.reused = False
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client.sock = sock
         code = sock.connect_ex((self.host, self.port))
         if code not in (0, errno.EINPROGRESS, errno.EWOULDBLOCK):
             self._finish_error(client, now)
             return
         client.state = _CONNECTING
         self.selector.register(sock, selectors.EVENT_WRITE, client)
+
+    def _retry_fresh(self, client: _Client, now: float) -> None:
+        """The reused connection was dead (server idle timeout): replay
+        this request once on a new socket, keeping the original start
+        time so the latency sample stays honest."""
+        self._teardown(client)
+        self._send_request(client, now)
 
     def _on_writable(self, client: _Client, now: float) -> None:
         sock = client.sock
@@ -272,21 +307,54 @@ class _Loop:
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
-            self._finish_error(client, now)
+            if client.reused:
+                self._retry_fresh(client, now)
+            else:
+                self._finish_error(client, now)
 
     def _on_readable(self, client: _Client, now: float) -> None:
         sock = client.sock
         try:
             while True:
                 chunk = sock.recv(65536)
-                if not chunk:  # EOF: HTTP/1.0 server closed → complete
-                    self._finish_response(client, now)
+                if not chunk:  # EOF
+                    if not self.keep_alive:
+                        # HTTP/1.0: close *is* the framing → complete.
+                        self._finish_response(client, now)
+                    elif client.reused and not client.recvbuf:
+                        self._retry_fresh(client, now)
+                    elif client.recvbuf:
+                        # Server closed after the response (e.g. a shed
+                        # 503 or Connection: close).
+                        self._finish_response(client, now)
+                    else:
+                        self._finish_error(client, now)
                     return
                 client.recvbuf += chunk
+                if self.keep_alive and self._maybe_complete(client, now):
+                    return
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
-            self._finish_error(client, now)
+            if client.reused and not client.recvbuf:
+                self._retry_fresh(client, now)
+            else:
+                self._finish_error(client, now)
+
+    def _maybe_complete(self, client: _Client, now: float) -> bool:
+        """Content-Length framing for keep-alive mode: finish as soon
+        as the full response is buffered, leaving the connection open
+        unless the server asked to close it."""
+        raw = client.recvbuf
+        head_end = raw.find(b"\r\n\r\n")
+        if head_end < 0:
+            return False
+        length = _content_length(raw, head_end)
+        if length is None or len(raw) < head_end + 4 + length:
+            return False
+        keep = b"\r\nconnection: close" not in raw[:head_end].lower()
+        self._finish_response(client, now, keep=keep)
+        return True
 
     # -- completion --------------------------------------------------------
 
@@ -319,10 +387,22 @@ class _Loop:
         # the generator into a connect flood, not a workload.
         heapq.heappush(self.sleepers, (now + 0.05, client.index))
 
-    def _finish_response(self, client: _Client, now: float) -> None:
-        self._teardown(client)
+    def _finish_response(
+        self, client: _Client, now: float, keep: bool = False
+    ) -> None:
+        if keep and client.sock is not None:
+            # Keep-alive: the connection outlives the request — just
+            # quiesce it until the next request in this burst.
+            try:
+                self.selector.unregister(client.sock)
+            except (KeyError, ValueError):
+                pass
+            client.state = -1
+        else:
+            self._teardown(client)
         report = self.report
         raw = client.recvbuf
+        client.recvbuf = b""
         report.bytes_read += len(raw)
         status, etag = _parse_response(raw)
         if status is None:
@@ -392,8 +472,23 @@ class _Loop:
         return self.report
 
 
+def _content_length(raw: bytes, head_end: int) -> Optional[int]:
+    """``Content-Length`` from a buffered response head, or ``None``."""
+    head = raw[:head_end].lower()
+    marker = head.find(b"\r\ncontent-length:")
+    if marker < 0:
+        return None
+    line_end = head.find(b"\r\n", marker + 2)
+    if line_end < 0:
+        line_end = head_end
+    try:
+        return int(head[marker + 17:line_end].strip())
+    except ValueError:
+        return None
+
+
 def _parse_response(raw: bytes) -> Tuple[Optional[int], Optional[str]]:
-    """``(status, etag)`` from a raw HTTP/1.0 response, cheaply."""
+    """``(status, etag)`` from a raw HTTP response, cheaply."""
     if not raw.startswith(b"HTTP/"):
         return None, None
     try:
@@ -421,6 +516,7 @@ def run_load(
     paths: Optional[List[str]] = None,
     revalidate: bool = True,
     rst_close: bool = True,
+    keep_alive: bool = False,
 ) -> LoadReport:
     """Drive a server with zipf/bursty traffic; returns the report.
 
@@ -435,6 +531,9 @@ def run_load(
             server when omitted.
         revalidate: replay remembered ETags as ``If-None-Match``.
         rst_close: close sockets with RST to avoid TIME_WAIT pileup.
+        keep_alive: speak HTTP/1.1 and reuse each client's connection
+            for the whole on-burst (requires a server that frames with
+            ``Content-Length``, which both tiers do).
     """
     parsed = urlparse(base_url)
     host = parsed.hostname or "127.0.0.1"
@@ -445,5 +544,6 @@ def run_load(
         clients=clients, duration_s=duration_s, seed=seed,
         mean_on_s=mean_on_s, mean_off_s=mean_off_s,
         revalidate=revalidate, rst_close=rst_close,
+        keep_alive=keep_alive,
     )
     return loop.run()

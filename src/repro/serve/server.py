@@ -130,10 +130,26 @@ def _canonical(parts: List[str], params: Dict[str, List[str]]) -> str:
 
 
 class ServeHandler(BaseHTTPRequestHandler):
-    """One HTTP request, executed on a pool worker's replica."""
+    """One connection's requests, executed on a pool worker's replica.
+
+    With keep-alive on (the default) the handler speaks HTTP/1.1:
+    every response carries ``Content-Length``, so the base class's
+    request loop serves any number of requests over one connection,
+    and an idle socket is reclaimed after ``keepalive_idle_s`` (the
+    read timeout trips, ``close_connection`` is set, and the worker
+    moves on). HTTP/1.0 clients are unaffected — their connections
+    close per request exactly as before.
+    """
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.0"
+
+    def setup(self) -> None:
+        server: "ServeServer" = self.server  # type: ignore[assignment]
+        if server.keep_alive:
+            self.protocol_version = "HTTP/1.1"
+            self.timeout = server.keepalive_idle_s
+        super().setup()
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:  # type: ignore[attr-defined]
@@ -502,6 +518,8 @@ class ServeServer(HTTPServer):
         cache_entries: int = 1024,
         cache_ttl_s: float = 30.0,
         retry_after_s: int = 1,
+        keep_alive: bool = True,
+        keepalive_idle_s: float = 5.0,
         verbose: bool = False,
         test_routes: bool = False,
     ) -> None:
@@ -510,6 +528,11 @@ class ServeServer(HTTPServer):
         self.workers = int(workers) if workers else default_workers()
         self.queue_depth = int(queue_depth)
         self.retry_after_s = int(retry_after_s)
+        # Persistent connections hold their worker between requests, so
+        # the idle timeout is what bounds how long a quiet client can
+        # park in the pool.
+        self.keep_alive = bool(keep_alive)
+        self.keepalive_idle_s = float(keepalive_idle_s)
         self.verbose = verbose
         self.test_routes = test_routes
         self.cache = ResponseCache(
@@ -654,6 +677,8 @@ def create_server(
     queue_depth: int = 128,
     cache_entries: int = 1024,
     cache_ttl_s: float = 30.0,
+    keep_alive: bool = True,
+    keepalive_idle_s: float = 5.0,
     verbose: bool = False,
     test_routes: bool = False,
 ) -> ServeServer:
@@ -672,6 +697,8 @@ def create_server(
         queue_depth=queue_depth,
         cache_entries=cache_entries,
         cache_ttl_s=cache_ttl_s,
+        keep_alive=keep_alive,
+        keepalive_idle_s=keepalive_idle_s,
         verbose=verbose,
         test_routes=test_routes,
     )
@@ -685,6 +712,7 @@ def serve(
     queue_depth: int = 128,
     cache_entries: int = 1024,
     cache_ttl_s: float = 30.0,
+    keep_alive: bool = True,
     verbose: bool = True,
 ) -> None:
     """Serve until SIGTERM/SIGINT, then drain gracefully.
@@ -699,7 +727,7 @@ def serve(
     server = create_server(
         db_path, host=host, port=port, workers=workers,
         queue_depth=queue_depth, cache_entries=cache_entries,
-        cache_ttl_s=cache_ttl_s, verbose=verbose,
+        cache_ttl_s=cache_ttl_s, keep_alive=keep_alive, verbose=verbose,
     )
     bound_host, bound_port = server.server_address[:2]
     print(

@@ -17,7 +17,18 @@ import sys
 import time
 
 from repro.chain.serialize import dump_chain
-from repro.simulation import SimulationEngine, paper_scenario, small_scenario
+from repro.simulation import (
+    SimulationEngine,
+    paper_10x_scenario,
+    paper_scenario,
+    small_scenario,
+)
+
+_SCENARIOS = {
+    "paper": paper_scenario,
+    "paper-10x": paper_10x_scenario,
+    "small": small_scenario,
+}
 
 
 def main(argv=None) -> int:
@@ -25,7 +36,9 @@ def main(argv=None) -> int:
         prog="python -m repro.simulation",
         description="Generate a synthetic Helium blockchain.",
     )
-    parser.add_argument("--scenario", default="paper", choices=["paper", "small"])
+    parser.add_argument(
+        "--scenario", default="paper", choices=sorted(_SCENARIOS)
+    )
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--dump", metavar="FILE", default=None,
                         help="write the chain as JSONL")
@@ -68,8 +81,7 @@ def main(argv=None) -> int:
         print(f"resuming from {args.resume} at day {engine.state.day} "
               f"(seed {config.seed}, {config.n_days} days total)...")
     else:
-        builder = paper_scenario if args.scenario == "paper" else small_scenario
-        config = builder(seed=args.seed)
+        config = _SCENARIOS[args.scenario](seed=args.seed)
         print(f"building {args.scenario} scenario "
               f"({config.target_hotspots} hotspots, {config.n_days} days)...")
         engine = SimulationEngine(config)
@@ -101,6 +113,11 @@ def main(argv=None) -> int:
     print(f"  txns:     {chain.total_transactions:,} "
           f"({counts.get('poc_receipts', 0):,} PoC receipts)")
     print(f"  relayed:  {result.peerbook.relayed_fraction():.1%} of peers")
+    from repro import obs
+
+    peak_rss = obs.peak_rss_bytes(children=args.shard_workers > 0)
+    if peak_rss:
+        print(f"  peak RSS: {peak_rss / 1e9:.2f} GB")
 
     if args.dump:
         lines = dump_chain(chain, args.dump)

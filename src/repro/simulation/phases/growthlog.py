@@ -14,27 +14,19 @@ class LogPhase(Phase):
     name = "log"
 
     def run_day(self, state: WorldState, day: int) -> None:
-        # Counted from the fleet arrays the online phase refreshed
+        # Counted from the fleet columns the online phase stamped
         # earlier the same day (and the moves phase keeps in_us
-        # current), so no per-hotspot Python walk is needed.
-        flags = state.fleet_online
-        if len(flags) != len(state.fleet_hotspots):
-            # The availability path was swapped out (reference twin in
-            # an equivalence test); fall back to the authoritative
-            # per-object state the twin does maintain.
-            flags = np.fromiter(
-                (hotspot.online for hotspot in state.fleet_hotspots),
-                dtype=bool,
-                count=len(state.fleet_hotspots),
-            )
+        # current). online_mask falls back to the authoritative
+        # per-object flags when the availability path was swapped for
+        # its reference twin, which only writes objects.
+        cols = state.fleet
+        flags = cols.online_mask(day)
         online = int(np.count_nonzero(flags))
-        online_us = int(np.count_nonzero(
-            flags & np.asarray(state.fleet_in_us, dtype=bool)
-        ))
+        online_us = int(np.count_nonzero(flags & cols.in_us))
         state.growth_log.append(GrowthLogRow(
             day=day,
             added_today=state.added_today,
-            connected=len(state.fleet_hotspots),
+            connected=cols.n,
             online=online,
             online_us=online_us,
             online_international=online - online_us,

@@ -72,7 +72,8 @@ class MovesPhase(Phase):
                 and move.kind == "long"
             )
             state.world.relocate(hotspot, target, new_city)
-            state.fleet_in_us[state.fleet_index[gateway]] = hotspot.in_us
+            slot = state.fleet.index[gateway]
+            state.fleet.relocate(slot, hotspot)
             if hotspot.antenna_gain_dbi <= 2.0:
                 hotspot.environment = environment_for_city(
                     new_city.population,
@@ -103,6 +104,7 @@ class MovesPhase(Phase):
             hotspot.move_days.append(day)
             if participant is not None:
                 participant.asserted_location = asserted
+                state.fleet.reassert(slot)
             block = day * _BLOCKS_PER_DAY + int(
                 (move.day - int(move.day)) * _BLOCKS_PER_DAY
             )

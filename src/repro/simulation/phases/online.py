@@ -11,41 +11,36 @@ __all__ = ["OnlinePhase", "update_online"]
 
 
 def update_online(state: WorldState, day: int) -> None:
-    """Daily availability flip, fully vectorised.
+    """Daily availability flip over the fleet columns.
 
     One batched roll over the fleet (identical stream consumption to
     the per-gateway loop it replaced: same count, same deployment
-    order), one array compare against the uptime thresholds, and
-    Python-level writes only where the state actually changed —
-    unchanged hotspots already hold the target value, so skipping
-    them is bit-identical by construction.
+    order), one array compare against the contiguous uptime column —
+    no per-day list materialisation — and Python-level writes only
+    where the state actually changed: unchanged hotspots already hold
+    the target value, so skipping them is bit-identical by
+    construction. New deploys append with ``online=True`` (the
+    SimHotspot/PocParticipant constructor default), so the column is
+    always fleet-length and needs no padding.
     """
     rng = state.hub.stream("uptime")
-    n = len(state.fleet_hotspots)
+    cols = state.fleet
+    n = cols.n
     if n == 0:
         return
     rolls = rng.random(n)
-    flags = rolls < np.asarray(state.fleet_uptime)
-    previous = state.fleet_online
-    if len(previous) < n:
-        # Hotspots deployed since the last update start online (the
-        # SimHotspot/PocParticipant constructor default), so a True
-        # baseline makes "changed" mean "needs a write".
-        previous = np.concatenate(
-            [previous, np.ones(n - len(previous), dtype=bool)]
-        )
-    hotspots = state.fleet_hotspots
-    participants = state.fleet_participants
-    for i in np.flatnonzero(flags != previous).tolist():
+    flags = rolls < cols.uptime
+    hotspots = cols.hotspots
+    participants = cols.participants
+    for i in np.flatnonzero(flags != cols.online).tolist():
         online = bool(flags[i])
         hotspots[i].online = online
         participant = participants[i]
         if participant is not None:
             participant.online = online
-    state.fleet_online = flags
-    state.fleet_poc_online = flags & np.asarray(
-        state.fleet_is_poc, dtype=bool
-    )
+    cols.online[:] = flags
+    np.logical_and(flags, cols.is_poc, out=cols.poc_online)
+    cols.online_day = day
 
 
 class OnlinePhase(Phase):

@@ -21,11 +21,11 @@ __all__ = ["PoCPhase", "candidates_for"]
 
 _BLOCKS_PER_DAY = units.BLOCKS_PER_DAY
 
-#: Hex resolution of the geographic shard key. Challenges are grouped by
-#: the challengee's res-4 parent cell (~1700 km² regions) before being
-#: split into contiguous worker chunks, so one worker's chunk shares
-#: witnesses — and therefore cell-encode memo hits — with itself.
-_REGION_RESOLUTION = 4
+# The geographic shard key (challengee's res-4 parent cell, ~1700 km²
+# regions) is now a fleet column maintained on deploy and re-assert
+# (state.SHARD_REGION_RESOLUTION); challenges grouped by it before
+# being split into contiguous worker chunks share witnesses — and
+# therefore cell-encode memo hits — within a chunk.
 
 
 def candidates_for(
@@ -50,15 +50,16 @@ def candidates_for(
     # sorted order plus a [:cap] slice replaces the old Python
     # nearest-first walk — same candidates, no per-element branching.
     cap = state.config.max_witness_candidates
-    fleet_index = state.fleet_index
+    cols = state.fleet
+    fleet_index = cols.index
     idx = np.fromiter(
         (fleet_index[hotspot.gateway] for _, hotspot in nearby),
         dtype=np.intp,
         count=len(nearby),
     )
     order = np.argsort(distances, kind="stable")
-    keep = order[state.fleet_poc_online[idx[order]]][:cap]
-    participants_by_slot = state.fleet_participants
+    keep = order[cols.poc_online[idx[order]]][:cap]
+    participants_by_slot = cols.participants
     kept: List[PocParticipant] = [
         participants_by_slot[int(slot)] for slot in idx[keep]
     ]
@@ -151,11 +152,12 @@ class PoCPhase(Phase):
                 batch.append((block, outcome.receipts))
                 activity.poc_events.append(outcome.event)
             else:
-                region = (
-                    challengee._poc_cell()[1]
-                    .parent(_REGION_RESOLUTION)
-                    .token
-                )
+                # Shard key straight from the fleet's region column
+                # (kept current across re-asserts) — no per-challenge
+                # cell encode.
+                region = state.fleet.regions[
+                    state.fleet.index[challengee.gateway]
+                ]
                 planned.append((block, plan, region))
         if pool is not None and planned:
             self._finish_sharded(state, planned)

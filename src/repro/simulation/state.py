@@ -58,6 +58,7 @@ from repro.economics.oracle import PriceOracle
 from repro.economics.rewards import EpochActivity
 from repro.errors import SimulationError
 from repro.geo.geodesy import LatLon
+from repro.geo.hexgrid import HexGrid
 from repro.poc.challenge import PocParticipant
 from repro.poc.cheats import GossipClique
 from repro.poc.validity import WitnessValidityChecker
@@ -72,6 +73,8 @@ from repro.simulation.world import SimHotspot, World
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
+    "SHARD_REGION_RESOLUTION",
+    "FleetColumns",
     "GrowthLogRow",
     "WorldState",
 ]
@@ -80,7 +83,17 @@ __all__ = [
 #: the snapshot ``SCHEMA_VERSION``: checkpoints are a superset format
 #: with their own compatibility story (finished-result snapshots remain
 #: byte-identical across this refactor, so the snapshot version stays).
-CHECKPOINT_SCHEMA_VERSION = 1
+#:
+#: v2: per-hotspot uptime moved from the hotspot payloads into a
+#: columnar top-level ``fleet`` section, and the ``ferry_order_stale``
+#: flag dropped (ferry weights are a fleet column whose slot *is* the
+#: deployment position, so the order can no longer go stale).
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Hex resolution of the geographic shard key (~1700 km² regions).
+#: Fleet slots carry their challengee region token so the sharded PoC
+#: and traffic phases can partition work without re-encoding cells.
+SHARD_REGION_RESOLUTION = 4
 
 _CHAIN_FILE = "chain.jsonl"
 _STATE_FILE = "state.json"
@@ -99,6 +112,197 @@ class GrowthLogRow:
     online: int
     online_us: int
     online_international: int
+
+
+def _region_token(participant: Optional[PocParticipant]) -> str:
+    """Res-:data:`SHARD_REGION_RESOLUTION` shard token of a
+    participant's asserted cell ('' for validators, who are never
+    challengees). Rides the participant's ``_poc_cell`` memo, so the
+    encode is free whenever a challenge already touched the assert."""
+    if participant is None:
+        return ""
+    return (
+        participant._poc_cell()[1].parent(SHARD_REGION_RESOLUTION).token
+    )
+
+
+class FleetColumns:
+    """Struct-of-arrays fleet: one slot per deployed hotspot, in
+    deployment order — the order every old per-gateway dict walk used.
+
+    The day loop's per-hotspot scalar reads (uptime thresholds,
+    online/PoC flags, US residency, ferry weights, owner identity,
+    coordinates) live in contiguous numpy arrays with amortised-doubling
+    growth, so a daily phase is one vectorised pass instead of a Python
+    list materialisation. :class:`~repro.simulation.world.SimHotspot`
+    and :class:`~repro.poc.challenge.PocParticipant` objects remain as
+    aligned *views* (``hotspots[slot]`` / ``participants[slot]``) for
+    the chain/transaction boundary, which keeps serialization and the
+    pinned digests unchanged.
+
+    ``online``/``poc_online`` carry a freshness stamp (``online_day``):
+    the columnar availability phase stamps the day it wrote them, and
+    consumers that must agree with the per-object flags even when an
+    equivalence test swaps in the scalar reference twin (which only
+    writes objects) fall back through :meth:`online_mask`.
+    """
+
+    __slots__ = (
+        "n", "_capacity",
+        "_lat", "_lon", "_uptime", "_ferry_weight",
+        "_online", "_poc_online", "_is_poc", "_in_us",
+        "_deploy_day", "_owner_index",
+        "hotspots", "participants", "gateways", "regions",
+        "index", "owner_slots", "owner_wallets", "online_day",
+    )
+
+    _GROWABLE = (
+        ("_lat", np.float64), ("_lon", np.float64),
+        ("_uptime", np.float64), ("_ferry_weight", np.float64),
+        ("_online", bool), ("_poc_online", bool),
+        ("_is_poc", bool), ("_in_us", bool),
+        ("_deploy_day", np.int32), ("_owner_index", np.int32),
+    )
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.n = 0
+        self._capacity = max(int(capacity), 1)
+        for name, dtype in self._GROWABLE:
+            setattr(self, name, np.zeros(self._capacity, dtype=dtype))
+        self.hotspots: List[SimHotspot] = []
+        self.participants: List[Optional[PocParticipant]] = []
+        self.gateways: List[Address] = []
+        self.regions: List[str] = []
+        self.index: Dict[Address, int] = {}
+        self.owner_slots: Dict[Address, int] = {}
+        self.owner_wallets: List[Address] = []
+        #: Day for which the columnar availability phase last wrote the
+        #: online columns; ``-1`` = never (trust the objects instead).
+        self.online_day = -1
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- column views (live slices; writes go through) ----------------------
+
+    @property
+    def lat(self) -> np.ndarray:
+        return self._lat[: self.n]
+
+    @property
+    def lon(self) -> np.ndarray:
+        return self._lon[: self.n]
+
+    @property
+    def uptime(self) -> np.ndarray:
+        return self._uptime[: self.n]
+
+    @property
+    def ferry_weight(self) -> np.ndarray:
+        return self._ferry_weight[: self.n]
+
+    @property
+    def online(self) -> np.ndarray:
+        return self._online[: self.n]
+
+    @property
+    def poc_online(self) -> np.ndarray:
+        return self._poc_online[: self.n]
+
+    @property
+    def is_poc(self) -> np.ndarray:
+        return self._is_poc[: self.n]
+
+    @property
+    def in_us(self) -> np.ndarray:
+        return self._in_us[: self.n]
+
+    @property
+    def deploy_day(self) -> np.ndarray:
+        return self._deploy_day[: self.n]
+
+    @property
+    def owner_index(self) -> np.ndarray:
+        return self._owner_index[: self.n]
+
+    # -- growth -------------------------------------------------------------
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for name, _ in self._GROWABLE:
+            array = getattr(self, name)
+            grown = np.zeros(self._capacity, dtype=array.dtype)
+            grown[: self.n] = array[: self.n]
+            setattr(self, name, grown)
+
+    def owner_id(self, wallet: Address) -> int:
+        """Dense id of ``wallet`` (assigned at first fleet appearance)."""
+        slot = self.owner_slots.get(wallet)
+        if slot is None:
+            slot = len(self.owner_wallets)
+            self.owner_slots[wallet] = slot
+            self.owner_wallets.append(wallet)
+        return slot
+
+    def append(
+        self,
+        hotspot: SimHotspot,
+        participant: Optional[PocParticipant],
+        uptime: float,
+        ferry_weight: float,
+    ) -> int:
+        """Append one deployed hotspot; returns its slot."""
+        slot = self.n
+        if slot == self._capacity:
+            self._grow()
+        self.n = slot + 1
+        location = hotspot.actual_location
+        self._lat[slot] = location.lat
+        self._lon[slot] = location.lon
+        self._uptime[slot] = uptime
+        self._ferry_weight[slot] = ferry_weight
+        self._online[slot] = hotspot.online
+        self._is_poc[slot] = participant is not None
+        self._poc_online[slot] = hotspot.online and participant is not None
+        self._in_us[slot] = hotspot.in_us
+        self._deploy_day[slot] = hotspot.added_day
+        self._owner_index[slot] = self.owner_id(hotspot.owner)
+        self.hotspots.append(hotspot)
+        self.participants.append(participant)
+        self.gateways.append(hotspot.gateway)
+        self.regions.append(_region_token(participant))
+        self.index[hotspot.gateway] = slot
+        return slot
+
+    # -- maintenance touch points -------------------------------------------
+
+    def relocate(self, slot: int, hotspot: SimHotspot) -> None:
+        """Refresh the location-derived columns after a physical move
+        (re-asserts refresh the region via :meth:`reassert`)."""
+        location = hotspot.actual_location
+        self._lat[slot] = location.lat
+        self._lon[slot] = location.lon
+        self._in_us[slot] = hotspot.in_us
+
+    def reassert(self, slot: int) -> None:
+        """Refresh the shard-region column after a re-assert."""
+        self.regions[slot] = _region_token(self.participants[slot])
+
+    def set_owner(self, slot: int, wallet: Address) -> None:
+        self._owner_index[slot] = self.owner_id(wallet)
+
+    def online_mask(self, day: int) -> np.ndarray:
+        """The online column when fresh for ``day``; otherwise rebuilt
+        from the authoritative per-object flags (the availability path
+        was swapped for its reference twin, which only writes objects).
+        """
+        if self.online_day == day:
+            return self.online
+        return np.fromiter(
+            (hotspot.online for hotspot in self.hotspots),
+            dtype=bool,
+            count=self.n,
+        )
 
 
 def _sha256_prefix(
@@ -187,33 +391,13 @@ class WorldState:
     participants: Dict[Address, PocParticipant] = field(default_factory=dict)
     uptime: Dict[Address, float] = field(default_factory=dict)
 
-    # Fleet arrays: one slot per deployed hotspot, in deployment order —
-    # the order the old per-gateway dict walks used — so the batched
-    # uptime draw consumes the "uptime" stream identically and
-    # attribution maps keep their deployment-order iteration.
-    fleet_hotspots: List[SimHotspot] = field(default_factory=list)
-    fleet_participants: List[Optional[PocParticipant]] = field(
-        default_factory=list
-    )
-    fleet_uptime: List[float] = field(default_factory=list)
-    fleet_in_us: List[bool] = field(default_factory=list)
-    fleet_is_poc: List[bool] = field(default_factory=list)
-    fleet_index: Dict[Address, int] = field(default_factory=dict)
-    fleet_online: np.ndarray = field(
-        default_factory=lambda: np.zeros(0, dtype=bool)
-    )
-    fleet_poc_online: np.ndarray = field(
-        default_factory=lambda: np.zeros(0, dtype=bool)
-    )
-
-    # Incrementally maintained ferry-weight base: gateway → (hotspot,
-    # weight) for every hotspot that would carry organic data when
-    # online. Maintained on deploy and ownership change; the daily
-    # online filter reads hotspot refs directly.
-    ferry_base: Dict[Address, Tuple[SimHotspot, float]] = field(
-        default_factory=dict
-    )
-    ferry_order_stale: bool = False
+    # Columnar fleet: one slot per deployed hotspot, in deployment
+    # order — the order the old per-gateway dict walks used — so the
+    # batched uptime draw consumes the "uptime" stream identically and
+    # attribution maps keep their deployment-order iteration. The
+    # object lists inside are the view boundary for chain/transaction
+    # code; everything scalar the day loop reads is a numpy column.
+    fleet: FleetColumns = field(default_factory=FleetColumns)
 
     flippers: List[Address] = field(default_factory=list)
     spammers: List[Address] = field(default_factory=list)
@@ -335,16 +519,13 @@ class WorldState:
         participant: Optional[PocParticipant],
         uptime: float,
     ) -> None:
-        """Append one deployed hotspot to the fleet arrays (deployment order)."""
-        self.fleet_index[hotspot.gateway] = len(self.fleet_hotspots)
-        self.fleet_hotspots.append(hotspot)
-        self.fleet_participants.append(participant)
-        self.fleet_uptime.append(uptime)
-        self.fleet_in_us.append(hotspot.in_us)
-        self.fleet_is_poc.append(participant is not None)
+        """Append one deployed hotspot to the fleet columns (deployment
+        order)."""
         base = self.ferry_base_weight(hotspot)
-        if base is not None:
-            self.ferry_base[hotspot.gateway] = (hotspot, base)
+        self.fleet.append(
+            hotspot, participant, uptime,
+            0.0 if base is None else base,
+        )
 
     def ferry_base_weight(self, hotspot: SimHotspot) -> Optional[float]:
         """The weight ``hotspot`` would carry when online, else ``None``."""
@@ -358,33 +539,50 @@ class WorldState:
         return None
 
     def refresh_ferry_entry(self, hotspot: SimHotspot) -> None:
-        """Keep the ferry base map current across an ownership change."""
+        """Keep the ownership-derived columns (ferry weight, owner id)
+        current across an ownership change. The slot is the deployment
+        position, so unlike the old incrementally-maintained dict there
+        is no insertion-order staleness to track."""
+        slot = self.fleet.index[hotspot.gateway]
         base = self.ferry_base_weight(hotspot)
-        current = self.ferry_base.get(hotspot.gateway)
-        if base is None:
-            if current is not None:
-                del self.ferry_base[hotspot.gateway]
-        elif current is not None:
-            if current[1] != base:
-                # In-place value update: dict position (deployment
-                # order) is preserved.
-                self.ferry_base[hotspot.gateway] = (hotspot, base)
-        else:
-            # Re-inserting would append at the wrong position; rebuild
-            # in deployment order on next use so attribution keeps its
-            # stable tie-break. (Unreachable with the current buyer
-            # model — buyers are never commercial — but cheap to keep
-            # correct by construction.)
-            self.ferry_order_stale = True
+        self.fleet.ferry_weight[slot] = 0.0 if base is None else base
+        self.fleet.set_owner(slot, hotspot.owner)
 
-    def rebuild_ferry_base(self) -> None:
-        """Recompute the ferry base map in deployment order."""
-        self.ferry_base = {}
-        for hotspot in self.world.hotspots.values():
-            base = self.ferry_base_weight(hotspot)
-            if base is not None:
-                self.ferry_base[hotspot.gateway] = (hotspot, base)
-        self.ferry_order_stale = False
+    # Back-compat views of the pre-columnar fleet fields: external code
+    # (and older tests) read these names; each is a live view into the
+    # columns.
+
+    @property
+    def fleet_hotspots(self) -> List[SimHotspot]:
+        return self.fleet.hotspots
+
+    @property
+    def fleet_participants(self) -> List[Optional[PocParticipant]]:
+        return self.fleet.participants
+
+    @property
+    def fleet_index(self) -> Dict[Address, int]:
+        return self.fleet.index
+
+    @property
+    def fleet_uptime(self) -> np.ndarray:
+        return self.fleet.uptime
+
+    @property
+    def fleet_in_us(self) -> np.ndarray:
+        return self.fleet.in_us
+
+    @property
+    def fleet_is_poc(self) -> np.ndarray:
+        return self.fleet.is_poc
+
+    @property
+    def fleet_online(self) -> np.ndarray:
+        return self.fleet.online
+
+    @property
+    def fleet_poc_online(self) -> np.ndarray:
+        return self.fleet.poc_online
 
     # -------------------------------------------------------------- save --
 
@@ -429,7 +627,6 @@ class WorldState:
         hotspots = []
         for hotspot in self.world.hotspots.values():
             payload = snap.hotspot_payload(hotspot)
-            payload["uptime"] = self.uptime[hotspot.gateway]
             # null ⇒ indexed under its live position (the common case);
             # coordinates ⇒ the index is stale for this hotspot (moved
             # since the last weekly rebuild).
@@ -490,7 +687,11 @@ class WorldState:
                 for day, entries in sorted(self.transfer_queue.items())
             },
             "channel_seq": self.channel_seq,
-            "ferry_order_stale": self.ferry_order_stale,
+            # v2: columnar fleet scalars that are not derivable from the
+            # hotspot payloads, in deployment order (== payload order).
+            "fleet": {
+                "uptime": self.fleet.uptime.tolist(),
+            },
         }
         # dumps + write, not json.dump: the latter falls back to the
         # chunked pure-Python encoder and is several times slower on
@@ -641,10 +842,19 @@ class WorldState:
 
         directory = Path(directory)
         meta = cls.read_meta(directory)
-        if meta.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        schema = meta.get("schema")
+        if schema != CHECKPOINT_SCHEMA_VERSION:
+            if isinstance(schema, int) and schema < CHECKPOINT_SCHEMA_VERSION:
+                hint = (
+                    "it predates the columnar fleet layout; re-run the "
+                    "simulation to produce a fresh checkpoint"
+                )
+            else:
+                hint = "it was written by a newer build"
             raise SimulationError(
-                f"checkpoint schema {meta.get('schema')!r} != "
-                f"{CHECKPOINT_SCHEMA_VERSION} in {directory}"
+                f"unsupported checkpoint schema {schema!r} in {directory} "
+                f"(this build reads schema {CHECKPOINT_SCHEMA_VERSION}): "
+                f"{hint}"
             )
         chain_blocks = meta.get("chain_blocks")
         chain_bytes = meta.get("chain_bytes")
@@ -757,8 +967,24 @@ class WorldState:
             for cid, city, left in payload["clique_pending"]
         ]
 
-        # Hotspots, participants and fleet arrays, in deployment order.
-        for hotspot_payload in payload["hotspots"]:
+        # Hotspots, participants and fleet columns, in deployment order.
+        # The columnar uptime section is index-aligned with the hotspot
+        # payloads; anything else is a torn or hand-edited checkpoint.
+        fleet_payload = payload.get("fleet")
+        uptime_column = (
+            fleet_payload.get("uptime")
+            if isinstance(fleet_payload, dict) else None
+        )
+        if not isinstance(uptime_column, list) or (
+            len(uptime_column) != len(payload["hotspots"])
+        ):
+            raise SimulationError(
+                f"corrupt checkpoint: fleet uptime column does not match "
+                f"the hotspot payloads in {directory}"
+            )
+        for hotspot_payload, uptime in zip(
+            payload["hotspots"], uptime_column
+        ):
             hotspot = snap.hotspot_from_payload(
                 hotspot_payload, city_by_key, world.isps,
                 state.clique_registry,
@@ -771,9 +997,7 @@ class WorldState:
                     float(index_loc[0]), float(index_loc[1])
                 )
             world.hotspots[hotspot.gateway] = hotspot
-            state.uptime[hotspot.gateway] = float(
-                hotspot_payload["uptime"]
-            )
+            state.uptime[hotspot.gateway] = float(uptime)
             participant = None
             if not hotspot.is_validator:
                 participant = PocParticipant(
@@ -787,19 +1011,13 @@ class WorldState:
                     cheat=hotspot.cheat,
                 )
                 state.participants[hotspot.gateway] = participant
+            # register_fleet appends the columns, including the restored
+            # online flag (hotspot.online round-trips via the payload),
+            # so no post-pass array rebuild is needed.
             state.register_fleet(
                 hotspot, participant, state.uptime[hotspot.gateway]
             )
         world.restore_index()
-        state.fleet_online = np.fromiter(
-            (h.online for h in state.fleet_hotspots),
-            dtype=bool,
-            count=len(state.fleet_hotspots),
-        )
-        state.fleet_poc_online = state.fleet_online & np.asarray(
-            state.fleet_is_poc, dtype=bool
-        )
-        state.ferry_order_stale = bool(payload["ferry_order_stale"])
 
         # Pending schedules.
         state.move_queue = {

@@ -25,6 +25,7 @@ import os
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.experiments.snapshot import result_digest
 from repro.simulation import SimulationEngine, small_scenario
@@ -47,6 +48,14 @@ SMALL_SEED2021_DIGEST = (
 #: (asserted identical across engines and hash seeds when pinned).
 PAPER_SEED2021_DIGEST = (
     "06362053669c000655d2fd886f50039c2318b4599d9896db44279dd48286f6cc"
+)
+#: The 10x scale tier (44k hotspots — the real network's size at the
+#: paper's cutoff), pinned at its CI day cap and at full length.
+PAPER10X_CAPPED120_DIGEST = (
+    "6fd9220bb7f6b3c331f95e75dc4f99cbec3ae915eb2af476306356f131b4f80a"
+)
+PAPER10X_SEED2021_DIGEST = (
+    "cbf5bf2f303b2d27f597fe7c438c6692149e3950cd26c782207cab9163b5be60"
 )
 
 
@@ -78,6 +87,35 @@ class TestPinnedDigests:
 
         result = SimulationEngine(paper_scenario(seed=2021)).run()
         assert result_digest(result) == PAPER_SEED2021_DIGEST
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SCALE_DIGEST"),
+        reason="10x-scale build (~2min); set REPRO_SCALE_DIGEST=1 "
+        "(the CI scale-e2e job does)",
+    )
+    def test_paper10x_capped120_unchanged(self):
+        """The scale tier's first 120 days, digest-pinned, with the
+        columnar layout's memory claim asserted as a hard ceiling."""
+        from repro import obs
+        from repro.simulation import paper_10x_scenario
+
+        config = dataclasses.replace(
+            paper_10x_scenario(seed=2021), n_days=120
+        )
+        result = SimulationEngine(config).run()
+        assert result_digest(result) == PAPER10X_CAPPED120_DIGEST
+        assert len(result.world.hotspots) == 44_000
+        assert obs.peak_rss_bytes() < 4 * 1024**3
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SCALE_DIGEST_FULL"),
+        reason="full 10x-scale build (~5min); set REPRO_SCALE_DIGEST_FULL=1",
+    )
+    def test_paper10x_seed2021_unchanged(self):
+        from repro.simulation import paper_10x_scenario
+
+        result = SimulationEngine(paper_10x_scenario(seed=2021)).run()
+        assert result_digest(result) == PAPER10X_SEED2021_DIGEST
 
 
 class TestReferenceTwins:
@@ -134,6 +172,105 @@ class TestReferenceTwins:
         # tie-breaks equal weights by dict order.
         assert list(fast.items()) == list(ref.items())
         assert len(fast) > 0
+
+
+@pytest.fixture(scope="module")
+def twin_state():
+    """A completed trimmed run whose state the columnar property tests
+    perturb in place (nothing else shares it)."""
+    engine = SimulationEngine(_trimmed_config(seed=11))
+    engine.run()
+    return engine.state
+
+
+class TestColumnarHypothesisTwins:
+    """Hypothesis equivalence: each columnar rewrite against a scalar
+    object-walk oracle, over randomised days and availability flips."""
+
+    @given(day=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_update_online_matches_reference(self, twin_state, day):
+        state = twin_state
+        stream = state.hub.stream("uptime")
+        saved = stream.bit_generator.state
+        update_online(state, day)
+        fast_objects = [h.online for h in state.fleet.hotspots]
+        fast_column = state.fleet.online.tolist()
+        assert state.fleet.online_day == day
+        stream.bit_generator.state = saved
+        reference.update_online_reference(state, day)
+        ref_objects = [h.online for h in state.fleet.hotspots]
+        assert fast_objects == ref_objects
+        assert fast_column == ref_objects
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_ferry_weights_match_reference_under_flips(
+        self, twin_state, seed
+    ):
+        state = twin_state
+        self._flip_online(state, seed, day=3)
+        rng = np.random.default_rng(seed)
+        fast = ferry_weights(state, 3, rng)
+        ref = reference.ferry_weights_reference(state, 3, rng)
+        # Same mapping *and* same insertion order: packet attribution
+        # tie-breaks equal weights by dict order.
+        assert list(fast.items()) == list(ref.items())
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_spam_weights_match_object_walk(self, twin_state, seed):
+        state = twin_state
+        self._flip_online(state, seed, day=5)
+        rng = np.random.default_rng(seed)
+        owners = sorted(state.world.owners)
+        n_spammers = int(rng.integers(0, min(8, len(owners)) + 1))
+        picks = rng.choice(len(owners), size=n_spammers, replace=False)
+        saved_spammers = state.spammers
+        state.spammers = [owners[int(i)] for i in picks]
+        try:
+            fast = TrafficPhase._spam_weights(state, 5)
+            spammer_set = set(state.spammers)
+            ref = {
+                h.gateway: 1.0
+                for h in state.world.hotspots.values()
+                if h.owner in spammer_set and h.online
+            }
+            assert list(fast.items()) == list(ref.items())
+        finally:
+            state.spammers = saved_spammers
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_growth_counts_match_object_walk(self, twin_state, seed):
+        state = twin_state
+        self._flip_online(state, seed, day=7)
+        cols = state.fleet
+        flags = cols.online_mask(7)
+        fast_online = int(np.count_nonzero(flags))
+        fast_us = int(np.count_nonzero(flags & cols.in_us))
+        hotspots = list(state.world.hotspots.values())
+        assert fast_online == sum(1 for h in hotspots if h.online)
+        assert fast_us == sum(
+            1 for h in hotspots if h.online and h.in_us
+        )
+
+    @staticmethod
+    def _flip_online(state, seed: int, day: int) -> None:
+        """Randomise availability coherently across objects and
+        columns, stamping ``day`` — the invariant update_online
+        maintains."""
+        cols = state.fleet
+        flags = np.random.default_rng(seed ^ 0xA5A5).random(cols.n) < 0.5
+        for i, online in enumerate(flags.tolist()):
+            hotspot = cols.hotspots[i]
+            hotspot.online = online
+            participant = cols.participants[i]
+            if participant is not None:
+                participant.online = online
+        cols.online[:] = flags
+        np.logical_and(flags, cols.is_poc, out=cols.poc_online)
+        cols.online_day = day
 
 
 class TestProfileTimings:

@@ -141,6 +141,15 @@ class TestRegistry:
         obs.counter("test.helper")
         assert obs.snapshot()["counters"]["test.helper"] == before + 1
 
+    def test_peak_rss_reads_high_water_mark_and_gauges_it(self):
+        value = obs.peak_rss_bytes()
+        # resource is always available on the platforms CI runs; a
+        # Python process's high-water mark is at least a few MB.
+        assert value > 1024 * 1024
+        assert obs.snapshot()["gauges"]["process.peak_rss_bytes"] == value
+        # Folding in children can only raise the reading.
+        assert obs.peak_rss_bytes(children=True) >= value
+
 
 class TestTrace:
     def test_round_trip(self, tmp_path):

@@ -403,6 +403,130 @@ class TestHttpConformance:
             create_server(str(tmp_path / "absent.db"))
 
 
+# -- keep-alive ------------------------------------------------------------
+
+
+def _recv_response(sock):
+    """One Content-Length-framed response off a raw socket."""
+    raw = b""
+    while b"\r\n\r\n" not in raw:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError(f"EOF before headers: {raw!r}")
+        raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    length = None
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    assert length is not None, head
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("EOF mid-body")
+        body += chunk
+    return head, body
+
+
+class TestKeepAlive:
+    def test_two_requests_on_one_connection(self, live):
+        """HTTP/1.1 default: sequential requests reuse the socket."""
+        import socket
+
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as sock:
+            for _ in range(2):
+                sock.sendall(
+                    b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                head, body = _recv_response(sock)
+                assert head.startswith(b"HTTP/1.1 200")
+                json.loads(body.decode("utf-8"))
+
+    def test_http10_client_still_closes_per_request(self, live):
+        import socket
+
+        with socket.create_connection(
+            (live.host, live.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /stats HTTP/1.0\r\nHost: t\r\n\r\n")
+            head, _ = _recv_response(sock)
+            # The server may answer with its own (higher) version, but
+            # an HTTP/1.0 request must still get one-shot semantics.
+            assert b" 200" in head.split(b"\r\n", 1)[0]
+            assert sock.recv(65536) == b""  # server closed
+
+    def test_keep_alive_disabled_closes_per_request(self, db_path):
+        import socket
+
+        _build_db(db_path, seed=6, n_hotspots=3, blocks=4)
+        server = create_server(
+            db_path, port=0, workers=2, keep_alive=False
+        )
+        live = LiveServer(server)
+        try:
+            with socket.create_connection(
+                (live.host, live.port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                head, _ = _recv_response(sock)
+                assert head.startswith(b"HTTP/1.0 200")
+                assert sock.recv(65536) == b""
+        finally:
+            live.close()
+
+    def test_idle_connection_is_reclaimed(self, db_path):
+        """A silent keep-alive connection must not hold its worker
+        past the idle timeout — the server hangs up."""
+        import socket
+
+        _build_db(db_path, seed=7, n_hotspots=3, blocks=4)
+        server = create_server(
+            db_path, port=0, workers=2, keepalive_idle_s=0.3
+        )
+        live = LiveServer(server)
+        try:
+            with socket.create_connection(
+                (live.host, live.port), timeout=10
+            ) as sock:
+                sock.sendall(b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n")
+                _recv_response(sock)
+                sock.settimeout(5)
+                assert sock.recv(65536) == b""  # idled out
+        finally:
+            live.close()
+
+
+class TestLoadGenerator:
+    """run_load end-to-end against the live tier, in both modes."""
+
+    def _drive(self, live, **kwargs):
+        from repro.serve.loadgen import run_load
+
+        return run_load(
+            f"http://{live.host}:{live.port}",
+            clients=8, duration_s=1.0, seed=3,
+            mean_on_s=0.3, mean_off_s=0.2,
+            **kwargs,
+        )
+
+    def test_legacy_http10_mode(self, live):
+        report = self._drive(live)
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.status_200 + report.status_304 == report.requests
+
+    def test_keep_alive_mode(self, live):
+        report = self._drive(live, keep_alive=True)
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.status_200 + report.status_304 == report.requests
+        assert len(report.latencies_ms) == report.requests
+
+
 # -- backpressure and drain ------------------------------------------------
 
 

@@ -171,6 +171,66 @@ class TestS8UnitDecomposition:
         assert shards.experiment_pool() is None
 
 
+class TestShardedCoverage:
+    """The coverage Monte Carlo's ownership query shards byte-
+    identically: all randomness is drawn on the leader before the
+    scatter, and first-covering is pure per point."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_first_covering_many_matches_serial(self, workers):
+        import numpy as np
+
+        from tests.test_perf_kernels import _dense_model
+
+        model = _dense_model(5)
+        rng = np.random.default_rng(5)
+        lats = 38.5 + rng.uniform(-2.0, 2.0, size=9001)
+        lons = -101.0 + rng.uniform(-2.5, 2.5, size=9001)
+        serial = model.first_covering_many(lats, lons)
+        with ShardPool(workers) as pool:
+            sharded = model.first_covering_many(lats, lons, pool=pool)
+        assert np.array_equal(serial, sharded)
+
+    def test_landmass_fraction_matches_serial(self):
+        import numpy as np
+
+        from repro.geo.landmass import CONTIGUOUS_US
+        from tests.test_perf_kernels import _dense_model
+
+        model = _dense_model(6, n_shapes=200)
+        serial = model.landmass_fraction(
+            CONTIGUOUS_US, np.random.default_rng(9), scale_factor=0.01
+        )
+        with ShardPool(2) as pool:
+            sharded = model.landmass_fraction(
+                CONTIGUOUS_US, np.random.default_rng(9),
+                scale_factor=0.01, pool=pool,
+            )
+        assert sharded.union_area_km2 == serial.union_area_km2
+        assert sharded.landmass_fraction == serial.landmass_fraction
+        assert sharded.breakdown_km2 == serial.breakdown_km2
+
+    def test_small_batches_stay_serial(self):
+        """Below the scatter threshold the pool is bypassed entirely —
+        no model pickling for a handful of points."""
+        import numpy as np
+
+        from tests.test_perf_kernels import _dense_model
+
+        model = _dense_model(7)
+        lats = np.array([38.0, 39.0])
+        lons = np.array([-100.0, -101.0])
+        pool = ShardPool(2)
+        try:
+            pool.close()  # a closed pool would raise if actually used
+            sharded = model.first_covering_many(lats, lons, pool=pool)
+        finally:
+            pool.close()
+        assert np.array_equal(
+            sharded, model.first_covering_many(lats, lons)
+        )
+
+
 class TestCostTable:
     def test_longest_first_puts_s8_units_ahead(self):
         tasks = [
