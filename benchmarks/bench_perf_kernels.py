@@ -266,13 +266,13 @@ from repro.simulation import (
     SimulationEngine, paper_10x_scenario, paper_scenario,
 )
 from repro import obs
-scenario, days = sys.argv[1], sys.argv[2]
+scenario, days, chain_log = sys.argv[1], sys.argv[2], sys.argv[3]
 builder = {"paper": paper_scenario, "paper-10x": paper_10x_scenario}
 config = builder[scenario](seed=2021)
 if days != "full":
     config = dataclasses.replace(config, n_days=int(days))
 t0 = time.time()
-result = SimulationEngine(config).run()
+result = SimulationEngine(config).run(chain_log=chain_log == "on")
 print(json.dumps({
     "wall_s": round(time.time() - t0, 1),
     "peak_rss_bytes": obs.peak_rss_bytes(),
@@ -284,7 +284,7 @@ print(json.dumps({
 """
 
 
-def _run_scale(scenario: str) -> dict:
+def _run_scale(scenario: str, chain_log: str = "on") -> dict:
     """One scenario end-to-end in a fresh interpreter, so each run's
     ``ru_maxrss`` high-water mark is its own, not the bench suite's."""
     env = dict(os.environ)
@@ -294,7 +294,8 @@ def _run_scale(scenario: str) -> dict:
         if env.get("PYTHONPATH") else src
     )
     proc = subprocess.run(
-        [sys.executable, "-c", _SCALE_SCRIPT, scenario, _SCALE_DAYS],
+        [sys.executable, "-c", _SCALE_SCRIPT, scenario, _SCALE_DAYS,
+         chain_log],
         env=env, capture_output=True, text=True, timeout=3600,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
@@ -304,20 +305,27 @@ def _run_scale(scenario: str) -> dict:
 def test_bench_scale_tier():
     paper = _run_scale("paper")
     tenx = _run_scale("paper-10x")
+    # The chain-log A/B: same tier with every block kept resident (the
+    # pre-chain-log representation) — identical digest, higher RSS.
+    resident = _run_scale("paper-10x", chain_log="off")
     _summary["scale"] = {
         "days": _SCALE_DAYS,
         "paper": paper,
         "paper_10x": tenx,
+        "paper_10x_resident_chain": resident,
     }
     _summary["memory"] = {
         "peak_rss_bytes": {
             "paper": paper["peak_rss_bytes"],
             "paper_10x": tenx["peak_rss_bytes"],
+            "paper_10x_resident_chain": resident["peak_rss_bytes"],
         },
     }
     _RESULTS_PATH.write_text(json.dumps(_summary, indent=2) + "\n")
 
     assert tenx["hotspots"] >= 10 * paper["hotspots"] * 0.9
+    # Chain residency changes memory, never bytes.
+    assert resident["digest"] == tenx["digest"]
     # Columnar fleet state: 10x the hotspots must not cost 10x the
     # memory — the object graph, not the columns, dominates RSS, and
     # the tier has to fit comfortably on a laptop.
@@ -326,3 +334,9 @@ def test_bench_scale_tier():
         from tests.test_engine_hotpath import PAPER_SEED2021_DIGEST
 
         assert paper["digest"] == PAPER_SEED2021_DIGEST
+        # The tentpole claim: with the chain spilled to the log, the
+        # full 667-day 10x run's peak RSS sits well below the resident
+        # chain's (BENCH_perf.json carries both sides of the A/B).
+        assert (
+            tenx["peak_rss_bytes"] < 0.7 * resident["peak_rss_bytes"]
+        )

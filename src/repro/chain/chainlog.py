@@ -1,0 +1,308 @@
+"""Append-to-disk chain log: framed, digest-chained block records.
+
+The resident-object chain (:class:`~repro.chain.blockchain.Blockchain`
+holding every :class:`~repro.chain.block.Block` as live Python objects)
+dominates RSS at scale: receipts, witnesses and per-day reward shares
+are small dataclasses, but two simulated years of them add up to
+gigabytes at the 100× tier. Real DePIN measurement pipelines never hold
+the chain resident — the DeWi ETL the paper relies on treats the chain
+as an append-only on-disk log that analyses *tail*. This module is that
+representation for the simulated chain:
+
+* **Frames.** The log is a magic header followed by one frame per
+  block: a fixed 20-byte frame header (little-endian ``u32`` payload
+  length, ``u64`` block height, 8-byte chained digest) and the payload.
+  The payload is byte-for-byte the JSONL line
+  :func:`repro.chain.serialize.dump_chain` writes for that block —
+  including the trailing newline — so dumping a log-backed chain is a
+  straight byte copy and every pinned digest is unchanged *by
+  construction*, not by re-serialization luck.
+* **Digest chain.** Frame *i* carries
+  ``sha256(digest8(i-1) + payload_i)[:8]``, seeded from the file magic.
+  A reader that walks the chain verifies every frame's link; any
+  corruption (or a frame spliced in from another run) breaks the chain
+  at the exact frame.
+* **Torn tails.** A crash mid-append leaves a partial final frame.
+  :meth:`ChainLog.open` detects it — a header that does not fit, a
+  payload shorter than its declared length, or a digest-chain break —
+  and either raises :class:`ChainLogError` or, with ``recover=True``,
+  truncates the file back to the last intact frame. A torn tail is
+  never silently skipped.
+* **Random access.** Frames are indexed in memory as ``(offset,
+  length)`` pairs; :meth:`payload` is one ``os.pread``, so lazily
+  materialising block *i* never touches the rest of the file.
+
+The default constructor backs the log with an anonymous unlinked
+temporary file: the descriptor keeps the bytes alive for the run and
+the kernel reclaims them when the process exits, crash included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ChainError
+
+__all__ = [
+    "CHAINLOG_MAGIC",
+    "ChainLog",
+    "ChainLogError",
+    "encode_frame",
+    "seed_digest",
+]
+
+#: File magic: identifies a framed chain log and versions the layout.
+CHAINLOG_MAGIC = b"RPCHLOG1"
+
+_FRAME_HEADER = struct.Struct("<IQ8s")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size  # 20 bytes
+
+#: Materialised-block LRU size used by log-backed block sequences.
+#: Small on purpose: the working set of a day-loop consumer is the tip,
+#: and analyses stream forward, so a handful of slots absorbs the
+#: re-read patterns that matter without re-growing the object graph.
+BLOCK_CACHE_SLOTS = 64
+
+
+class ChainLogError(ChainError):
+    """A structurally invalid, corrupt, or torn chain log."""
+
+
+def seed_digest() -> bytes:
+    """The digest-chain seed (the link "before" the first frame)."""
+    return hashlib.sha256(CHAINLOG_MAGIC).digest()[:8]
+
+
+def encode_frame(
+    height: int, payload: bytes, prev_digest: bytes
+) -> Tuple[bytes, bytes]:
+    """Encode one frame; returns ``(frame_bytes, digest8)``.
+
+    ``digest8`` chains over ``prev_digest`` and the payload, so two
+    logs holding the same block prefix are byte-identical.
+    """
+    digest = hashlib.sha256(prev_digest + payload).digest()[:8]
+    header = _FRAME_HEADER.pack(len(payload), height, digest)
+    return header + payload, digest
+
+
+class ChainLog:
+    """One append-only framed record log plus its in-memory frame index.
+
+    Appends go through :meth:`append` (payload serialization) or
+    :meth:`append_frame` (verified raw bytes, used when seeding a run
+    log from a checkpoint); reads are positional and stateless.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None) -> None:
+        if path is None:
+            fd, tmp_path = tempfile.mkstemp(prefix="repro-chainlog-")
+            os.unlink(tmp_path)  # anonymous: vanishes with the fd
+            self.path: Optional[str] = None
+        else:
+            self.path = str(path)
+            fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o644
+            )
+        self._fd = fd
+        os.write(self._fd, CHAINLOG_MAGIC)
+        self.size = len(CHAINLOG_MAGIC)
+        self.tail_digest = seed_digest()
+        self._offsets: List[int] = []
+        self._lengths: List[int] = []
+        self.heights: List[int] = []
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, height: int, payload: bytes) -> None:
+        """Append one block's payload as the next frame."""
+        frame, digest = encode_frame(height, payload, self.tail_digest)
+        os.write(self._fd, frame)
+        self._offsets.append(self.size)
+        self._lengths.append(len(payload))
+        self.heights.append(height)
+        self.size += len(frame)
+        self.tail_digest = digest
+
+    def append_frame(self, frame: bytes, height: int, digest: bytes) -> None:
+        """Append pre-encoded frame bytes whose chain digest the caller
+        has already verified (checkpoint load seeds the run log this
+        way — the scan just proved every link)."""
+        os.write(self._fd, frame)
+        self._offsets.append(self.size)
+        self._lengths.append(len(frame) - FRAME_HEADER_SIZE)
+        self.heights.append(height)
+        self.size += len(frame)
+        self.tail_digest = digest
+
+    # -- read --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def payload(self, index: int) -> bytes:
+        """The payload bytes of frame ``index`` (one positional read)."""
+        offset = self._offsets[index]
+        length = self._lengths[index]
+        data = os.pread(
+            self._fd, FRAME_HEADER_SIZE + length, offset
+        )
+        if len(data) != FRAME_HEADER_SIZE + length:
+            raise ChainLogError(
+                f"short read at frame {index} (offset {offset})"
+            )
+        return data[FRAME_HEADER_SIZE:]
+
+    def frame_bytes(self, index: int) -> bytes:
+        """Raw frame bytes (header + payload) of frame ``index``."""
+        offset = self._offsets[index]
+        length = FRAME_HEADER_SIZE + self._lengths[index]
+        data = os.pread(self._fd, length, offset)
+        if len(data) != length:
+            raise ChainLogError(
+                f"short read at frame {index} (offset {offset})"
+            )
+        return data
+
+    def digest_at(self, index: int) -> bytes:
+        """The chained digest carried by frame ``index``."""
+        header = os.pread(self._fd, FRAME_HEADER_SIZE, self._offsets[index])
+        return _FRAME_HEADER.unpack(header)[2]
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    # -- open / recover ----------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], recover: bool = False
+    ) -> "ChainLog":
+        """Open an existing log, verifying every frame's digest chain.
+
+        A torn final frame (crash mid-append) raises
+        :class:`ChainLogError` unless ``recover=True``, which truncates
+        the file back to the last intact frame. Corruption *before* the
+        tail — a broken digest link with more intact-looking frames
+        after it — always raises: that is damage, not a torn append.
+        """
+        path = str(path)
+        log = cls.__new__(cls)
+        log.path = path
+        log._fd = os.open(path, os.O_RDWR)
+        log.size = len(CHAINLOG_MAGIC)
+        log.tail_digest = seed_digest()
+        log._offsets = []
+        log._lengths = []
+        log.heights = []
+        try:
+            file_size = os.fstat(log._fd).st_size
+            magic = os.pread(log._fd, len(CHAINLOG_MAGIC), 0)
+            if magic != CHAINLOG_MAGIC:
+                raise ChainLogError(f"{path} is not a chain log (bad magic)")
+            torn_at: Optional[int] = None
+            offset = len(CHAINLOG_MAGIC)
+            while offset < file_size:
+                header = os.pread(log._fd, FRAME_HEADER_SIZE, offset)
+                if len(header) < FRAME_HEADER_SIZE:
+                    torn_at = offset
+                    break
+                length, height, digest = _FRAME_HEADER.unpack(header)
+                payload = os.pread(
+                    log._fd, length, offset + FRAME_HEADER_SIZE
+                )
+                if len(payload) < length:
+                    torn_at = offset
+                    break
+                expected = hashlib.sha256(
+                    log.tail_digest + payload
+                ).digest()[:8]
+                if digest != expected:
+                    if offset + FRAME_HEADER_SIZE + length >= file_size:
+                        # Digest-mangled final frame: recoverable tear.
+                        torn_at = offset
+                        break
+                    raise ChainLogError(
+                        f"digest chain broken at offset {offset} in {path}"
+                    )
+                log._offsets.append(offset)
+                log._lengths.append(length)
+                log.heights.append(height)
+                log.tail_digest = digest
+                offset += FRAME_HEADER_SIZE + length
+                log.size = offset
+            if torn_at is not None:
+                if not recover:
+                    raise ChainLogError(
+                        f"torn frame at offset {torn_at} in {path} "
+                        f"(file ends mid-frame); pass recover=True to "
+                        f"truncate to the last intact frame"
+                    )
+                os.ftruncate(log._fd, log.size)
+            os.lseek(log._fd, log.size, os.SEEK_SET)
+        except BaseException:
+            os.close(log._fd)
+            log._fd = -1
+            raise
+        return log
+
+
+def scan_frames(
+    handle: IO[bytes], limit_bytes: Optional[int] = None
+) -> Iterator[Tuple[bytes, int, bytes, bytes]]:
+    """Stream-verify frames from ``handle`` (positioned at the magic).
+
+    Yields ``(frame_bytes, height, payload, digest8)`` per frame,
+    verifying the digest chain as it goes; consumes exactly
+    ``limit_bytes`` when given (checkpoint metas record the extent —
+    a hardlinked file may have grown past it). Raises
+    :class:`ChainLogError` on a bad magic, a torn frame inside the
+    limit, or a digest-chain break.
+    """
+    magic = handle.read(len(CHAINLOG_MAGIC))
+    if magic != CHAINLOG_MAGIC:
+        raise ChainLogError("not a chain log (bad magic)")
+    consumed = len(CHAINLOG_MAGIC)
+    tail = seed_digest()
+    while True:
+        if limit_bytes is not None and consumed >= limit_bytes:
+            break
+        header = handle.read(FRAME_HEADER_SIZE)
+        if not header and limit_bytes is None:
+            break
+        if len(header) < FRAME_HEADER_SIZE:
+            raise ChainLogError(
+                f"torn frame header at offset {consumed}"
+            )
+        length, height, digest = _FRAME_HEADER.unpack(header)
+        if limit_bytes is not None and (
+            consumed + FRAME_HEADER_SIZE + length > limit_bytes
+        ):
+            raise ChainLogError(
+                f"frame at offset {consumed} crosses the recorded "
+                f"extent ({limit_bytes} bytes)"
+            )
+        payload = handle.read(length)
+        if len(payload) < length:
+            raise ChainLogError(f"torn frame payload at offset {consumed}")
+        expected = hashlib.sha256(tail + payload).digest()[:8]
+        if digest != expected:
+            raise ChainLogError(
+                f"digest chain broken at offset {consumed}"
+            )
+        yield header + payload, height, payload, digest
+        tail = digest
+        consumed += FRAME_HEADER_SIZE + length

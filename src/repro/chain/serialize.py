@@ -39,7 +39,14 @@ from repro.chain.transactions import (
 from repro.chain.varmap import ChainVars
 from repro.errors import ChainError
 
-__all__ = ["dump_chain", "load_chain", "transaction_to_dict", "transaction_from_dict"]
+__all__ = [
+    "block_from_record",
+    "block_record_text",
+    "dump_chain",
+    "load_chain",
+    "transaction_to_dict",
+    "transaction_from_dict",
+]
 
 _TXN_TYPES: Dict[str, Type[Transaction]] = {
     "add_gateway": AddGateway,
@@ -126,6 +133,46 @@ def transaction_from_dict(payload: Dict[str, Any]) -> Transaction:
         raise ChainError(f"malformed {kind} payload: {exc}") from exc
 
 
+def block_record_text(block: Block) -> str:
+    """One block's exact dump line (compact JSON + newline).
+
+    This is the canonical byte representation everywhere: JSONL dumps
+    concatenate these lines, and :mod:`repro.chain.chainlog` frames
+    store exactly these bytes as payloads — which is why a log-backed
+    chain dumps byte-identically to a resident one.
+    """
+    record = {
+        "height": block.height,
+        "time": block.unix_time,
+        "prev_hash": block.prev_hash,
+        "transactions": [
+            transaction_to_dict(t) for t in block.transactions
+        ],
+    }
+    return json.dumps(record, separators=(",", ":")) + "\n"
+
+
+def block_from_record(record: Dict[str, Any]) -> Block:
+    """Reconstruct a trusted block view from one dump record.
+
+    The parent hash is taken from the record (the ``validate=False``
+    contract); the block's own hash recomputes lazily to the identical
+    value, since transactions round-trip ``repr``-exactly.
+    """
+    try:
+        height = int(record["height"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ChainError(f"malformed block record: {record!r}") from exc
+    return Block(
+        height=height,
+        unix_time=int(record.get("time", units.block_to_unix_time(height))),
+        prev_hash=record.get("prev_hash", ""),
+        transactions=tuple(
+            transaction_from_dict(p) for p in record.get("transactions", [])
+        ),
+    )
+
+
 def dump_chain(
     chain: Blockchain,
     destination: Union[str, Path, IO[str]],
@@ -138,19 +185,14 @@ def dump_chain(
     is append-only, so incremental writers (day-level checkpoints) reuse
     the bytes they already wrote for that prefix and pass a handle
     opened in append mode for the rest.
+
+    Spilled blocks (chain-log residency) are copied byte-for-byte from
+    their frames without materialising the objects.
     """
     def _write(handle: IO[str]) -> int:
         lines = 0
-        for block in chain.blocks[start:]:
-            record = {
-                "height": block.height,
-                "time": block.unix_time,
-                "prev_hash": block.prev_hash,
-                "transactions": [
-                    transaction_to_dict(t) for t in block.transactions
-                ],
-            }
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        for text in chain.blocks.iter_record_texts(start):
+            handle.write(text)
             lines += 1
         return lines
 
@@ -222,16 +264,14 @@ def load_chain(
                 )
             for txn in txns:
                 chain.ledger.apply(txn, height)
-            block = Block(
+            chain._append_block(Block(
                 height=height,
                 unix_time=int(
                     record.get("time", units.block_to_unix_time(height))
                 ),
                 prev_hash=record.get("prev_hash", ""),
                 transactions=tuple(txns),
-            )
-            chain.blocks.append(block)
-            chain._height_index[height] = block
+            ))
     return chain
 
 

@@ -107,7 +107,11 @@ def result_digest(result: SimulationResult) -> str:
         save_result(result, tmp)
         digest = hashlib.sha256()
         for name in (_CHAIN_FILE, _SNAPSHOT_FILE):
-            digest.update((Path(tmp) / name).read_bytes())
+            # Stream: a scale-tier chain file is hundreds of MB, and
+            # one read_bytes() of it would dwarf the day loop's peak.
+            with open(Path(tmp) / name, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
     return digest.hexdigest()
 
 
@@ -373,8 +377,7 @@ def load_result(directory: Union[str, Path]) -> SimulationResult:
     }
 
     for payload in snapshot["owners"]:
-        owner = owner_from_payload(payload, city_by_key)
-        world.owners[owner.wallet] = owner
+        world.register_owner(owner_from_payload(payload, city_by_key))
 
     cliques = {
         int(cid): GossipClique(clique_id=int(cid), members=set(members))

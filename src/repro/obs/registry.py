@@ -55,7 +55,9 @@ __all__ = [
     "gauge",
     "observe",
     "peak_rss_bytes",
+    "record_child_peak_rss",
     "reset",
+    "rusage_self_bytes",
     "set_enabled",
     "snapshot",
     "timer",
@@ -331,16 +333,54 @@ def enabled() -> bool:
     return REGISTRY.enabled
 
 
-def peak_rss_bytes(children: bool = False) -> int:
-    """High-water-mark resident set size of this process, in bytes.
+#: Max ru_maxrss reported by still-running worker processes (bytes).
+#: ``RUSAGE_CHILDREN`` only reflects children the process has *reaped*:
+#: a persistent shard pool's workers are not waited on until pool
+#: shutdown, so a mid-run (or pre-join) reading would silently drop
+#: them. Workers measure themselves and report through the gather
+#: protocol; the pool folds the reports in here.
+_children_peak_lock = threading.Lock()
+_children_peak_bytes = 0
 
-    Reads ``getrusage`` — ``ru_maxrss`` is kilobytes on Linux, bytes on
-    macOS — and records the value as the ``process.peak_rss_bytes``
-    gauge as a side effect, so any snapshot/Prometheus export taken
-    afterwards carries it. With ``children=True`` the maximum over
-    reaped child processes (shard/farm workers) is folded in. Returns 0
-    on platforms without ``resource`` (Windows).
+
+def record_child_peak_rss(peak_bytes: int) -> None:
+    """Fold a live child's self-reported peak RSS (bytes) into the
+    children high-water mark (monotone max; also exported as the
+    ``process.peak_rss_children_bytes`` gauge)."""
+    global _children_peak_bytes
+    with _children_peak_lock:
+        if peak_bytes > _children_peak_bytes:
+            _children_peak_bytes = int(peak_bytes)
+    gauge("process.peak_rss_children_bytes", float(_children_peak_bytes))
+
+
+def _proc_vm_hwm_bytes() -> int:
+    """``VmHWM`` from ``/proc/self/status``, in bytes (0 elsewhere).
+
+    Preferred over ``ru_maxrss`` where available: on Linux the rusage
+    high-water mark lives in the ``signal_struct``, which *survives
+    execve* — a freshly exec'd subprocess inherits its forking parent's
+    peak as a floor, so subprocess-isolated measurements (the scale
+    benches) would read the launcher's peak, not their own. ``VmHWM``
+    is reset on exec and tracks only this image's resident set.
     """
+    try:
+        with open("/proc/self/status", "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def rusage_self_bytes() -> int:
+    """This process's own peak RSS, in bytes (0 without POSIX
+    ``resource``). The helper workers use to self-report; prefers
+    ``VmHWM`` (see :func:`_proc_vm_hwm_bytes`) over ``ru_maxrss``."""
+    hwm = _proc_vm_hwm_bytes()
+    if hwm:
+        return hwm
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX
@@ -348,11 +388,38 @@ def peak_rss_bytes(children: bool = False) -> int:
     import sys
 
     unit = 1 if sys.platform == "darwin" else 1024
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+
+
+def peak_rss_bytes(children: bool = False) -> int:
+    """High-water-mark resident set size of this process, in bytes.
+
+    Reads ``VmHWM`` where ``/proc`` exists (exec-accurate), else
+    ``getrusage`` — ``ru_maxrss`` is kilobytes on Linux, bytes on
+    macOS — and records the value as the ``process.peak_rss_bytes``
+    gauge as a side effect, so any snapshot/Prometheus export taken
+    afterwards carries it. With ``children=True`` the maximum over
+    child processes is folded in: reaped children via
+    ``RUSAGE_CHILDREN`` plus the self-reports live pool workers pushed
+    through :func:`record_child_peak_rss` (``RUSAGE_CHILDREN`` alone
+    misses workers that have not been waited on yet). Returns 0 on
+    platforms without ``resource`` (Windows).
+    """
+    peak = rusage_self_bytes()
+    if not peak:
+        return 0
     if children:
-        peak = max(
-            peak,
-            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit,
-        )
+        try:
+            import resource
+            import sys
+
+            unit = 1 if sys.platform == "darwin" else 1024
+            reaped = (
+                resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+                * unit
+            )
+        except ImportError:  # pragma: no cover - non-POSIX
+            reaped = 0
+        peak = max(peak, reaped, _children_peak_bytes)
     gauge("process.peak_rss_bytes", float(peak))
     return int(peak)

@@ -4,10 +4,12 @@ A trace is one append-only file of single-line JSON events. Every event
 carries the wall-clock timestamp, the emitting process id, the run's
 ``trace`` id and a dotted ``kind`` (``engine.run``, ``cache.build``,
 ``worker.task``, ``http.request``, …); everything else is free-form
-per-kind fields. Lines are written with one ``os.write`` on an
-``O_APPEND`` descriptor, so concurrent writers — the farm's worker
-processes, the HTTP server's request threads — interleave at line
-granularity and the file stays parseable.
+per-kind fields. Lines are written on an ``O_APPEND`` descriptor and
+drained to completion under the writer lock (a single ``os.write`` may
+return short for a large event or when interrupted by a signal), so
+concurrent writers — the farm's worker processes, the HTTP server's
+request threads — interleave at line granularity and the file stays
+parseable.
 
 Activation is lazy and environment-driven: :func:`configure_trace`
 opens the file *and* exports ``REPRO_TRACE`` / ``REPRO_TRACE_ID``, so
@@ -59,7 +61,16 @@ class TraceWriter:
         self._lock = threading.Lock()
 
     def event(self, kind: str, **fields: Any) -> None:
-        """Write one event line (thread-safe, single write syscall)."""
+        """Write one event line (thread-safe, drained to completion).
+
+        ``os.write`` may consume only part of the buffer — oversized
+        events past the pipe/filesystem chunk limit, or a syscall
+        interrupted by a signal on pre-3.10 Pythons. A partial line on
+        the shared ``O_APPEND`` stream would corrupt the JSON-lines
+        framing for every reader, so the buffer is drained in a loop
+        under the lock (holding it keeps the tail contiguous with its
+        head even with other threads writing).
+        """
         record = {
             "ts": round(time.time(), 6),
             "trace": self.trace_id,
@@ -68,8 +79,14 @@ class TraceWriter:
         }
         record.update(fields)
         line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        view = memoryview(line.encode("utf-8"))
         with self._lock:
-            os.write(self._fd, line.encode("utf-8"))
+            while view:
+                try:
+                    written = os.write(self._fd, view)
+                except InterruptedError:
+                    continue
+                view = view[written:]
 
     def close(self) -> None:
         os.close(self._fd)

@@ -159,8 +159,15 @@ _HANDLERS: Dict[str, Callable[[Any], Any]] = {
 }
 
 
-def _run_task(indexed: Tuple[int, Tuple[str, Any]]) -> Tuple[int, Any]:
-    """Worker entry point: run one typed task, keep its scatter index."""
+def _run_task(indexed: Tuple[int, Tuple[str, Any]]) -> Tuple[int, Any, int]:
+    """Worker entry point: run one typed task, keep its scatter index.
+
+    The third element is the worker's own ``ru_maxrss`` (bytes): the
+    parent cannot see a live worker through ``RUSAGE_CHILDREN`` (that
+    counter only reflects *reaped* children, and pool workers are not
+    waited on until pool shutdown), so every gather carries the
+    worker's self-measured high-water mark home.
+    """
     index, (kind, payload) = indexed
     handler = _HANDLERS.get(kind)
     if handler is None:
@@ -170,7 +177,7 @@ def _run_task(indexed: Tuple[int, Tuple[str, Any]]) -> Tuple[int, Any]:
     wall_s = time.perf_counter() - started
     obs.counter("parallel.shard.tasks", kind=kind)
     obs.observe("parallel.shard.task_s", wall_s, kind=kind)
-    return index, result
+    return index, result, obs.rusage_self_bytes()
 
 
 # ------------------------------------------------------------------- pool --
@@ -218,12 +225,20 @@ class ShardPool:
         obs.gauge("parallel.shard.queue_depth", len(tasks))
         results: List[Any] = [None] * len(tasks)
         pending = len(tasks)
-        for index, result in self._pool.imap_unordered(
+        worker_peak = 0
+        for index, result, rss in self._pool.imap_unordered(
             _run_task, list(enumerate(tasks))
         ):
             results[index] = result
+            if rss > worker_peak:
+                worker_peak = rss
             pending -= 1
             obs.gauge("parallel.shard.queue_depth", pending)
+        if worker_peak:
+            # Fold live-worker peaks into the process gauge now: the
+            # run's --profile summary reads it before pool teardown,
+            # when RUSAGE_CHILDREN still reports 0 for these workers.
+            obs.record_child_peak_rss(worker_peak)
         obs.observe(
             "parallel.shard.run_s",
             time.perf_counter() - started,

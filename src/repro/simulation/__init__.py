@@ -25,6 +25,7 @@ records how close the defaults land.
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.scenario import (
     ScenarioConfig,
+    million_hotspot_scenario,
     paper_10x_scenario,
     paper_scenario,
     small_scenario,
@@ -35,6 +36,7 @@ from repro.simulation.world import SimHotspot, World
 
 __all__ = [
     "ScenarioConfig",
+    "million_hotspot_scenario",
     "paper_10x_scenario",
     "paper_scenario",
     "small_scenario",

@@ -19,12 +19,14 @@ import time
 from repro.chain.serialize import dump_chain
 from repro.simulation import (
     SimulationEngine,
+    million_hotspot_scenario,
     paper_10x_scenario,
     paper_scenario,
     small_scenario,
 )
 
 _SCENARIOS = {
+    "million-hotspot": million_hotspot_scenario,
     "paper": paper_scenario,
     "paper-10x": paper_10x_scenario,
     "small": small_scenario,
@@ -68,6 +70,17 @@ def main(argv=None) -> int:
         "worker processes (0 = serial); the chain is byte-identical "
         "to the serial run for any N",
     )
+    parser.add_argument(
+        "--chain-log", dest="chain_log", action="store_true", default=True,
+        help="spill finalized blocks to an append-to-disk chain log, "
+        "bounding chain RSS (the default; results are byte-identical "
+        "either way)",
+    )
+    parser.add_argument(
+        "--resident-chain", dest="chain_log", action="store_false",
+        help="keep every block resident in memory (the pre-chain-log "
+        "behaviour; needs RSS proportional to run length)",
+    )
     args = parser.parse_args(argv)
     if (args.checkpoint_every or args.stop_after is not None) and not (
         args.checkpoint_dir or args.resume
@@ -76,7 +89,7 @@ def main(argv=None) -> int:
 
     started = time.time()
     if args.resume:
-        engine = SimulationEngine.resume(args.resume)
+        engine = SimulationEngine.resume(args.resume, chain_log=args.chain_log)
         config = engine.config
         print(f"resuming from {args.resume} at day {engine.state.day} "
               f"(seed {config.seed}, {config.n_days} days total)...")
@@ -92,6 +105,7 @@ def main(argv=None) -> int:
         checkpoint_dir=checkpoint_dir,
         stop_after_day=args.stop_after,
         shard_workers=args.shard_workers,
+        chain_log=args.chain_log,
     )
     elapsed = time.time() - started
 

@@ -34,7 +34,11 @@ class RewardsPhase(Phase):
         emission = (
             state.chain.vars.monthly_hnt_emission / 30.0
         ) * state.config.scale_factor
-        owners = list(state.world.owners.keys())
+        # The world maintains the wallet list in registration order —
+        # identical to the old list(owners.keys()) materialisation, so
+        # the consensus draw (and with it every digest) is unchanged,
+        # without an O(owners) copy every simulated day.
+        owners = state.world.owner_wallets
         rng = state.hub.stream("consensus")
         if owners:
             n = min(16, len(owners))

@@ -16,6 +16,7 @@ from repro.errors import SimulationError
 
 __all__ = [
     "ScenarioConfig",
+    "million_hotspot_scenario",
     "paper_10x_scenario",
     "paper_scenario",
     "small_scenario",
@@ -210,6 +211,38 @@ def paper_10x_scenario(seed: int = 2021) -> ScenarioConfig:
         commercial_fleets=(("Chicago", 25), ("Stonington", 61)),
         gossip_cliques=((10, "Miami"), (8, "Las Vegas")),
         tail_isps=4400,
+    )
+
+
+def million_hotspot_scenario(seed: int = 2021) -> ScenarioConfig:
+    """The 100× tier: 1,000,000 hotspots — the "millions of users"
+    scale the network grew toward after the study window (ROADMAP north
+    star), ~23× the fleet the paper measured.
+
+    Everything structural runs at true scale — adoption batches,
+    ownership archetypes (mining pools, commercial fleets and cliques
+    scale with the fleet), moves, resale, backhaul diversity — while
+    per-hotspot event *rates* are thinned hard (0.001 challenges/
+    hotspot/day; ``poc_thinning_factor`` records the ratio) so the
+    per-day transaction volume stays tractable. The chain this tier
+    produces is orders of magnitude too large to hold resident: it is
+    only feasible with the append-to-disk chain log
+    (``chain_log=True``, the engine default) bounding chain RSS.
+    Capped-day runs (``stop_after_day`` / ``REPRO_SCALE_DAYS``) are the
+    intended smoke vehicle; the fleet reaches full size late in the
+    adoption schedule.
+    """
+    return ScenarioConfig(
+        seed=seed,
+        target_hotspots=1_000_000,
+        real_network_size=1_000_000,
+        challenges_per_hotspot_day=0.001,
+        # Archetypes scaled ~23× past the real May-2021 network, in
+        # line with the fleet.
+        mining_pools=(("Denver", 3200), ("Denver", 3200)),
+        commercial_fleets=(("Chicago", 570), ("Stonington", 1390)),
+        gossip_cliques=((40, "Miami"), (32, "Las Vegas")),
+        tail_isps=10_000,
     )
 
 

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import io
 import json
 import math
 import os
@@ -49,14 +48,24 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 import numpy as np
 
 from repro import units
+from repro.chain.block import Block
 from repro.chain.blockchain import Blockchain
+from repro.chain.chainlog import (
+    CHAINLOG_MAGIC,
+    ChainLog,
+    scan_frames,
+    seed_digest,
+)
 from repro.chain.crypto import Address, Keypair
-from repro.chain.serialize import dump_chain, load_chain
+from repro.chain.serialize import (
+    _prefund,
+    transaction_from_dict,
+)
 from repro.chain.transactions import OuiRegistration, Transaction
 from repro.chain.varmap import ChainVars
 from repro.economics.oracle import PriceOracle
 from repro.economics.rewards import EpochActivity
-from repro.errors import SimulationError
+from repro.errors import ChainError, SimulationError
 from repro.geo.geodesy import LatLon
 from repro.geo.hexgrid import HexGrid
 from repro.poc.challenge import PocParticipant
@@ -88,14 +97,25 @@ __all__ = [
 #: columnar top-level ``fleet`` section, and the ``ferry_order_stale``
 #: flag dropped (ferry weights are a fleet column whose slot *is* the
 #: deployment position, so the order can no longer go stale).
-CHECKPOINT_SCHEMA_VERSION = 2
+#:
+#: v3: the chain is stored as a framed binary chain log (``chain.log``,
+#: :mod:`repro.chain.chainlog`) instead of a JSONL dump. Frame payloads
+#: are the exact JSONL lines of v2, so the information content is
+#: identical, but saves extend the log by raw frame copy from the run's
+#: own log (no re-serialization of spilled blocks) and loads stream
+#: frame-by-frame into a bounded-RSS replay instead of reading the
+#: whole dump into memory twice (bytes + decoded str). ``meta.json``
+#: additionally records ``chain_log_tail`` (the digest-chain state at
+#: the recorded extent) so a *different process* can keep extending the
+#: log incrementally after one prefix verification.
+CHECKPOINT_SCHEMA_VERSION = 3
 
 #: Hex resolution of the geographic shard key (~1700 km² regions).
 #: Fleet slots carry their challengee region token so the sharded PoC
 #: and traffic phases can partition work without re-encoding cells.
 SHARD_REGION_RESOLUTION = 4
 
-_CHAIN_FILE = "chain.jsonl"
+_CHAIN_FILE = "chain.log"
 _STATE_FILE = "state.json"
 _META_FILE = "meta.json"
 
@@ -334,23 +354,24 @@ def _sha256_file(path: Path) -> str:
     return _sha256_prefix(path)[0]
 
 
-class _HashingWriter:
-    """Text-handle wrapper that SHA-256-hashes everything written.
+class _HashingReader:
+    """Binary-handle wrapper that SHA-256-hashes everything read.
 
-    Lets chain dumps produce their integrity digest while writing,
-    instead of re-reading the finished multi-MB file.
+    Lets the streaming checkpoint load produce the chain file's
+    integrity digest while scanning frames, instead of reading the
+    multi-MB file twice (once for the hash, once for the replay).
     """
 
-    def __init__(self, handle, sha: Optional["hashlib._Hash"] = None):
+    def __init__(self, handle, sha: "hashlib._Hash"):
         self._handle = handle
-        self.sha = sha if sha is not None else hashlib.sha256()
-        self.bytes_written = 0
+        self.sha = sha
+        self.bytes_read = 0
 
-    def write(self, text: str) -> int:
-        data = text.encode("utf-8")
+    def read(self, size: int) -> bytes:
+        data = self._handle.read(size)
         self.sha.update(data)
-        self.bytes_written += len(data)
-        return self._handle.write(text)
+        self.bytes_read += len(data)
+        return data
 
 
 @dataclass
@@ -417,7 +438,8 @@ class WorldState:
     added_today: int = 0
 
     #: Running SHA-256 of the chain file the last :meth:`save` wrote (or
-    #: :meth:`load` verified): ``{"blocks", "bytes", "sha", "hex"}``.
+    #: :meth:`load` verified):
+    #: ``{"blocks", "bytes", "sha", "hex", "tail"}``.
     #: Lets a steady-state periodic save extend the previous chain dump
     #: without re-reading a single byte of it. Process-local, never
     #: serialized; ``None`` simply forces one prefix re-verification.
@@ -616,7 +638,7 @@ class WorldState:
         from repro.experiments import snapshot as snap
 
         config_digest = snap.config_digest(self.config)
-        chain_sha, chain_bytes = self._write_chain(
+        chain_sha, chain_bytes, chain_tail = self._write_chain(
             directory / _CHAIN_FILE, previous, config_digest
         )
 
@@ -710,6 +732,7 @@ class WorldState:
             "chain_blocks": len(self.chain.blocks),
             "chain_bytes": chain_bytes,
             "chain_sha256": chain_sha,
+            "chain_log_tail": chain_tail.hex(),
             "state_sha256": hashlib.sha256(
                 state_blob.encode("utf-8")
             ).hexdigest(),
@@ -721,21 +744,24 @@ class WorldState:
 
     def _write_chain(
         self, path: Path, previous: Optional[Path], config_digest: str
-    ) -> Tuple[str, int]:
-        """Write ``chain.jsonl``; returns ``(sha256, byte count)``.
+    ) -> Tuple[str, int, bytes]:
+        """Write ``chain.log``; returns ``(sha256, bytes, tail digest)``.
 
         The chain is append-only and the run deterministic, so a
         previous checkpoint of the same (config, seed) holds a byte
-        prefix of the current chain. A steady-state periodic save
+        prefix of the current chain log. A steady-state periodic save
         therefore hardlinks the previous file into place, truncates it
         to the recorded prefix (discarding bytes a killed append may
-        have left), and serializes only the blocks minted since —
-        extending the cached running hash instead of re-reading the
-        prefix. Per-checkpoint cost is O(new blocks) with no full-file
-        copy or hash: the difference between blowing and meeting the
-        < 2 % overhead budget at paper scale. Any doubt (different
-        config, digest mismatch, more blocks recorded than we have)
-        falls back to a full tee-hashed dump.
+        have left), and appends only the frames for blocks minted since
+        — raw byte copies from the run's own chain log for spilled
+        blocks, freshly encoded frames for the resident tail (the two
+        are byte-identical: frame encoding is deterministic given the
+        digest-chain state, which ``meta.json`` records as
+        ``chain_log_tail``). The running hash extends the cached prefix
+        digest instead of re-reading it, so per-checkpoint cost is
+        O(new blocks) with no full-file copy, hash, or JSON
+        re-serialization. Any doubt (different config, digest mismatch,
+        more blocks recorded than we have) falls back to a full write.
 
         The hardlink shares the inode with the previous checkpoint's
         file, which is safe because :meth:`load` reads exactly
@@ -747,7 +773,7 @@ class WorldState:
         if previous is not None:
             base = self._reusable_prefix(previous, config_digest, n_blocks)
         if base is not None:
-            sha, prev_bytes, prev_blocks = base
+            sha, prev_bytes, prev_blocks, tail = base
             sha = sha.copy()
             prev_file = previous / _CHAIN_FILE
             try:
@@ -756,41 +782,57 @@ class WorldState:
                 shutil.copyfile(str(prev_file), str(path))
             with open(path, "r+b") as handle:
                 handle.truncate(prev_bytes)
-            with open(path, "a", encoding="utf-8") as handle:
-                writer = _HashingWriter(handle, sha)
-                dump_chain(self.chain, writer, start=prev_blocks)
-            total = prev_bytes + writer.bytes_written
+            total = prev_bytes
+            start = prev_blocks
+            mode = "ab"
         else:
-            with open(path, "w", encoding="utf-8") as handle:
-                writer = _HashingWriter(handle)
-                dump_chain(self.chain, writer)
-            sha = writer.sha
-            total = writer.bytes_written
+            sha = hashlib.sha256()
+            tail = seed_digest()
+            total = 0
+            start = 0
+            mode = "wb"
+        with open(path, mode) as handle:
+            if start == 0:
+                handle.write(CHAINLOG_MAGIC)
+                sha.update(CHAINLOG_MAGIC)
+                total += len(CHAINLOG_MAGIC)
+            for frame, digest in self.chain.blocks.iter_frames(start, tail):
+                handle.write(frame)
+                sha.update(frame)
+                total += len(frame)
+                tail = digest
         hexdigest = sha.hexdigest()
         self._chain_cache = {
-            "blocks": n_blocks, "bytes": total, "sha": sha, "hex": hexdigest
+            "blocks": n_blocks, "bytes": total, "sha": sha,
+            "hex": hexdigest, "tail": tail,
         }
-        return hexdigest, total
+        return hexdigest, total, tail
 
     def _reusable_prefix(
         self, previous: Path, config_digest: str, n_blocks: int
-    ) -> Optional[Tuple["hashlib._Hash", int, int]]:
-        """``(hash object, bytes, blocks)`` of the previous checkpoint's
-        chain file when it is a trusted prefix of the live chain, else
-        ``None`` (→ full dump)."""
+    ) -> Optional[Tuple["hashlib._Hash", int, int, bytes]]:
+        """``(hash object, bytes, blocks, tail digest)`` of the previous
+        checkpoint's chain log when it is a trusted prefix of the live
+        chain, else ``None`` (→ full write)."""
         try:
             meta = self.read_meta(previous)
         except SimulationError:
             return None
         prev_blocks = meta.get("chain_blocks")
         prev_bytes = meta.get("chain_bytes")
+        tail_hex = meta.get("chain_log_tail")
         if not (
             meta.get("schema") == CHECKPOINT_SCHEMA_VERSION
             and meta.get("config_digest") == config_digest
             and isinstance(prev_blocks, int)
             and isinstance(prev_bytes, int)
+            and isinstance(tail_hex, str)
             and 0 < prev_blocks <= n_blocks
         ):
+            return None
+        try:
+            tail = bytes.fromhex(tail_hex)
+        except ValueError:
             return None
         cache = self._chain_cache
         if (
@@ -801,7 +843,7 @@ class WorldState:
         ):
             # This process wrote (or load-verified) exactly those bytes:
             # trust the running hash, skip re-reading the prefix.
-            return cache["sha"], prev_bytes, prev_blocks
+            return cache["sha"], prev_bytes, prev_blocks, cache["tail"]
         try:
             hexdigest, sha, size = _sha256_prefix(
                 previous / _CHAIN_FILE, prev_bytes
@@ -810,7 +852,8 @@ class WorldState:
             return None
         if size != prev_bytes or hexdigest != meta.get("chain_sha256"):
             return None
-        return sha, prev_bytes, prev_blocks
+        # The prefix hash validates, so the recorded tail describes it.
+        return sha, prev_bytes, prev_blocks, tail
 
     # -------------------------------------------------------------- load --
 
@@ -830,8 +873,21 @@ class WorldState:
             ) from exc
 
     @classmethod
-    def load(cls, directory: Union[str, Path]) -> "WorldState":
+    def load(
+        cls, directory: Union[str, Path], chain_log: bool = True
+    ) -> "WorldState":
         """Reconstruct a :meth:`save` checkpoint, bit-exactly.
+
+        With ``chain_log=True`` (the default) the chain stays on disk:
+        each verified frame is byte-copied into the run's own anonymous
+        :class:`ChainLog` while its transactions replay through the
+        ledger, so resume-time peak RSS is bounded by one frame plus
+        the folded ledger — the block object graph is never resident.
+        ``chain_log=False`` rebuilds resident :class:`Block` objects,
+        still streaming one frame at a time (the old path read the whole
+        chain file into memory *and* decoded it to a second string-sized
+        copy before parsing — a transient double-residency spike that
+        grew with the chain).
 
         Raises:
             SimulationError: when the checkpoint is missing, schema-
@@ -846,7 +902,7 @@ class WorldState:
         if schema != CHECKPOINT_SCHEMA_VERSION:
             if isinstance(schema, int) and schema < CHECKPOINT_SCHEMA_VERSION:
                 hint = (
-                    "it predates the columnar fleet layout; re-run the "
+                    "it predates the framed chain-log layout; re-run the "
                     "simulation to produce a fresh checkpoint"
                 )
             else:
@@ -862,23 +918,9 @@ class WorldState:
             raise SimulationError(
                 f"corrupt checkpoint: meta lacks chain extent in {directory}"
             )
-        # The chain file is verified as exactly the recorded prefix: an
-        # in-progress incremental save may have appended bytes past it
-        # (hardlinked inode), which this meta does not describe.
         chain_path = directory / _CHAIN_FILE
         if not chain_path.exists():
             raise SimulationError(f"corrupt checkpoint: {chain_path} missing")
-        with open(chain_path, "rb") as handle:
-            chain_data = handle.read(chain_bytes)
-        chain_sha = hashlib.sha256(chain_data)
-        if len(chain_data) != chain_bytes or (
-            chain_sha.hexdigest() != meta.get("chain_sha256")
-        ):
-            raise SimulationError(
-                f"corrupt checkpoint: {_CHAIN_FILE} digest mismatch "
-                f"({chain_sha.hexdigest()[:12]}… != recorded "
-                f"{str(meta.get('chain_sha256'))[:12]}…)"
-            )
         state_path = directory / _STATE_FILE
         if not state_path.exists():
             raise SimulationError(f"corrupt checkpoint: {state_path} missing")
@@ -890,7 +932,7 @@ class WorldState:
                 f"{str(meta.get('state_sha256'))[:12]}…)"
             )
         try:
-            with open(directory / _STATE_FILE, encoding="utf-8") as handle:
+            with open(state_path, encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError) as exc:
             raise SimulationError(
@@ -901,26 +943,94 @@ class WorldState:
         state = cls.create(config)
         state.day = int(payload["day"])
 
-        # Chain: replay the dump with trusted parent hashes; the folded
-        # ledger (balances, gateways, OUIs) is identical to the live one.
-        state.chain = load_chain(
-            io.StringIO(chain_data.decode("utf-8")),
-            vars=ChainVars(),
-            validate=False,
-        )
-        del chain_data
-        if len(state.chain.blocks) != chain_blocks:
+        # Chain: stream-verify frames (digest chain + file hash in one
+        # pass, via the hashing reader) and replay each block's
+        # transactions with trusted parent hashes; the folded ledger
+        # (balances, gateways, OUIs) is identical to the live one. The
+        # scan consumes exactly ``chain_bytes``: an in-progress
+        # incremental save may have appended past the recorded extent
+        # (hardlinked inode), which this meta does not describe.
+        chain = Blockchain(ChainVars())
+        run_log = ChainLog() if chain_log else None
+        sha = hashlib.sha256()
+        tail = seed_digest()
+        frames = 0
+        try:
+            with open(chain_path, "rb") as handle:
+                reader = _HashingReader(handle, sha)
+                for frame, height, raw, digest in scan_frames(
+                    reader, limit_bytes=chain_bytes
+                ):
+                    if frames == 0:
+                        if height != 0:
+                            raise SimulationError(
+                                f"corrupt checkpoint: first chain frame "
+                                f"is height {height}, not genesis"
+                            )
+                        # Genesis is already resident (Blockchain()
+                        # creates it); attach the run log only once it
+                        # mirrors the sequence exactly.
+                        if run_log is not None:
+                            run_log.append_frame(frame, height, digest)
+                            chain.attach_log(run_log)
+                    else:
+                        if height <= chain.height:
+                            raise SimulationError(
+                                f"corrupt checkpoint: chain height goes "
+                                f"{chain.height} -> {height}"
+                            )
+                        record = json.loads(raw)
+                        txns = [
+                            transaction_from_dict(p)
+                            for p in record.get("transactions", [])
+                        ]
+                        for txn in txns:
+                            _prefund(chain, txn)
+                        for txn in txns:
+                            chain.ledger.apply(txn, height)
+                        if run_log is not None:
+                            run_log.append_frame(frame, height, digest)
+                            chain._append_spilled(height)
+                        else:
+                            chain._append_block(Block(
+                                height=height,
+                                unix_time=int(record.get(
+                                    "time", units.block_to_unix_time(height)
+                                )),
+                                prev_hash=record.get("prev_hash", ""),
+                                transactions=tuple(txns),
+                            ))
+                    frames += 1
+                    tail = digest
+        except ChainError as exc:
+            # Torn frames, digest-chain breaks, malformed payloads.
+            raise SimulationError(f"corrupt checkpoint: {exc}") from exc
+        if (
+            reader.bytes_read != chain_bytes
+            or sha.hexdigest() != meta.get("chain_sha256")
+        ):
             raise SimulationError(
-                f"corrupt checkpoint: chain has {len(state.chain.blocks)} "
+                f"corrupt checkpoint: {_CHAIN_FILE} digest mismatch "
+                f"({sha.hexdigest()[:12]}… != recorded "
+                f"{str(meta.get('chain_sha256'))[:12]}…)"
+            )
+        if frames != chain_blocks:
+            raise SimulationError(
+                f"corrupt checkpoint: chain has {frames} "
                 f"blocks, meta records {chain_blocks}"
             )
+        if run_log is not None and frames:
+            # Pin the tip: the next mint seeds prev_hash from it.
+            chain.blocks.keep_resident(frames - 1)
+        state.chain = chain
         # Seed the running-hash cache so the first post-resume periodic
         # save extends this verified prefix without re-reading it.
         state._chain_cache = {
             "blocks": chain_blocks,
             "bytes": chain_bytes,
-            "sha": chain_sha,
-            "hex": chain_sha.hexdigest(),
+            "sha": sha,
+            "hex": sha.hexdigest(),
+            "tail": tail,
         }
         state.checker = WitnessValidityChecker(
             min_distance_km=state.chain.vars.poc_witness_min_distance_km
@@ -935,9 +1045,11 @@ class WorldState:
         # Owners: replace the bootstrap-only map with the full saved one
         # (insertion order is semantic: consensus sampling indexes it).
         world.owners = {}
+        world.owner_wallets = []
         for owner_payload in payload["owners"]:
-            owner = snap.owner_from_payload(owner_payload, city_by_key)
-            world.owners[owner.wallet] = owner
+            world.register_owner(
+                snap.owner_from_payload(owner_payload, city_by_key)
+            )
 
         # Re-link the owner model to the restored objects by wallet; the
         # archetype wallets themselves are deterministic recreations.

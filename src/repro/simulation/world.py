@@ -109,6 +109,11 @@ class World:
         self.landmass = landmass
         self.hotspots: Dict[Address, SimHotspot] = {}
         self.owners: Dict[Address, SimOwner] = {}
+        #: Owner wallets in registration order — the same order as
+        #: ``owners`` (insertion-ordered dict), maintained as a list so
+        #: daily consumers (consensus sampling) index it directly
+        #: instead of materialising ``list(owners.keys())`` every day.
+        self.owner_wallets: List[Address] = []
         self._keypair_seq = 0
         self.index: SpatialIndex[SimHotspot] = SpatialIndex(cell_deg=0.5)
 
@@ -129,8 +134,14 @@ class World:
             encashes=archetype in ("pool", "repeat", "whale"),
             runs_devices=archetype == "commercial",
         )
-        self.owners[owner.wallet] = owner
+        self.register_owner(owner)
         return owner
+
+    def register_owner(self, owner: SimOwner) -> None:
+        """Record ``owner`` in the map and the ordered wallet list
+        (the only way owners enter the world; restore paths included)."""
+        self.owners[owner.wallet] = owner
+        self.owner_wallets.append(owner.wallet)
 
     # -- hotspot lifecycle --------------------------------------------------------
 

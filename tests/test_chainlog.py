@@ -1,0 +1,226 @@
+"""Chain log: framed codec round-trips, eviction parity, torn tails.
+
+The contracts under test are the ones the bounded-RSS chain rests on:
+
+* **Byte identity.** A chain whose finalized prefix was evicted to the
+  log dumps byte-for-byte what the fully resident chain dumps, and the
+  lazily materialised views expose the same transactions
+  (``transaction_to_dict`` parity) and the same block hashes. The
+  Hypothesis cases drive arbitrary transaction mixes through
+  ``ChainBuilder`` — every family the ETL types out.
+* **Codec round-trip.** ``encode_frame`` → ``scan_frames`` returns the
+  exact payload bytes, heights, and a verified digest chain, for
+  arbitrary payloads.
+* **Torn tails.** A partial or digest-mangled final frame (crash
+  mid-append) is detected and rejected, or cleanly truncated with
+  ``recover=True`` — never silently skipped. Corruption *before* the
+  tail always raises, recover or not.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.chainlog import (
+    CHAINLOG_MAGIC,
+    FRAME_HEADER_SIZE,
+    ChainLog,
+    ChainLogError,
+    encode_frame,
+    scan_frames,
+    seed_digest,
+)
+from repro.chain.serialize import dump_chain, transaction_to_dict
+
+from tests.etl_chains import ChainBuilder
+
+
+def _dump_text(chain: Blockchain) -> str:
+    sink = io.StringIO()
+    dump_chain(chain, sink)
+    return sink.getvalue()
+
+
+def _grown(seed: int, blocks: int) -> Blockchain:
+    builder = ChainBuilder(seed=seed, n_hotspots=5, n_owners=3)
+    builder.grow(blocks=blocks)
+    return builder.chain
+
+
+class TestEvictionParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), blocks=st.integers(1, 24))
+    def test_evicted_chain_is_indistinguishable(self, seed, blocks):
+        resident = _grown(seed, blocks)
+        evicted = _grown(seed, blocks)
+        evicted.attach_log(ChainLog())
+        n_evicted = evicted.evict_finalized()
+        assert n_evicted == len(evicted.blocks) - 1  # tip stays resident
+
+        # Dumps are byte-identical (spilled lines are raw byte copies).
+        assert _dump_text(evicted) == _dump_text(resident)
+
+        # Lazy views carry the same transactions and hashes.
+        for position in range(len(resident.blocks)):
+            a, b = resident.blocks[position], evicted.blocks[position]
+            assert a.height == b.height
+            assert a.hash == b.hash
+            assert (
+                [transaction_to_dict(t) for t in a.transactions]
+                == [transaction_to_dict(t) for t in b.transactions]
+            )
+
+        # Filtered iteration reads through the log identically.
+        assert [
+            (h, transaction_to_dict(t))
+            for h, t in resident.iter_transactions()
+        ] == [
+            (h, transaction_to_dict(t))
+            for h, t in evicted.iter_transactions()
+        ]
+
+    def test_eviction_keeps_growing_chain_consistent(self):
+        builder = ChainBuilder(seed=5, n_hotspots=5)
+        builder.chain.attach_log(ChainLog())
+        for _ in range(6):
+            builder.grow(blocks=3)
+            builder.chain.evict_finalized()
+        twin = ChainBuilder(seed=5, n_hotspots=5)
+        for _ in range(6):
+            twin.grow(blocks=3)
+        assert _dump_text(builder.chain) == _dump_text(twin.chain)
+
+
+class TestFrameCodec:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=512), max_size=12)
+    )
+    def test_encode_scan_round_trip(self, payloads):
+        tail = seed_digest()
+        buffer = io.BytesIO()
+        buffer.write(CHAINLOG_MAGIC)
+        for height, payload in enumerate(payloads):
+            frame, tail = encode_frame(height, payload, tail)
+            buffer.write(frame)
+        buffer.seek(0)
+        scanned = list(scan_frames(buffer))
+        assert [p for _, _, p, _ in scanned] == payloads
+        assert [h for _, h, _, _ in scanned] == list(range(len(payloads)))
+        if scanned:
+            assert scanned[-1][3] == tail
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=256), min_size=1, max_size=8
+        )
+    )
+    def test_log_positional_reads(self, payloads):
+        log = ChainLog()
+        for height, payload in enumerate(payloads):
+            log.append(height, payload)
+        for index, payload in enumerate(payloads):
+            assert log.payload(index) == payload
+            frame = log.frame_bytes(index)
+            assert frame[FRAME_HEADER_SIZE:] == payload
+            assert log.digest_at(index) == frame[12:20]
+        assert len(log) == len(payloads)
+        log.close()
+
+    def test_spliced_frame_breaks_the_chain(self):
+        """A frame from another log (valid in isolation) cannot be
+        spliced in: its digest chains from the wrong predecessor."""
+        frame, _ = encode_frame(1, b"other history", seed_digest())
+        buffer = io.BytesIO()
+        buffer.write(CHAINLOG_MAGIC)
+        own, _ = encode_frame(0, b"mine", seed_digest())
+        buffer.write(own)
+        buffer.write(frame)  # chained from seed, not from `own`
+        buffer.seek(0)
+        with pytest.raises(ChainLogError, match="digest chain broken"):
+            list(scan_frames(buffer))
+
+
+@pytest.fixture()
+def log_file(tmp_path):
+    """An on-disk log with three intact frames; returns (path, frames)."""
+    path = tmp_path / "chain.log"
+    log = ChainLog(path)
+    payloads = [b'{"height":%d}\n' % i for i in range(3)]
+    for height, payload in enumerate(payloads):
+        log.append(height, payload)
+    log.close()
+    return path, payloads
+
+
+class TestTornTails:
+    def test_clean_reopen(self, log_file):
+        path, payloads = log_file
+        log = ChainLog.open(path)
+        assert len(log) == 3
+        assert [log.payload(i) for i in range(3)] == payloads
+        log.close()
+
+    @pytest.mark.parametrize("cut", [1, FRAME_HEADER_SIZE - 1,
+                                     FRAME_HEADER_SIZE + 2])
+    def test_torn_final_frame_rejected_without_recover(self, log_file, cut):
+        path, _ = log_file
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - cut)
+        with pytest.raises(ChainLogError, match="torn frame"):
+            ChainLog.open(path)
+
+    def test_torn_final_frame_recovers_to_last_intact(self, log_file):
+        path, payloads = log_file
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 5)
+        log = ChainLog.open(path, recover=True)
+        assert len(log) == 2
+        assert [log.payload(i) for i in range(2)] == payloads[:2]
+        assert path.stat().st_size == log.size  # file truncated too
+        log.close()
+
+    def test_mangled_final_digest_is_a_recoverable_tear(self, log_file):
+        path, payloads = log_file
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # last payload byte no longer matches digest
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ChainLogError, match="torn frame"):
+            ChainLog.open(path)
+        log = ChainLog.open(path, recover=True)
+        assert len(log) == 2
+        assert [log.payload(i) for i in range(2)] == payloads[:2]
+        log.close()
+
+    def test_mid_file_corruption_always_raises(self, log_file):
+        path, _ = log_file
+        blob = bytearray(path.read_bytes())
+        # Flip a byte in the *first* frame's payload: frames after it
+        # still look intact, so this is damage, not a torn append.
+        blob[len(CHAINLOG_MAGIC) + FRAME_HEADER_SIZE] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ChainLogError, match="digest chain broken"):
+            ChainLog.open(path)
+        with pytest.raises(ChainLogError, match="digest chain broken"):
+            ChainLog.open(path, recover=True)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not-a-log"
+        path.write_bytes(b"GARBAGE!" + os.urandom(64))
+        with pytest.raises(ChainLogError, match="bad magic"):
+            ChainLog.open(path)
+
+    def test_scan_rejects_frame_crossing_recorded_extent(self, log_file):
+        path, _ = log_file
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            with pytest.raises(ChainLogError, match="crosses the recorded"):
+                list(scan_frames(handle, limit_bytes=size - 4))

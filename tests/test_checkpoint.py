@@ -82,6 +82,24 @@ class TestResumeEqualsFresh:
         assert engine.state.day == 35
         assert result_digest(engine.run()) == fresh
 
+    def test_resident_chain_resume_is_bit_identical(self, tmp_path):
+        """--resident-chain (chain_log=False) round-trips through the
+        same v3 checkpoint files, and its digest equals the default
+        log-backed run's — the two residency modes are one format."""
+        config = _trimmed_config(seed=21)
+        fresh = result_digest(
+            SimulationEngine(config).run(chain_log=False)
+        )
+        assert fresh == _fresh_digest(config)  # log on ≡ log off
+        ckpt = tmp_path / "ckpt"
+        SimulationEngine(config).run(
+            stop_after_day=25, checkpoint_dir=ckpt, chain_log=False
+        )
+        resumed = SimulationEngine.resume(ckpt, chain_log=False).run(
+            chain_log=False
+        )
+        assert result_digest(resumed) == fresh
+
     @pytest.mark.skipif(
         not os.environ.get("REPRO_PAPER_DIGEST"),
         reason="paper-scale build (~40s); set REPRO_PAPER_DIGEST=1 "
@@ -118,7 +136,7 @@ class TestCorruptCheckpoints:
             WorldState.load(checkpoint)
 
     def test_truncated_chain_is_rejected(self, checkpoint):
-        path = checkpoint / "chain.jsonl"
+        path = checkpoint / "chain.log"
         blob = path.read_bytes()
         path.write_bytes(blob[: len(blob) // 2])
         with pytest.raises(SimulationError, match="corrupt checkpoint"):
@@ -143,6 +161,24 @@ class TestCorruptCheckpoints:
         with pytest.raises(SimulationError, match="predates"):
             WorldState.load(checkpoint)
         with pytest.raises(SimulationError, match="schema"):
+            WorldState.load(checkpoint)
+
+    def test_v2_chain_jsonl_checkpoint_is_rejected(self, checkpoint):
+        """A v2 checkpoint (JSONL chain, pre-framed-log) fails with a
+        message naming the layout gap and the remedy — not a missing
+        chain.log file error. Together with
+        ``test_schema_mismatch_is_rejected`` (a v4 checkpoint on this
+        build → "newer build") this pins the v2→v3 boundary from both
+        directions."""
+        (checkpoint / "chain.log").rename(checkpoint / "chain.jsonl")
+        meta_path = checkpoint / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = 2
+        meta.pop("chain_log_tail", None)
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(SimulationError, match="predates"):
+            WorldState.load(checkpoint)
+        with pytest.raises(SimulationError, match="framed chain-log"):
             WorldState.load(checkpoint)
 
     def test_missing_fleet_section_is_rejected(self, checkpoint):

@@ -189,6 +189,40 @@ class TestTrace:
         obs.close_trace(clear_env=True)
         assert "REPRO_TRACE" not in os.environ
 
+    def test_oversized_event_round_trips_intact(self, tmp_path):
+        """A multi-megabyte event must land as one complete JSON line
+        (the writer drains to completion instead of trusting a single
+        ``os.write`` to take the whole buffer)."""
+        path = tmp_path / "big.jsonl"
+        obs.configure_trace(path, trace_id="big")
+        blob = "x" * (8 * 1024 * 1024)
+        obs.trace_event("demo.big", blob=blob)
+        obs.trace_event("demo.after", ok=True)
+        obs.close_trace(clear_env=True)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["kind"] for e in events] == ["demo.big", "demo.after"]
+        assert events[0]["blob"] == blob
+
+    def test_partial_writes_are_drained(self, tmp_path, monkeypatch):
+        """Force ``os.write`` to return short: the stream must still
+        carry every byte, in order (the partial-write corruption bug)."""
+        path = tmp_path / "drip.jsonl"
+        obs.configure_trace(path, trace_id="drip")
+        real_write = os.write
+
+        def dribble(fd, data):
+            return real_write(fd, bytes(data)[:7])
+
+        monkeypatch.setattr(os, "write", dribble)
+        obs.trace_event("demo.drip", payload="y" * 300)
+        obs.trace_event("demo.drip2", payload="z" * 300)
+        monkeypatch.undo()
+        obs.close_trace(clear_env=True)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["kind"] for e in events] == ["demo.drip", "demo.drip2"]
+        assert events[0]["payload"] == "y" * 300
+        assert events[1]["payload"] == "z" * 300
+
     def test_concurrent_processes_interleave_cleanly(self, tmp_path):
         """N processes appending via env produce N*M parseable lines
         sharing one trace id — the farm's spawn-worker mechanism."""

@@ -65,6 +65,26 @@ class TestShardPool:
         with pytest.raises(SimulationError):
             ShardPool(0)
 
+    def test_live_worker_peaks_fold_into_children_rss(self):
+        """``RUSAGE_CHILDREN`` only reflects *reaped* children, so a
+        persistent pool's live workers are invisible to it — worker
+        self-reports carried home by the gather protocol must fill the
+        gap (the ``--profile`` under-reporting regression). A sharded
+        run's reported peak is therefore ≥ the serial reading."""
+        serial_peak = obs.peak_rss_bytes()
+        with ShardPool(2) as pool:
+            pool.run([("echo", list(range(1000)))] * 4)
+            # The pool is still alive here: only the gather-protocol
+            # fold can have populated the children gauge.
+            sharded_peak = obs.peak_rss_bytes(children=True)
+            children_gauge = obs.snapshot()["gauges"][
+                "process.peak_rss_children_bytes"
+            ]
+        # A live Python worker's high-water mark is at least a few MB.
+        assert children_gauge > 4 * 1024 * 1024
+        assert sharded_peak >= serial_peak
+        assert sharded_peak >= children_gauge
+
 
 class TestShardedDayLoopByteIdentity:
     """Sharded ≡ serial on the trimmed scenario, for several worker
