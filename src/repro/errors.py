@@ -56,6 +56,15 @@ class SimulationError(ReproError):
     """Scenario or simulation engine misconfiguration."""
 
 
+class ScenarioSpecError(SimulationError):
+    """A declarative scenario spec failed to load or validate.
+
+    Raised by :mod:`repro.scenarios` with field-level messages (the
+    offending key path is always named) for unknown keys, type
+    mismatches, constraint violations, and unresolvable references.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis was asked to run on data that cannot support it."""
 

@@ -45,8 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ingest = sub.add_parser("ingest", help="ingest a scenario chain into a store")
     ingest.add_argument("--db", required=True, help="path of the SQLite store")
-    ingest.add_argument("--scenario", default="paper", choices=["paper", "small"])
-    ingest.add_argument("--seed", type=int, default=2021)
+    ingest.add_argument(
+        "--scenario", default="paper", metavar="NAME|FILE",
+        help="registry name or a path to a .json/.toml scenario spec file",
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's own seed (default: keep it)",
+    )
     ingest.add_argument(
         "--batch", type=int, default=None, metavar="BLOCKS",
         help="blocks per commit (default 512)",
@@ -65,10 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8600)
     serve.add_argument(
-        "--scenario", default=None, choices=["paper", "small"],
-        help="ingest this scenario first if the store is missing/stale",
+        "--scenario", default=None, metavar="NAME|FILE",
+        help="ingest this scenario (registry name or spec-file path) "
+        "first if the store is missing/stale",
     )
-    serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's own seed (default: keep it)",
+    )
     serve.add_argument("--quiet", action="store_true")
     return parser
 
@@ -77,8 +87,10 @@ def _cmd_ingest(args) -> int:
     from repro.etl.ingest import DEFAULT_BATCH_BLOCKS, ingest_chain
     from repro.etl.store import EtlStore
     from repro.experiments.context import get_result
+    from repro.scenarios import resolve
 
-    result = get_result(args.scenario, args.seed)
+    resolved = resolve(args.scenario, seed=args.seed)
+    result = get_result(resolved)
     store = EtlStore(args.db)
     report = ingest_chain(
         result.chain, store,
@@ -86,8 +98,9 @@ def _cmd_ingest(args) -> int:
     )
     print(json.dumps({
         "db": args.db,
-        "scenario": args.scenario,
-        "seed": args.seed,
+        "scenario": resolved.label,
+        "scenario_digest": resolved.digest,
+        "seed": resolved.config.seed,
         "start_height": report.start_height,
         "tip_height": report.tip_height,
         "blocks_ingested": report.blocks_ingested,
@@ -152,7 +165,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _open_or_ingest(db: str, scenario: Optional[str], seed: int):
+def _open_or_ingest(db: str, scenario: Optional[str], seed: Optional[int]):
     from repro.etl.store import EtlStore
 
     try:

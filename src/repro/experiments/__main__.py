@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments                 # paper scenario, all
     python -m repro.experiments fig12 fig13     # a subset
     python -m repro.experiments --scenario small
+    python -m repro.experiments --scenario my-whatif.json   # user spec
+    python -m repro.experiments --list-scenarios            # registry
     python -m repro.experiments --jobs 4        # process-pool farm
     python -m repro.experiments --profile       # timings JSON
     python -m repro.experiments sweep --seeds 2021..2024 --jobs 4
@@ -46,8 +48,9 @@ def _sweep_main(argv) -> int:
         help="seed range (inclusive) or comma list",
     )
     parser.add_argument(
-        "--scenario", default="paper",
-        choices=["paper", "paper-10x", "small"],
+        "--scenario", default="paper", metavar="NAME|FILE",
+        help="registry name (see --list-scenarios) or a path to a "
+        ".json/.toml scenario spec file",
     )
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument(
@@ -73,13 +76,17 @@ def _sweep_main(argv) -> int:
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
 
+    from repro.errors import ScenarioSpecError
     from repro.parallel import format_sweep, run_sweep
 
     started = time.time()
-    sweep = run_sweep(
-        args.scenario, args.seeds, ids, jobs=args.jobs,
-        checkpoint_every=args.checkpoint_every,
-    )
+    try:
+        sweep = run_sweep(
+            args.scenario, args.seeds, ids, jobs=args.jobs,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ScenarioSpecError as exc:
+        parser.error(str(exc))
     print(format_sweep(sweep))
     print(
         f"\nswept {len(args.seeds)} seeds x {len(ids)} experiments "
@@ -109,10 +116,18 @@ def main(argv=None) -> int:
         help="list registered figures/tables with descriptions and exit",
     )
     parser.add_argument(
-        "--scenario", default="paper",
-        choices=["paper", "paper-10x", "small"],
+        "--list-scenarios", action="store_true",
+        help="list registry scenarios with their resolved digests and exit",
     )
-    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--scenario", default="paper", metavar="NAME|FILE",
+        help="registry name (see --list-scenarios) or a path to a "
+        ".json/.toml scenario spec file",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's own seed (default: keep it)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run experiments in N worker processes (workers rehydrate "
@@ -161,6 +176,12 @@ def main(argv=None) -> int:
             print(f"{experiment_id:<{width}}  {description}")
         return 0
 
+    if args.list_scenarios:
+        from repro.scenarios import format_listing
+
+        print(format_listing())
+        return 0
+
     ids = args.ids or EXPERIMENTS.ids()
     unknown = [i for i in ids if i not in EXPERIMENTS.ids()]
     if unknown:
@@ -169,10 +190,19 @@ def main(argv=None) -> int:
     if args.trace:
         obs.configure_trace(args.trace)
 
-    print(f"building {args.scenario} scenario (seed {args.seed})...")
+    from repro.errors import ScenarioSpecError
+    from repro.scenarios import resolve
+
+    try:
+        resolved = resolve(args.scenario, seed=args.seed)
+    except ScenarioSpecError as exc:
+        parser.error(str(exc))
+
+    print(f"building {resolved.label} scenario "
+          f"(seed {resolved.config.seed}, digest {resolved.digest[:12]})...")
     started = time.time()
     result = get_result(
-        args.scenario, args.seed, checkpoint_every=args.checkpoint_every,
+        resolved, checkpoint_every=args.checkpoint_every,
         shard_workers=args.shard_workers,
     )
     scenario_ready_s = time.time() - started
@@ -185,7 +215,7 @@ def main(argv=None) -> int:
             from repro.parallel import run_farm
 
             outcomes = run_farm(
-                args.scenario, args.seed, ids, jobs=args.jobs,
+                resolved, None, ids, jobs=args.jobs,
                 checkpoint_every=args.checkpoint_every,
                 shard_workers=args.shard_workers,
             )
@@ -204,7 +234,7 @@ def main(argv=None) -> int:
                 from repro.experiments.context import ensure_snapshot
                 from repro.parallel import shards
 
-                entry = ensure_snapshot(args.scenario, args.seed)
+                entry = ensure_snapshot(resolved)
                 shards.configure_experiment_pool(
                     args.shard_workers,
                     None if entry is None else str(entry),
@@ -243,8 +273,9 @@ def main(argv=None) -> int:
         from pathlib import Path
 
         profile = {
-            "scenario": args.scenario,
-            "seed": args.seed,
+            "scenario": resolved.label,
+            "scenario_digest": resolved.digest,
+            "seed": resolved.config.seed,
             "jobs": args.jobs,
             "scenario_ready_s": scenario_ready_s,
             # Per-phase day-loop seconds; null when the scenario came

@@ -1,17 +1,25 @@
 """Shared scenario cache for experiments, benchmarks and examples.
 
 Building the paper scenario takes ~30 s; every bench and example wants
-the same chain. ``get_result`` memoises one result per (scenario, seed)
-within the process, and additionally keeps a persistent on-disk cache so
-a *fresh* process reloads the scenario in seconds instead of
+the same chain. ``get_result`` memoises one result per resolved spec
+digest within the process, and additionally keeps a persistent on-disk
+cache so a *fresh* process reloads the scenario in seconds instead of
 re-simulating.
+
+Scenarios arrive as registry names (``"paper"``), paths to user spec
+files (``"my-whatif.json"``), or already-resolved
+:class:`~repro.scenarios.ResolvedScenario` objects — all three funnel
+through :func:`repro.scenarios.resolve_any` into one validated config
+whose canonical digest keys both the in-process memo and the disk
+entry. Two specs that resolve to the same config therefore share one
+cache entry, regardless of spelling, file path or label.
 
 The disk cache lives under ``$XDG_CACHE_HOME/repro-scenarios`` (or
 ``~/.cache/repro-scenarios``). The ``REPRO_SCENARIO_CACHE`` environment
 variable overrides it: set it to a directory to relocate the cache, or
-to ``0`` / ``off`` to disable persistence entirely. Entries are keyed by
-scenario name, seed, a hash of every scenario knob, and the snapshot
-schema version, so stale entries are never mistaken for current ones.
+to ``0`` / ``off`` to disable persistence entirely. Entries are keyed
+by seed, the canonical spec digest and the snapshot schema version, so
+stale entries are never mistaken for current ones.
 
 ``get_store`` materialises the DeWi-style ETL replica (``etl.db``,
 :mod:`repro.etl`) alongside the snapshot files inside the same entry:
@@ -29,20 +37,15 @@ import sqlite3
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Union
 
 from repro import obs
 from repro.errors import EtlError, ReproError
 from repro.etl.ingest import ingest_chain
 from repro.etl.store import EtlStore
 from repro.experiments import snapshot
-from repro.simulation import (
-    SimulationEngine,
-    SimulationResult,
-    paper_10x_scenario,
-    paper_scenario,
-    small_scenario,
-)
+from repro.scenarios import ResolvedScenario, resolve_any
+from repro.simulation import SimulationEngine, SimulationResult
 
 __all__ = [
     "ensure_snapshot",
@@ -51,14 +54,10 @@ __all__ = [
     "scenario_cache_dir",
 ]
 
-_CACHE: Dict[Tuple[str, int], SimulationResult] = {}
-_STORES: Dict[Tuple[str, int], EtlStore] = {}
+ScenarioRef = Union[str, ResolvedScenario]
 
-_BUILDERS = {
-    "paper": paper_scenario,
-    "paper-10x": paper_10x_scenario,
-    "small": small_scenario,
-}
+_CACHE: Dict[str, SimulationResult] = {}
+_STORES: Dict[str, EtlStore] = {}
 
 _ENV_VAR = "REPRO_SCENARIO_CACHE"
 _OFF_VALUES = {"0", "off", "none", "false"}
@@ -76,13 +75,13 @@ def scenario_cache_dir() -> Optional[Path]:
     return base / "repro-scenarios"
 
 
-def _entry_dir(scenario: str, config) -> Optional[Path]:
+def _entry_dir(resolved: ResolvedScenario) -> Optional[Path]:
     root = scenario_cache_dir()
     if root is None:
         return None
-    digest = snapshot.config_digest(config)[:12]
     return root / (
-        f"{scenario}-seed{config.seed}-{digest}-v{snapshot.SCHEMA_VERSION}"
+        f"scn-seed{resolved.config.seed}-{resolved.digest[:12]}"
+        f"-v{snapshot.SCHEMA_VERSION}"
     )
 
 
@@ -124,13 +123,17 @@ def _save_to_disk(result: SimulationResult, entry: Path) -> None:
 
 
 def get_result(
-    scenario: str = "paper",
-    seed: int = 2021,
+    scenario: ScenarioRef = "paper",
+    seed: Optional[int] = None,
     *,
     checkpoint_every: Optional[int] = None,
     shard_workers: int = 0,
 ) -> SimulationResult:
-    """A memoised simulation result for the named scenario preset.
+    """A memoised simulation result for a scenario.
+
+    ``scenario`` is a registry name, a path to a spec file, or an
+    already-resolved :class:`~repro.scenarios.ResolvedScenario`.
+    ``seed=None`` keeps the spec's own seed; an int overrides it.
 
     ``checkpoint_every=N`` makes a cold build resumable: the engine
     saves its full run state every N days into a ``.ckpt`` sibling of
@@ -142,20 +145,14 @@ def get_result(
     :meth:`~repro.simulation.engine.SimulationEngine.run`). Both are
     ignored on memo/disk hits and when persistence is disabled.
     """
-    key = (scenario, seed)
-    cached = _CACHE.get(key)
+    resolved = resolve_any(scenario, seed=seed)
+    cached = _CACHE.get(resolved.digest)
     if cached is not None:
-        obs.counter("cache.memo_hit", scenario=scenario)
+        obs.counter("cache.memo_hit", scenario=resolved.label)
         return cached
-    builder = _BUILDERS.get(scenario)
-    if builder is None:
-        raise KeyError(
-            f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
-        )
-    config = builder(seed=seed)
-    entry = _entry_dir(scenario, config)
+    entry = _entry_dir(resolved)
     if entry is not None:
-        cached = _timed_load(entry, scenario, seed)
+        cached = _timed_load(entry, resolved)
     if cached is None:
         from repro.parallel.locks import build_lock
 
@@ -163,26 +160,27 @@ def get_result(
             # Losing the lock race means the winner already built
             # and published this entry — load theirs, don't rebuild.
             if entry is not None:
-                cached = _timed_load(entry, scenario, seed)
+                cached = _timed_load(entry, resolved)
             if cached is None:
-                obs.counter("cache.build", scenario=scenario)
+                obs.counter("cache.build", scenario=resolved.label)
                 obs.trace_event(
-                    "cache.build.start", scenario=scenario, seed=seed,
+                    "cache.build.start", scenario=resolved.label,
+                    seed=resolved.config.seed, digest=resolved.digest[:12],
                     entry=None if entry is None else entry.name,
                 )
                 with obs.timer("cache.build_s") as timing:
                     cached = _build_result(
-                        config, scenario, entry, checkpoint_every,
-                        shard_workers,
+                        resolved, entry, checkpoint_every, shard_workers,
                     )
                 obs.trace_event(
-                    "cache.build.done", scenario=scenario, seed=seed,
+                    "cache.build.done", scenario=resolved.label,
+                    seed=resolved.config.seed,
                     wall_s=round(timing.elapsed, 4),
                 )
                 if entry is not None:
                     _save_to_disk(cached, entry)
                     _discard_checkpoint(entry)
-    _CACHE[key] = cached
+    _CACHE[resolved.digest] = cached
     return cached
 
 
@@ -196,8 +194,7 @@ def _discard_checkpoint(entry: Path) -> None:
 
 
 def _build_result(
-    config,
-    scenario: str,
+    resolved: ResolvedScenario,
     entry: Optional[Path],
     checkpoint_every: Optional[int],
     shard_workers: int = 0,
@@ -206,6 +203,7 @@ def _build_result(
     is present (and discarding it when stale or corrupt)."""
     from repro.simulation.state import WorldState
 
+    config = resolved.config
     ckpt: Optional[Path] = None
     if checkpoint_every and entry is not None:
         ckpt = _checkpoint_dir(entry)
@@ -216,9 +214,9 @@ def _build_result(
             if meta.get("config_digest") != snapshot.config_digest(config):
                 raise ReproError("checkpoint built from a different config")
             engine = SimulationEngine.resume(ckpt)
-            obs.counter("cache.resume", scenario=scenario)
+            obs.counter("cache.resume", scenario=resolved.label)
             obs.trace_event(
-                "cache.resume", scenario=scenario, seed=config.seed,
+                "cache.resume", scenario=resolved.label, seed=config.seed,
                 day=engine.state.day,
             )
         except (ReproError, OSError, KeyError, ValueError, TypeError) as exc:
@@ -243,25 +241,25 @@ def _build_result(
 
 
 def _timed_load(
-    entry: Path, scenario: str, seed: int
+    entry: Path, resolved: ResolvedScenario
 ) -> Optional[SimulationResult]:
     """Disk load wrapped in hit/miss metrics and one trace event."""
     with obs.timer("cache.load_s") as timing:
         result = _load_from_disk(entry)
     if result is None:
-        obs.counter("cache.disk_miss", scenario=scenario)
+        obs.counter("cache.disk_miss", scenario=resolved.label)
         return None
-    obs.counter("cache.disk_hit", scenario=scenario)
+    obs.counter("cache.disk_hit", scenario=resolved.label)
     obs.trace_event(
-        "cache.load", scenario=scenario, seed=seed, entry=entry.name,
-        wall_s=round(timing.elapsed, 4),
+        "cache.load", scenario=resolved.label, seed=resolved.config.seed,
+        entry=entry.name, wall_s=round(timing.elapsed, 4),
     )
     return result
 
 
 def ensure_snapshot(
-    scenario: str = "paper",
-    seed: int = 2021,
+    scenario: ScenarioRef = "paper",
+    seed: Optional[int] = None,
     *,
     checkpoint_every: Optional[int] = None,
     shard_workers: int = 0,
@@ -274,16 +272,12 @@ def ensure_snapshot(
     ``checkpoint_every`` makes a cold build resumable and
     ``shard_workers`` shards its day loop — see :func:`get_result`.
     """
-    builder = _BUILDERS.get(scenario)
-    if builder is None:
-        raise KeyError(
-            f"unknown scenario preset {scenario!r}; known: {sorted(_BUILDERS)}"
-        )
-    entry = _entry_dir(scenario, builder(seed=seed))
+    resolved = resolve_any(scenario, seed=seed)
+    entry = _entry_dir(resolved)
     if entry is None:
         return None
     result = get_result(
-        scenario, seed, checkpoint_every=checkpoint_every,
+        resolved, checkpoint_every=checkpoint_every,
         shard_workers=shard_workers,
     )
     if not (entry / "meta.json").exists():
@@ -293,7 +287,9 @@ def ensure_snapshot(
     return entry if (entry / "meta.json").exists() else None
 
 
-def get_store(scenario: str = "paper", seed: int = 2021) -> EtlStore:
+def get_store(
+    scenario: ScenarioRef = "paper", seed: Optional[int] = None
+) -> EtlStore:
     """The ETL replica of a scenario's chain, materialised and current.
 
     Lives at ``<cache entry>/etl.db`` next to the snapshot files; when
@@ -303,16 +299,16 @@ def get_store(scenario: str = "paper", seed: int = 2021) -> EtlStore:
     discarded and re-ingested (with a warning), mirroring snapshot
     self-healing.
     """
-    key = (scenario, seed)
-    store = _STORES.get(key)
+    resolved = resolve_any(scenario, seed=seed)
+    store = _STORES.get(resolved.digest)
     if store is None:
-        result = get_result(scenario, seed)
-        entry = _entry_dir(scenario, _BUILDERS[scenario](seed=seed))
+        result = get_result(resolved)
+        entry = _entry_dir(resolved)
         path = None
         if entry is not None and (entry / "meta.json").exists():
             path = entry / snapshot.ETL_DB_FILE
         store = _materialise_store(result, path)
-        _STORES[key] = store
+        _STORES[resolved.digest] = store
     return store
 
 

@@ -1,13 +1,19 @@
 """Process-pool experiment farm with cache-based worker rehydration.
 
 ``python -m repro.experiments --jobs N`` lands here. The parent
-materialises the scenario's persistent cache entry once (building it if
-cold), then fans experiment tasks out over a ``multiprocessing`` pool.
-Each worker receives only ``(snapshot_dir, scenario, seed,
-experiment_id, unit)`` — a few hundred bytes — rehydrates the
+resolves the scenario spec once (registry name, user spec file, or an
+already-resolved scenario), materialises its persistent cache entry
+(building it if cold), then fans experiment tasks out over a
+``multiprocessing`` pool. Each worker receives only ``(snapshot_dir,
+scenario_payload, experiment_id, unit)`` — a few hundred bytes, where
+the payload is the parent's *serialised resolved spec*
+(:meth:`repro.scenarios.ResolvedScenario.payload`), never a name to be
+re-looked-up — rehydrates the
 :class:`~repro.simulation.engine.SimulationResult` from the snapshot on
 first use, and memoises it for the rest of its life, so a worker pays
-the load cost once no matter how many tasks it draws.
+the load cost once no matter how many tasks it draws. Because spawn
+workers rebuild from the payload, a spec file edited (or deleted)
+mid-run cannot change what they compute.
 
 Scheduling: tasks dispatch **longest-first** using the static cost
 table in :mod:`repro.parallel.costs` (seeded from the benchmark's
@@ -67,16 +73,16 @@ class FarmOutcome:
 
 
 #: Per-worker-process memo of the rehydrated result, keyed by
-#: (snapshot_dir, scenario, seed). Plain module globals — inherited
+#: (snapshot_dir, spec digest). Plain module globals — inherited
 #: empty under ``spawn``, shared copy-on-write under ``fork``; either
 #: way each worker loads the scenario at most once per key.
 _WORKER_RESULT = None
-_WORKER_KEY: Optional[Tuple[Optional[str], str, int]] = None
+_WORKER_KEY: Optional[Tuple[Optional[str], str]] = None
 
 
-def _worker_result(snapshot_dir: Optional[str], scenario: str, seed: int):
+def _worker_result(snapshot_dir: Optional[str], payload: Dict):
     global _WORKER_RESULT, _WORKER_KEY
-    key = (snapshot_dir, scenario, seed)
+    key = (snapshot_dir, payload["digest"])
     if _WORKER_KEY != key:
         if snapshot_dir is not None:
             from repro.experiments.snapshot import load_result
@@ -85,20 +91,23 @@ def _worker_result(snapshot_dir: Optional[str], scenario: str, seed: int):
                 _WORKER_RESULT = load_result(snapshot_dir)
             obs.counter("farm.rehydrates")
             obs.trace_event(
-                "worker.rehydrate", scenario=scenario, seed=seed,
+                "worker.rehydrate", scenario=payload["label"],
+                digest=payload["digest"][:12],
                 wall_s=round(timing.elapsed, 4),
             )
         else:
             # Cache disabled: fall back to the in-process memo (each
-            # worker builds once; still correct, just not shared).
+            # worker rebuilds from the serialised spec once; still
+            # correct, just not shared).
             from repro.experiments.context import get_result
+            from repro.scenarios import from_payload
 
-            _WORKER_RESULT = get_result(scenario, seed)
+            _WORKER_RESULT = get_result(from_payload(payload))
         _WORKER_KEY = key
     return _WORKER_RESULT
 
 
-def _run_one(task: Tuple[Optional[str], str, int, str, Optional[str]]) -> Dict:
+def _run_one(task: Tuple[Optional[str], Dict, str, Optional[str]]) -> Dict:
     """Worker entry point: rehydrate (memoised), run one task.
 
     A task is a whole experiment (``unit is None``) or one unit of a
@@ -106,8 +115,8 @@ def _run_one(task: Tuple[Optional[str], str, int, str, Optional[str]]) -> Dict:
     ``(experiment_id, unit)`` so the parent can reassemble
     deterministically.
     """
-    snapshot_dir, scenario, seed, experiment_id, unit = task
-    result = _worker_result(snapshot_dir, scenario, seed)
+    snapshot_dir, scenario_payload, experiment_id, unit = task
+    result = _worker_result(snapshot_dir, scenario_payload)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     if unit is None:
@@ -122,7 +131,8 @@ def _run_one(task: Tuple[Optional[str], str, int, str, Optional[str]]) -> Dict:
     obs.observe("farm.task_s", wall_s, experiment=experiment_id)
     obs.trace_event(
         "worker.task", experiment=experiment_id, unit=unit,
-        scenario=scenario, seed=seed,
+        scenario=scenario_payload["label"],
+        seed=scenario_payload["config"]["seed"],
         wall_s=round(wall_s, 4), cpu_s=round(cpu_s, 4),
     )
     return {
@@ -194,9 +204,9 @@ def _assemble(
 
 
 def run_farm(
-    scenario: str,
-    seed: int,
-    experiment_ids: Sequence[str],
+    scenario,
+    seed: Optional[int] = None,
+    experiment_ids: Sequence[str] = (),
     jobs: int = 1,
     start_method: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
@@ -204,32 +214,39 @@ def run_farm(
 ) -> List[FarmOutcome]:
     """Run experiments for one scenario, fanned over ``jobs`` processes.
 
-    Returns outcomes in ``experiment_ids`` order regardless of worker
-    scheduling. ``jobs <= 1`` runs everything in-process through the
-    exact same task path (useful as the comparison baseline).
-    ``start_method`` overrides the platform default (``"spawn"`` /
-    ``"fork"`` / ``"forkserver"``) — mainly for portability tests.
+    ``scenario`` is anything :func:`repro.scenarios.resolve_any`
+    accepts — registry name, spec-file path, or a resolved scenario;
+    ``seed=None`` keeps the spec's own seed. Returns outcomes in
+    ``experiment_ids`` order regardless of worker scheduling.
+    ``jobs <= 1`` runs everything in-process through the exact same
+    task path (useful as the comparison baseline). ``start_method``
+    overrides the platform default (``"spawn"`` / ``"fork"`` /
+    ``"forkserver"``) — mainly for portability tests.
     ``checkpoint_every`` makes the parent's cold scenario build
     resumable and ``shard_workers`` runs it with an intra-run shard
     pool (see :func:`repro.experiments.context.get_result`); workers
     only ever rehydrate the finished snapshot.
     """
     from repro.experiments.context import ensure_snapshot
+    from repro.scenarios import resolve_any
 
+    resolved = resolve_any(scenario, seed=seed)
+    payload = resolved.payload()
     ids = list(experiment_ids)
     entry = ensure_snapshot(
-        scenario, seed, checkpoint_every=checkpoint_every,
+        resolved, checkpoint_every=checkpoint_every,
         shard_workers=shard_workers,
     )
     snapshot_dir = None if entry is None else str(entry)
     tasks = [
-        (snapshot_dir, scenario, seed, eid, unit)
+        (snapshot_dir, payload, eid, unit)
         for eid, unit in longest_first(_expand(ids, jobs))
     ]
 
     farm_started = time.perf_counter()
     obs.trace_event(
-        "farm.start", scenario=scenario, seed=seed, jobs=jobs,
+        "farm.start", scenario=resolved.label, seed=resolved.config.seed,
+        digest=resolved.digest[:12], jobs=jobs,
         experiments=len(ids), tasks=len(tasks),
     )
     obs.gauge("farm.queue_depth", len(tasks))
@@ -253,8 +270,8 @@ def run_farm(
                 raw.append(item)
                 obs.gauge("farm.queue_depth", len(tasks) - len(raw))
     obs.trace_event(
-        "farm.done", scenario=scenario, seed=seed, jobs=jobs,
-        experiments=len(ids),
+        "farm.done", scenario=resolved.label, seed=resolved.config.seed,
+        jobs=jobs, experiments=len(ids),
         wall_s=round(time.perf_counter() - farm_started, 4),
     )
 

@@ -31,22 +31,28 @@ __all__ = ["format_sweep", "run_sweep"]
 
 
 def _sweep_task(
-    task: Tuple[str, int, Tuple[str, ...], Optional[int]]
+    task: Tuple[Dict, Tuple[str, ...], Optional[int]]
 ) -> Tuple[int, List[Dict]]:
     """Worker entry point: build one seed's scenario, run all experiments.
 
-    ``get_result`` consults the persistent cache first, takes the build
-    lock on a miss, and publishes the built scenario for everyone else —
-    so concurrent sweep workers never duplicate a cold build and the
-    entries remain available for later warm runs. A non-``None``
-    ``checkpoint_every`` additionally makes each cold build resumable
-    across sweep invocations.
+    The task carries the parent's serialised resolved spec (one payload
+    per seed), so spawn workers rehydrate what the parent validated
+    instead of re-reading any file or registry. ``get_result`` consults
+    the persistent cache first, takes the build lock on a miss, and
+    publishes the built scenario for everyone else — so concurrent
+    sweep workers never duplicate a cold build and the entries remain
+    available for later warm runs. A non-``None`` ``checkpoint_every``
+    additionally makes each cold build resumable across sweep
+    invocations.
     """
-    scenario, seed, experiment_ids, checkpoint_every = task
+    payload, experiment_ids, checkpoint_every = task
     from repro.experiments.context import get_result
+    from repro.scenarios import from_payload
 
+    resolved = from_payload(payload)
+    seed = resolved.config.seed
     started = time.perf_counter()
-    result = get_result(scenario, seed, checkpoint_every=checkpoint_every)
+    result = get_result(resolved, checkpoint_every=checkpoint_every)
     payloads = [
         report_payload(run_experiment(eid, result)) for eid in experiment_ids
     ]
@@ -54,39 +60,48 @@ def _sweep_task(
     obs.counter("sweep.seeds")
     obs.observe("sweep.seed_s", wall_s)
     obs.trace_event(
-        "worker.sweep_seed", scenario=scenario, seed=seed,
+        "worker.sweep_seed", scenario=resolved.label, seed=seed,
         experiments=len(experiment_ids), wall_s=round(wall_s, 4),
     )
     return seed, payloads
 
 
 def run_sweep(
-    scenario: str,
+    scenario,
     seeds: Sequence[int],
     experiment_ids: Sequence[str],
     jobs: int = 1,
     start_method: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
 ) -> Dict:
-    """Cross-seed robustness report for one scenario preset.
+    """Cross-seed robustness report for one scenario.
 
-    Returns a JSON-ready dict: per experiment, each comparison row with
-    its per-seed values, cross-seed ``mean``, sample ``stddev`` (0.0
-    for a single seed) and normal-approximation 95% confidence
-    half-width ``ci95``. Rows are keyed by label in first-seed order;
-    a row missing for some seed is an analysis bug and raises.
+    ``scenario`` is anything :func:`repro.scenarios.resolve_any`
+    accepts — registry name, spec-file path, or a resolved scenario;
+    it is resolved once and re-seeded per sweep point. Returns a
+    JSON-ready dict: per experiment, each comparison row with its
+    per-seed values, cross-seed ``mean``, sample ``stddev`` (0.0 for a
+    single seed) and normal-approximation 95% confidence half-width
+    ``ci95``. Rows are keyed by label in first-seed order; a row
+    missing for some seed is an analysis bug and raises.
     """
+    from repro.scenarios import resolve_any, with_seed
+
+    resolved = resolve_any(scenario)
     seed_list = [int(seed) for seed in seeds]
     if not seed_list:
         raise AnalysisError("sweep needs at least one seed")
     if len(set(seed_list)) != len(seed_list):
         raise AnalysisError(f"duplicate seeds in sweep: {seed_list}")
     ids = tuple(experiment_ids)
-    tasks = [(scenario, seed, ids, checkpoint_every) for seed in seed_list]
+    tasks = [
+        (with_seed(resolved, seed).payload(), ids, checkpoint_every)
+        for seed in seed_list
+    ]
 
     sweep_started = time.perf_counter()
     obs.trace_event(
-        "sweep.start", scenario=scenario, seeds=seed_list, jobs=jobs,
+        "sweep.start", scenario=resolved.label, seeds=seed_list, jobs=jobs,
         experiments=len(ids),
     )
     if jobs <= 1:
@@ -100,7 +115,7 @@ def run_sweep(
         with context.Pool(processes=jobs) as pool:
             raw = list(pool.imap(_sweep_task, tasks))
     obs.trace_event(
-        "sweep.done", scenario=scenario, seeds=seed_list, jobs=jobs,
+        "sweep.done", scenario=resolved.label, seeds=seed_list, jobs=jobs,
         wall_s=round(time.perf_counter() - sweep_started, 4),
     )
 
@@ -130,7 +145,7 @@ def run_sweep(
         experiments[experiment_id] = {"title": first["title"], "rows": rows}
 
     return {
-        "scenario": scenario,
+        "scenario": resolved.label,
         "seeds": seed_list,
         "experiment_ids": list(ids),
         "experiments": experiments,

@@ -1,0 +1,56 @@
+"""Declarative scenario specs (ROADMAP item 5, FederNet-style).
+
+A scenario is *data*: a small JSON (or, on Python 3.11+, TOML) file of
+overrides on a named base, resolved through one validated path into
+the frozen :class:`~repro.simulation.scenario.ScenarioConfig` the
+engine runs. The four built-in scenarios are themselves shipped spec
+files (``repro/scenarios/builtin/``); ``--scenario`` everywhere takes
+either a registry name or a path to a user spec file, and every
+accepted spec canonicalises to a deterministic digest that keys the
+persistent scenario cache and the parallel workers' rehydration
+contract.
+
+Quickstart::
+
+    from repro.scenarios import resolve
+
+    resolved = resolve("paper", seed=2021)        # registry name
+    resolved = resolve("my-whatif.json")          # user spec file
+    engine = SimulationEngine(resolved.config)
+
+See DESIGN.md §15 for the spec format and digest derivation.
+"""
+
+from repro.scenarios.registry import (
+    ResolvedScenario,
+    format_listing,
+    from_payload,
+    list_scenarios,
+    resolve,
+    resolve_any,
+    scenario_names,
+    with_seed,
+)
+from repro.scenarios.spec import (
+    FIELD_GROUPS,
+    apply_overrides,
+    canonical_config_dict,
+    flatten_overrides,
+    spec_digest,
+)
+
+__all__ = [
+    "FIELD_GROUPS",
+    "ResolvedScenario",
+    "apply_overrides",
+    "canonical_config_dict",
+    "flatten_overrides",
+    "format_listing",
+    "from_payload",
+    "list_scenarios",
+    "resolve",
+    "resolve_any",
+    "scenario_names",
+    "spec_digest",
+    "with_seed",
+]

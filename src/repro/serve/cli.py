@@ -62,10 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="response-cache idle TTL (default 30)",
     )
     serve.add_argument(
-        "--scenario", default=None, choices=["paper", "small"],
-        help="ingest this scenario first if the store is missing/stale",
+        "--scenario", default=None, metavar="NAME|FILE",
+        help="ingest this scenario (registry name or spec-file path) "
+        "first if the store is missing/stale",
     )
-    serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's own seed (default: keep it)",
+    )
     serve.add_argument(
         "--no-keep-alive", action="store_true",
         help="serve HTTP/1.0 (one request per connection) instead of "

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.simulation                        # summary only
     python -m repro.simulation --scenario small
+    python -m repro.simulation --scenario my-whatif.json   # user spec file
+    python -m repro.simulation --list-scenarios       # registry + digests
     python -m repro.simulation --dump chain.jsonl     # explorer-style dump
     python -m repro.simulation --checkpoint-every 30 --checkpoint-dir ck/
     python -m repro.simulation --stop-after 120 --checkpoint-dir ck/
@@ -17,20 +19,7 @@ import sys
 import time
 
 from repro.chain.serialize import dump_chain
-from repro.simulation import (
-    SimulationEngine,
-    million_hotspot_scenario,
-    paper_10x_scenario,
-    paper_scenario,
-    small_scenario,
-)
-
-_SCENARIOS = {
-    "million-hotspot": million_hotspot_scenario,
-    "paper": paper_scenario,
-    "paper-10x": paper_10x_scenario,
-    "small": small_scenario,
-}
+from repro.simulation import SimulationEngine
 
 
 def main(argv=None) -> int:
@@ -39,9 +28,18 @@ def main(argv=None) -> int:
         description="Generate a synthetic Helium blockchain.",
     )
     parser.add_argument(
-        "--scenario", default="paper", choices=sorted(_SCENARIOS)
+        "--scenario", default="paper", metavar="NAME|FILE",
+        help="registry name (see --list-scenarios) or a path to a "
+        ".json/.toml scenario spec file",
     )
-    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's own seed (default: keep it)",
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list registry scenarios with their resolved digests and exit",
+    )
     parser.add_argument("--dump", metavar="FILE", default=None,
                         help="write the chain as JSONL")
     parser.add_argument(
@@ -82,6 +80,13 @@ def main(argv=None) -> int:
         "behaviour; needs RSS proportional to run length)",
     )
     args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        from repro.scenarios import format_listing
+
+        print(format_listing())
+        return 0
+
     if (args.checkpoint_every or args.stop_after is not None) and not (
         args.checkpoint_dir or args.resume
     ):
@@ -94,9 +99,17 @@ def main(argv=None) -> int:
         print(f"resuming from {args.resume} at day {engine.state.day} "
               f"(seed {config.seed}, {config.n_days} days total)...")
     else:
-        config = _SCENARIOS[args.scenario](seed=args.seed)
-        print(f"building {args.scenario} scenario "
-              f"({config.target_hotspots} hotspots, {config.n_days} days)...")
+        from repro.errors import ScenarioSpecError
+        from repro.scenarios import resolve
+
+        try:
+            resolved = resolve(args.scenario, seed=args.seed)
+        except ScenarioSpecError as exc:
+            parser.error(str(exc))
+        config = resolved.config
+        print(f"building {resolved.label} scenario "
+              f"({config.target_hotspots} hotspots, {config.n_days} days, "
+              f"digest {resolved.digest[:12]})...")
         engine = SimulationEngine(config)
 
     checkpoint_dir = args.checkpoint_dir or args.resume

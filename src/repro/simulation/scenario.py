@@ -20,6 +20,7 @@ __all__ = [
     "paper_10x_scenario",
     "paper_scenario",
     "small_scenario",
+    "validate_config",
 ]
 
 #: Days from genesis (2019-07-29) to the paper's snapshot (late May 2021).
@@ -161,14 +162,7 @@ class ScenarioConfig:
     validator_fraction: float = 0.004
 
     def __post_init__(self) -> None:
-        if self.n_days < 30:
-            raise SimulationError("scenario needs at least 30 days")
-        if self.target_hotspots < 50:
-            raise SimulationError("scenario needs at least 50 hotspots")
-        if not (0.0 < self.online_fraction <= 1.0):
-            raise SimulationError("online_fraction must be in (0, 1]")
-        if not (0.0 <= self.never_move_fraction <= 1.0):
-            raise SimulationError("never_move_fraction must be in [0, 1]")
+        validate_config(self)
 
     @property
     def scale_factor(self) -> float:
@@ -181,9 +175,158 @@ class ScenarioConfig:
         return 3.0 / self.challenges_per_hotspot_day
 
 
+#: Fields constrained to [0, 1] (probabilities and shares), checked in
+#: strict validation — the one validated spec-load path.
+_FRACTION_FIELDS = (
+    "online_fraction",
+    "international_share_final",
+    "new_owner_probability",
+    "whale_share_of_late_supply",
+    "never_move_fraction",
+    "extra_move_probability",
+    "null_island_initial_probability",
+    "null_island_move_probability",
+    "long_move_fraction",
+    "long_move_us_export_fraction",
+    "resale_fraction",
+    "zero_dc_transfer_fraction",
+    "repeat_transfer_probability",
+    "silent_mover_fraction",
+    "rssi_liar_fraction",
+    "high_gain_fraction",
+    "console_channel_share",
+    "validator_fraction",
+)
+
+#: Timeline milestones that must land inside the run (strict mode).
+_MILESTONE_FIELDS = (
+    "dc_payments_live_day",
+    "hip10_day",
+    "spam_decay_end_day",
+    "international_launch_day",
+    "resale_start_day",
+    "march_snapshot_day",
+    "whale_start_day",
+)
+
+#: (field, minimum) pairs that must be strictly positive / at least 1.
+_POSITIVE_FIELDS = (
+    ("real_network_size", 1),
+    ("batch_interval_days", 1),
+    ("max_witness_candidates", 1),
+    ("console_close_blocks", 1),
+)
+
+#: Fields that only need to be non-negative.
+_NON_NEGATIVE_FIELDS = (
+    "seed",
+    "attachment_alpha",
+    "organic_owner_cap",
+    "frequent_mover_moves",
+    "final_packets_per_second",
+    "arbitrage_peak_multiplier",
+    "third_party_ouis",
+    "tail_isps",
+)
+
+
+def validate_config(config: "ScenarioConfig", *, strict: bool = False) -> None:
+    """Check a scenario's constraints, raising :class:`SimulationError`.
+
+    The non-strict form runs on every construction (``__post_init__``)
+    and keeps only the historical cheap checks, so tests and benches
+    may still ``dataclasses.replace`` a scenario into unusual corners
+    (e.g. capping ``n_days`` below a milestone for a day-capped run).
+
+    ``strict=True`` is the *load-path* contract used by
+    :mod:`repro.scenarios` on every spec resolution: every fraction in
+    [0, 1], rates and sizes positive, and milestone days ordered and
+    inside ``[0, n_days]`` — with the offending field named, so a bad
+    knob fails at load time instead of deep inside the engine.
+    """
+    if config.n_days < 30:
+        raise SimulationError("n_days: scenario needs at least 30 days")
+    if config.target_hotspots < 50:
+        raise SimulationError(
+            "target_hotspots: scenario needs at least 50 hotspots"
+        )
+    if not (0.0 < config.online_fraction <= 1.0):
+        raise SimulationError("online_fraction must be in (0, 1]")
+    if not (0.0 <= config.never_move_fraction <= 1.0):
+        raise SimulationError("never_move_fraction must be in [0, 1]")
+    if not strict:
+        return
+    for name in _FRACTION_FIELDS:
+        value = getattr(config, name)
+        if not (0.0 <= value <= 1.0):
+            raise SimulationError(
+                f"{name} must be in [0, 1], got {value!r}"
+            )
+    if config.challenges_per_hotspot_day <= 0.0:
+        raise SimulationError(
+            "challenges_per_hotspot_day must be positive, got "
+            f"{config.challenges_per_hotspot_day!r}"
+        )
+    if config.batch_growth <= 0.0:
+        raise SimulationError(
+            f"batch_growth must be positive, got {config.batch_growth!r}"
+        )
+    for name, minimum in _POSITIVE_FIELDS:
+        value = getattr(config, name)
+        if value < minimum:
+            raise SimulationError(
+                f"{name} must be at least {minimum}, got {value!r}"
+            )
+    for name in _NON_NEGATIVE_FIELDS:
+        value = getattr(config, name)
+        if value < 0:
+            raise SimulationError(
+                f"{name} must be non-negative, got {value!r}"
+            )
+    for name in _MILESTONE_FIELDS:
+        day = getattr(config, name)
+        if not (0 <= day <= config.n_days):
+            raise SimulationError(
+                f"{name} must fall inside the run (0..{config.n_days} "
+                f"days), got {day!r}"
+            )
+    if not (
+        config.dc_payments_live_day
+        <= config.hip10_day
+        <= config.spam_decay_end_day
+    ):
+        raise SimulationError(
+            "milestone days out of order: need dc_payments_live_day <= "
+            f"hip10_day <= spam_decay_end_day, got "
+            f"{config.dc_payments_live_day} / {config.hip10_day} / "
+            f"{config.spam_decay_end_day}"
+        )
+    for name in ("mining_pools", "commercial_fleets"):
+        for city, size in getattr(config, name):
+            if size < 1:
+                raise SimulationError(
+                    f"{name} fleet size for {city!r} must be at least 1, "
+                    f"got {size!r}"
+                )
+    for members, city in config.gossip_cliques:
+        if members < 1:
+            raise SimulationError(
+                f"gossip_cliques members for {city!r} must be at least "
+                f"1, got {members!r}"
+            )
+
+
 def paper_scenario(seed: int = 2021) -> ScenarioConfig:
-    """The default 1/10-scale replica of the paper's study period."""
-    return ScenarioConfig(seed=seed)
+    """The default 1/10-scale replica of the paper's study period.
+
+    Resolved through the declarative registry (the knobs live in
+    ``repro/scenarios/builtin/paper.json``); this builder — like its
+    three siblings — is a thin compatibility wrapper over
+    :func:`repro.scenarios.resolve`.
+    """
+    from repro.scenarios import resolve
+
+    return resolve("paper", seed=seed).config
 
 
 def paper_10x_scenario(seed: int = 2021) -> ScenarioConfig:
@@ -198,20 +341,12 @@ def paper_10x_scenario(seed: int = 2021) -> ScenarioConfig:
     end-to-end run in minutes on one core while the fleet, ownership,
     traffic and move machinery all run at true scale. Archetype fleets
     (mining pools, commercial deployments, cliques) scale to their
-    real-network sizes from §4.3.
+    real-network sizes from §4.3 — see
+    ``repro/scenarios/builtin/paper-10x.json``.
     """
-    return ScenarioConfig(
-        seed=seed,
-        target_hotspots=44_000,
-        real_network_size=44_000,
-        challenges_per_hotspot_day=0.02,
-        # Real-scale archetypes (paper §4.3): the default tier divides
-        # these by ~10.
-        mining_pools=(("Denver", 140), ("Denver", 140)),
-        commercial_fleets=(("Chicago", 25), ("Stonington", 61)),
-        gossip_cliques=((10, "Miami"), (8, "Las Vegas")),
-        tail_isps=4400,
-    )
+    from repro.scenarios import resolve
+
+    return resolve("paper-10x", seed=seed).config
 
 
 def million_hotspot_scenario(seed: int = 2021) -> ScenarioConfig:
@@ -230,44 +365,18 @@ def million_hotspot_scenario(seed: int = 2021) -> ScenarioConfig:
     (``chain_log=True``, the engine default) bounding chain RSS.
     Capped-day runs (``stop_after_day`` / ``REPRO_SCALE_DAYS``) are the
     intended smoke vehicle; the fleet reaches full size late in the
-    adoption schedule.
+    adoption schedule. Knobs:
+    ``repro/scenarios/builtin/million-hotspot.json``.
     """
-    return ScenarioConfig(
-        seed=seed,
-        target_hotspots=1_000_000,
-        real_network_size=1_000_000,
-        challenges_per_hotspot_day=0.001,
-        # Archetypes scaled ~23× past the real May-2021 network, in
-        # line with the fleet.
-        mining_pools=(("Denver", 3200), ("Denver", 3200)),
-        commercial_fleets=(("Chicago", 570), ("Stonington", 1390)),
-        gossip_cliques=((40, "Miami"), (32, "Las Vegas")),
-        tail_isps=10_000,
-    )
+    from repro.scenarios import resolve
+
+    return resolve("million-hotspot", seed=seed).config
 
 
 def small_scenario(seed: int = 7) -> ScenarioConfig:
-    """A fast scenario for tests: ~700 hotspots over 180 days."""
-    return ScenarioConfig(
-        seed=seed,
-        n_days=180,
-        target_hotspots=700,
-        real_network_size=44_000,
-        whale_start_day=150,
-        challenges_per_hotspot_day=0.10,
-        mining_pools=(("Denver", 8),),
-        commercial_fleets=(("Chicago", 3), ("Stonington", 4)),
-        gossip_cliques=((4, "Miami"),),
-        tail_isps=120,
-        # Enough cheats to give the §7 forensics statistical teeth at
-        # this small scale.
-        silent_mover_fraction=0.012,
-        rssi_liar_fraction=0.015,
-        # Compressed timeline so every lifecycle phase still occurs.
-        dc_payments_live_day=70,
-        hip10_day=82,
-        spam_decay_end_day=95,
-        international_launch_day=90,
-        resale_start_day=110,
-        march_snapshot_day=150,
-    )
+    """A fast scenario for tests: ~700 hotspots over 180 compressed
+    days, with enough §7 cheats for the forensics to have statistical
+    teeth. Knobs: ``repro/scenarios/builtin/small.json``."""
+    from repro.scenarios import resolve
+
+    return resolve("small", seed=seed).config

@@ -72,3 +72,59 @@ class TestExperimentsListFlag:
             lambda *a, **k: pytest.fail("--list must not simulate"),
         )
         assert experiments_main(["--list"]) == 0
+
+
+class TestListScenariosFlag:
+    @pytest.mark.parametrize("entry", [experiments_main, simulation_main])
+    def test_lists_registry_with_digests(self, entry, capsys):
+        from repro.scenarios import list_scenarios, scenario_names
+
+        assert entry(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for row in list_scenarios():
+            assert row["name"] in out
+            assert row["digest"][:12] in out
+        assert len(out.strip().splitlines()) == len(scenario_names())
+
+    def test_does_not_build_a_scenario(self, capsys, monkeypatch):
+        import repro.experiments.__main__ as experiments_module
+
+        monkeypatch.setattr(
+            experiments_module, "get_result",
+            lambda *a, **k: pytest.fail("--list-scenarios must not simulate"),
+        )
+        assert experiments_main(["--list-scenarios"]) == 0
+
+
+class TestSpecFileScenario:
+    def test_experiments_cli_accepts_a_spec_file(
+        self, tmp_path, capsys, monkeypatch, small_result
+    ):
+        import json as jsonlib
+
+        import repro.experiments.context as context
+        from repro.scenarios import resolve
+
+        # Memoise under the built-in's digest: the equivalent spec file
+        # must hit it instead of simulating.
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", "off")
+        monkeypatch.setattr(
+            context, "_CACHE", {resolve("small").digest: small_result}
+        )
+        spec = tmp_path / "mine.json"
+        spec.write_text(jsonlib.dumps({"base": "small", "name": "mine"}))
+        code = experiments_main(["--scenario", str(spec), "fig02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "building mine scenario" in out
+        assert "fig02" in out
+
+    def test_bad_spec_file_is_a_usage_error(self, tmp_path, capsys):
+        import json as jsonlib
+
+        spec = tmp_path / "bad.json"
+        spec.write_text(jsonlib.dumps({"base": "small", "n_dys": 120}))
+        with pytest.raises(SystemExit):
+            experiments_main(["--scenario", str(spec), "fig02"])
+        err = capsys.readouterr().err
+        assert "n_dys" in err and "did you mean" in err

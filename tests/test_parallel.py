@@ -43,8 +43,12 @@ FARM_IDS = ["fig02", "fig07", "fig12", "fig13", "s7_1", "table1"]
 @pytest.fixture()
 def seeded_cache(monkeypatch, tmp_path, small_result):
     """A fresh cache dir with the small/seed-7 result memoised."""
+    from repro.scenarios import resolve
+
     monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
-    monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+    monkeypatch.setattr(
+        context, "_CACHE", {resolve("small").digest: small_result}
+    )
     return tmp_path
 
 
@@ -305,9 +309,11 @@ class TestEnsureSnapshot:
         assert (entry / "meta.json").exists()
         digest = context.snapshot.config_digest(small_scenario(seed=7))[:12]
         assert entry.name == (
-            f"small-seed7-{digest}-v{context.snapshot.SCHEMA_VERSION}"
+            f"scn-seed7-{digest}-v{context.snapshot.SCHEMA_VERSION}"
         )
 
     def test_unknown_scenario_raises(self):
-        with pytest.raises(KeyError, match="unknown scenario"):
+        from repro.errors import ScenarioSpecError
+
+        with pytest.raises(ScenarioSpecError, match="unknown scenario"):
             context.ensure_snapshot("nope", 7)

@@ -135,7 +135,7 @@ class TestCacheWiring:
         entries = [p for p in tmp_path.iterdir() if p.is_dir()]
         assert len(entries) == 1
         digest = config_digest(small_scenario(seed=7))[:12]
-        assert entries[0].name == f"small-seed7-{digest}-v{SCHEMA_VERSION}"
+        assert entries[0].name == f"scn-seed7-{digest}-v{SCHEMA_VERSION}"
 
         # A "fresh process": empty in-memory cache, simulation forbidden.
         monkeypatch.setattr(context, "_CACHE", {})
@@ -153,7 +153,7 @@ class TestCacheWiring:
         monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
         monkeypatch.setattr(context, "_CACHE", {})
         digest = config_digest(small_scenario(seed=7))[:12]
-        entry = tmp_path / f"small-seed7-{digest}-v{SCHEMA_VERSION}"
+        entry = tmp_path / f"scn-seed7-{digest}-v{SCHEMA_VERSION}"
         entry.mkdir()
         (entry / "meta.json").write_text("{ not json")
         with pytest.warns(RuntimeWarning, match="unreadable"):
@@ -170,10 +170,15 @@ class TestStoreWiring:
     @pytest.fixture()
     def cache_entry(self, monkeypatch, tmp_path, small_result):
         """A populated cache entry for the small scenario, fresh memos."""
+        from repro.scenarios import resolve
+
         monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
-        monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+        resolved = resolve("small")
+        monkeypatch.setattr(
+            context, "_CACHE", {resolved.digest: small_result}
+        )
         monkeypatch.setattr(context, "_STORES", {})
-        entry = context._entry_dir("small", small_scenario(seed=7))
+        entry = context._entry_dir(resolved)
         save_result(small_result, entry)
         return entry
 
@@ -231,8 +236,12 @@ class TestStoreWiring:
         assert healed.checkpoint_height == small_result.chain.height
 
     def test_cache_off_builds_in_memory(self, monkeypatch, small_result):
+        from repro.scenarios import resolve
+
         monkeypatch.setenv("REPRO_SCENARIO_CACHE", "off")
-        monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+        monkeypatch.setattr(
+            context, "_CACHE", {resolve("small").digest: small_result}
+        )
         monkeypatch.setattr(context, "_STORES", {})
         store = context.get_store("small", seed=7)
         assert store.path == ":memory:"

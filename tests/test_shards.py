@@ -34,8 +34,12 @@ from tests.test_engine_hotpath import (
 @pytest.fixture()
 def seeded_cache(monkeypatch, tmp_path, small_result):
     """A fresh cache dir with the small/seed-7 result memoised."""
+    from repro.scenarios import resolve
+
     monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path))
-    monkeypatch.setattr(context, "_CACHE", {("small", 7): small_result})
+    monkeypatch.setattr(
+        context, "_CACHE", {resolve("small").digest: small_result}
+    )
     return tmp_path
 
 
